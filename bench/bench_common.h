@@ -1,0 +1,82 @@
+// Shared scaffolding for the figure/table reproduction benchmarks.
+//
+// The paper's experiments use 24M keys, a 128 ms checkpoint interval and a
+// dual-socket Optane machine; this harness scales them to run in minutes on
+// one core with the emulated-NVM cost model. Knobs (all environment
+// variables, sizes accept k/m/g suffixes):
+//
+//   CRPM_KEYS          populated keys            (default 400k, paper 24M)
+//   CRPM_INSERT_OPS    insert-only operations    (default 100k, paper 5M)
+//   CRPM_INTERVAL_MS   checkpoint interval in ms (default 64,   paper 128)
+//   CRPM_EPOCHS        measured epochs per point (default 6)
+//   CRPM_COST          1 = emulate DCPMM latency (default 1)
+//   CRPM_RANKS         mini-app ranks            (default 4,    paper 8)
+//   CRPM_APP_ITERS     mini-app iterations       (default 30)
+//
+// Absolute numbers depend on this machine; the *shape* — which system wins
+// and by roughly what factor — is the reproduction target (EXPERIMENTS.md
+// records both).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/env.h"
+#include "util/table.h"
+#include "workload/kv.h"
+#include "workload/runner.h"
+
+namespace crpm::bench {
+
+// Default scale rationale: what separates the systems is the sparsity of
+// the per-epoch dirty set relative to the store (24M keys / 128 ms / ~100k
+// ops per epoch in the paper). With DRAM-speed emulation the op rate is
+// higher, so the keyspace is kept large (1M) and the interval short (16 ms)
+// to preserve a paper-like dirty-set ratio.
+struct BenchScale {
+  uint64_t keys = env_u64("CRPM_KEYS", 1000 * 1000);
+  uint64_t insert_ops = env_u64("CRPM_INSERT_OPS", 100 * 1000);
+  double interval_ms = env_double("CRPM_INTERVAL_MS", 16.0);
+  uint64_t epochs = env_u64("CRPM_EPOCHS", 5);
+  bool cost = env_bool("CRPM_COST", true);
+  int ranks = static_cast<int>(env_u64("CRPM_RANKS", 4));
+  int app_iters = static_cast<int>(env_u64("CRPM_APP_ITERS", 30));
+
+  KvConfig kv_config() const {
+    KvConfig c;
+    c.max_keys = keys + insert_ops;
+    c.cost_model = cost ? CostModel::realistic() : CostModel::disabled();
+    return c;
+  }
+
+  WorkloadSpec spec(OpMix mix) const {
+    WorkloadSpec s;
+    s.mix = mix;
+    s.populate_keys = keys;
+    s.insert_ops = insert_ops;
+    s.interval_ms = interval_ms;
+    s.epochs = epochs;
+    return s;
+  }
+
+  void print(const char* bench_name) const {
+    std::printf("== %s ==\n", bench_name);
+    std::printf(
+        "scale: keys=%llu insert_ops=%llu interval=%.0fms epochs=%llu "
+        "cost-model=%s (paper: 24M keys, 128ms; see bench_common.h)\n\n",
+        (unsigned long long)keys, (unsigned long long)insert_ops,
+        interval_ms, (unsigned long long)epochs, cost ? "on" : "off");
+  }
+};
+
+// The KV systems of Section 5.1 in figure order; soft-dirty reports itself
+// unsupported if the kernel lacks CONFIG_MEM_SOFT_DIRTY.
+inline std::vector<SystemKind> kv_systems() {
+  return {SystemKind::kMprotect,    SystemKind::kSoftDirty,
+          SystemKind::kUndoLog,     SystemKind::kLmc,
+          SystemKind::kDali,        SystemKind::kNvmNp,
+          SystemKind::kCrpmDefault, SystemKind::kCrpmBuffered};
+}
+
+}  // namespace crpm::bench

@@ -1,0 +1,48 @@
+// Figure 1: execution-time breakdown of the persistent unordered_map under
+// the balanced workload (checkpoint interval 128 ms, scaled): how much of
+// the run is useful execution vs. memory-change tracing vs. checkpointing.
+//
+// Paper shape to reproduce:
+//   * mprotect: ~48% tracing + ~42% checkpoint
+//   * soft-dirty: checkpoint ~66% (page write amplification)
+//   * undo-log / LMC: tracing ~46-49% (fence-per-entry persistence)
+//   * libcrpm: small tracing + small checkpoint slices
+#include "bench_common.h"
+
+using namespace crpm;
+using namespace crpm::bench;
+
+int main() {
+  BenchScale scale;
+  scale.print("Figure 1: execution time breakdown (balanced workload)");
+
+  TablePrinter t({"system", "total(s)", "execution", "memory trace",
+                  "checkpoint", "Mops/s"});
+  const SystemKind systems[] = {SystemKind::kMprotect, SystemKind::kSoftDirty,
+                                SystemKind::kUndoLog, SystemKind::kLmc,
+                                SystemKind::kCrpmDefault,
+                                SystemKind::kCrpmBuffered};
+  for (SystemKind sys : systems) {
+    if (!system_supported(sys, StructureKind::kUnorderedMap)) {
+      t.row().cell(std::string(system_name(sys)) + " (skipped)");
+      continue;
+    }
+    auto kv = make_kv(sys, StructureKind::kUnorderedMap, scale.kv_config());
+    RunResult r = run_kv(*kv, scale.spec(OpMix::kBalanced));
+    auto pct = [&](double s) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%4.1f%%",
+                    r.total_s > 0 ? 100.0 * s / r.total_s : 0.0);
+      return std::string(buf);
+    };
+    t.row()
+        .cell(system_name(sys))
+        .cell(r.total_s, 2)
+        .cell(pct(r.execution_s))
+        .cell(pct(r.trace_s))
+        .cell(pct(r.checkpoint_s))
+        .cell(r.throughput_mops, 3);
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 7: throughput of the persistent map and unordered_map with a
+// single thread, checkpoint interval 128 ms (scaled), under insert-only /
+// balanced / read-heavy / read-only workloads, for every compared system.
+//
+// Paper shape to reproduce:
+//   * libcrpm-Default within ~14% of NVM-NP (balanced), equal on read-only
+//   * libcrpm ~7x over mprotect / soft-dirty
+//   * libcrpm ~1.4x over undo-log / LMC
+//   * libcrpm 1.8-2.7x over Dali (unordered_map)
+#include "bench_common.h"
+
+using namespace crpm;
+using namespace crpm::bench;
+
+int main() {
+  BenchScale scale;
+  scale.print("Figure 7: KV throughput (Mops/s; relative to NVM-NP)");
+
+  const OpMix mixes[] = {OpMix::kInsertOnly, OpMix::kBalanced,
+                         OpMix::kReadHeavy, OpMix::kReadOnly};
+  for (StructureKind st : {StructureKind::kUnorderedMap, StructureKind::kMap}) {
+    std::printf("--- %s ---\n", structure_name(st));
+    TablePrinter t({"system", "insert-only", "balanced", "read-heavy",
+                    "read-only"});
+    // NVM-NP first to compute relative numbers.
+    std::vector<double> np(4, 0.0);
+    {
+      for (int m = 0; m < 4; ++m) {
+        auto kv = make_kv(SystemKind::kNvmNp, st, scale.kv_config());
+        np[size_t(m)] = run_kv(*kv, scale.spec(mixes[m])).throughput_mops;
+      }
+    }
+    for (SystemKind sys : kv_systems()) {
+      if (!system_supported(sys, st)) {
+        t.row().cell(std::string(system_name(sys)) + " (skipped)");
+        continue;
+      }
+      t.row().cell(system_name(sys));
+      for (int m = 0; m < 4; ++m) {
+        double mops;
+        if (sys == SystemKind::kNvmNp) {
+          mops = np[size_t(m)];
+        } else {
+          auto kv = make_kv(sys, st, scale.kv_config());
+          mops = run_kv(*kv, scale.spec(mixes[m])).throughput_mops;
+        }
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.3f (%.2fx)", mops,
+                      np[size_t(m)] > 0 ? mops / np[size_t(m)] : 0.0);
+        t.cell(buf);
+      }
+    }
+    t.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 9: throughput of map / unordered_map vs. checkpoint interval
+// (balanced workload).
+//
+// Paper shape to reproduce:
+//   * soft-dirty collapses at high checkpoint frequency (checkpoint longer
+//     than the execution period), falling below mprotect
+//   * undo-log / LMC insensitive to the interval (their cost is per-op)
+//   * libcrpm-Default holds its throughput down to short intervals and
+//     dominates at every frequency
+#include "bench_common.h"
+
+using namespace crpm;
+using namespace crpm::bench;
+
+int main() {
+  BenchScale scale;
+  scale.print("Figure 9: throughput (Mops/s) vs checkpoint interval");
+
+  const double intervals_ms[] = {8, 16, 32, 64, 128};
+  const SystemKind systems[] = {SystemKind::kMprotect, SystemKind::kSoftDirty,
+                                SystemKind::kUndoLog, SystemKind::kLmc,
+                                SystemKind::kDali,
+                                SystemKind::kCrpmDefault,
+                                SystemKind::kCrpmBuffered};
+
+  for (StructureKind st : {StructureKind::kUnorderedMap, StructureKind::kMap}) {
+    std::printf("--- %s (balanced) ---\n", structure_name(st));
+    TablePrinter t({"system", "8ms", "16ms", "32ms", "64ms", "128ms"});
+    for (SystemKind sys : systems) {
+      if (!system_supported(sys, st)) {
+        t.row().cell(std::string(system_name(sys)) + " (skipped)");
+        continue;
+      }
+      t.row().cell(system_name(sys));
+      for (double ms : intervals_ms) {
+        auto kv = make_kv(sys, st, scale.kv_config());
+        WorkloadSpec s = scale.spec(OpMix::kBalanced);
+        s.interval_ms = ms;
+        // Keep measured wall time roughly constant across intervals.
+        s.epochs = std::max<uint64_t>(
+            3, uint64_t(double(scale.epochs) * scale.interval_ms / ms));
+        t.cell(run_kv(*kv, s).throughput_mops, 3);
+      }
+    }
+    t.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// mpi_lulesh: coordinated multi-rank checkpointing (Section 3.6).
+//
+//   ./mpi_lulesh                 # 4 ranks, 40 iterations, ckpt every 5
+//   ./mpi_lulesh --crash-at 23   # all ranks die at iteration 23
+//   ./mpi_lulesh                 # coordinated recovery resumes at 20
+//
+// Each rank owns its own container; crpm_mpi_checkpoint-style commits are
+// followed by a barrier, and recovery agrees on the minimum committed
+// epoch across ranks before anyone loads state.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "apps/miniapp.h"
+
+using namespace crpm;
+
+int main(int argc, char** argv) {
+  int crash_at = -1;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--crash-at") == 0) {
+      crash_at = std::atoi(argv[i + 1]);
+    }
+  }
+  constexpr int kRanks = 4;
+  const char* dir = "/tmp/crpm_mpi_lulesh";
+  std::system(("mkdir -p " + std::string(dir)).c_str());
+
+  SimComm comm(kRanks);
+  std::vector<MiniAppResult> results(kRanks);
+  comm.run([&](int rank) {
+    MiniAppConfig cfg;
+    cfg.size = 16;
+    cfg.iterations = crash_at > 0 ? crash_at : 40;
+    cfg.ckpt_every = 5;
+    cfg.store.backend = CkptBackend::kCrpmBuffered;
+    cfg.store.dir = dir;
+    cfg.store.rank = rank;
+    cfg.store.comm = &comm;
+    cfg.store.capacity_bytes = 0;
+    results[size_t(rank)] = run_lulesh_proxy(cfg);
+  });
+
+  if (crash_at > 0) {
+    std::printf("ranks reached iteration %d; simulating power failure "
+                "across the machine!\n", crash_at);
+    std::fflush(stdout);
+    std::_Exit(1);
+  }
+
+  const MiniAppResult& r0 = results[0];
+  if (r0.resumed) {
+    std::printf("coordinated recovery: resumed at iteration %llu "
+                "(%.2f ms recovery per rank)\n",
+                (unsigned long long)r0.start_iteration,
+                r0.recovery_s * 1e3);
+  }
+  std::printf("%d ranks finished 40 iterations.\n", kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    std::printf("  rank %d: %.3fs compute, %.3fs checkpointing, state "
+                "%.1f MiB, checksum %.6e\n",
+                r, results[size_t(r)].elapsed_s,
+                results[size_t(r)].checkpoint_s,
+                double(results[size_t(r)].state_bytes) / (1 << 20),
+                results[size_t(r)].checksum);
+  }
+  std::printf("run complete; delete %s to start over.\n", dir);
+  return 0;
+}

@@ -1,0 +1,193 @@
+// CoMD stand-in: Lennard-Jones molecular dynamics with link cells.
+//
+// Atoms start on an fcc lattice (4 atoms per unit cell, CoMD's default),
+// forces come from a truncated LJ 6-12 potential evaluated over neighbour
+// link cells, and integration is velocity Verlet. The checkpointed state
+// is positions + velocities (forces are recomputed), giving the smaller,
+// update-everything-per-step state profile CoMD shows in Figure 8.
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "apps/miniapp.h"
+#include "util/stopwatch.h"
+
+namespace crpm {
+
+namespace {
+
+constexpr double kCutoff = 2.5;     // LJ units
+constexpr double kCell = 2.5;       // link-cell edge = cutoff
+constexpr double kDt = 0.002;
+constexpr double kLatticeA = 1.587401;  // fcc lattice constant (rho~1.0)
+
+}  // namespace
+
+MiniAppResult run_comd_proxy(const MiniAppConfig& cfg) {
+  const int nu = cfg.size / 2 + 2;  // unit cells per edge
+  const int64_t natoms = int64_t(4) * nu * nu * nu;
+  const double box = nu * kLatticeA;
+  SimComm* comm = cfg.store.comm;
+  int rank = cfg.store.rank;
+
+  StateStore::Config store_cfg = cfg.store;
+  if (store_cfg.capacity_bytes == 0) {
+    store_cfg.capacity_bytes = uint64_t(6 * natoms) * 8 * 3 / 2 + (2 << 20);
+  }
+  StateStore store(store_cfg);
+  auto* pos = store.array<double>(0, uint64_t(3 * natoms));
+  auto* vel = store.array<double>(1, uint64_t(3 * natoms));
+
+  MiniAppResult res;
+  res.resumed = store.recovered();
+  uint64_t start_iter = store.iteration();
+  res.start_iteration = start_iter;
+  res.recovery_s = store.last_recovery_seconds();
+  if (store.container() != nullptr) {
+    res.recovery_sync_s =
+        double(store.container()->recovery_sync_ns()) * 1e-9;
+  }
+
+  if (!res.resumed) {
+    store.mark_dirty(pos, uint64_t(3 * natoms) * 8);
+    store.mark_dirty(vel, uint64_t(3 * natoms) * 8);
+    static const double basis[4][3] = {
+        {0.25, 0.25, 0.25}, {0.75, 0.75, 0.25},
+        {0.75, 0.25, 0.75}, {0.25, 0.75, 0.75}};
+    int64_t a = 0;
+    for (int z = 0; z < nu; ++z) {
+      for (int y = 0; y < nu; ++y) {
+        for (int x = 0; x < nu; ++x) {
+          for (int b = 0; b < 4; ++b, ++a) {
+            pos[3 * a + 0] = (x + basis[b][0]) * kLatticeA;
+            pos[3 * a + 1] = (y + basis[b][1]) * kLatticeA;
+            pos[3 * a + 2] = (z + basis[b][2]) * kLatticeA;
+            // Small deterministic velocity perturbation (rank-dependent).
+            vel[3 * a + 0] = 0.1 * std::sin(double(a + rank));
+            vel[3 * a + 1] = 0.1 * std::cos(double(2 * a + rank));
+            vel[3 * a + 2] = 0.1 * std::sin(double(3 * a + rank) * 0.5);
+          }
+        }
+      }
+    }
+  }
+
+  const int ncell = std::max(3, int(box / kCell));
+  const double cell_w = box / ncell;
+  std::vector<double> force(size_t(3 * natoms));
+  std::vector<int> cell_head(size_t(ncell) * ncell * ncell);
+  std::vector<int> cell_next(static_cast<size_t>(natoms));
+  auto cell_of = [&](double x, double y, double z) {
+    auto clampc = [&](double c) {
+      int i = int(c / cell_w);
+      return i < 0 ? 0 : (i >= ncell ? ncell - 1 : i);
+    };
+    return (int64_t(clampc(z)) * ncell + clampc(y)) * ncell + clampc(x);
+  };
+
+  double potential = 0;
+  auto compute_forces = [&] {
+    std::fill(cell_head.begin(), cell_head.end(), -1);
+    for (int64_t a = 0; a < natoms; ++a) {
+      int64_t c = cell_of(pos[3 * a], pos[3 * a + 1], pos[3 * a + 2]);
+      cell_next[size_t(a)] = cell_head[size_t(c)];
+      cell_head[size_t(c)] = int(a);
+    }
+    std::fill(force.begin(), force.end(), 0.0);
+    potential = 0;
+    const double rc2 = kCutoff * kCutoff;
+    for (int cz = 0; cz < ncell; ++cz) {
+      for (int cy = 0; cy < ncell; ++cy) {
+        for (int cx = 0; cx < ncell; ++cx) {
+          int64_t c = (int64_t(cz) * ncell + cy) * ncell + cx;
+          for (int i = cell_head[size_t(c)]; i >= 0;
+               i = cell_next[size_t(i)]) {
+            for (int dz = -1; dz <= 1; ++dz) {
+              int zz = cz + dz;
+              if (zz < 0 || zz >= ncell) continue;
+              for (int dy = -1; dy <= 1; ++dy) {
+                int yy = cy + dy;
+                if (yy < 0 || yy >= ncell) continue;
+                for (int dx = -1; dx <= 1; ++dx) {
+                  int xx = cx + dx;
+                  if (xx < 0 || xx >= ncell) continue;
+                  int64_t nc = (int64_t(zz) * ncell + yy) * ncell + xx;
+                  for (int j = cell_head[size_t(nc)]; j >= 0;
+                       j = cell_next[size_t(j)]) {
+                    if (j <= i) continue;  // each pair once
+                    double rx = pos[3 * i] - pos[3 * j];
+                    double ry = pos[3 * i + 1] - pos[3 * j + 1];
+                    double rz = pos[3 * i + 2] - pos[3 * j + 2];
+                    double r2 = rx * rx + ry * ry + rz * rz;
+                    if (r2 >= rc2 || r2 < 1e-12) continue;
+                    double inv2 = 1.0 / r2;
+                    double inv6 = inv2 * inv2 * inv2;
+                    double lj = 24.0 * inv6 * (2.0 * inv6 - 1.0) * inv2;
+                    force[size_t(3 * i)] += lj * rx;
+                    force[size_t(3 * i + 1)] += lj * ry;
+                    force[size_t(3 * i + 2)] += lj * rz;
+                    force[size_t(3 * j)] -= lj * rx;
+                    force[size_t(3 * j + 1)] -= lj * ry;
+                    force[size_t(3 * j + 2)] -= lj * rz;
+                    potential += 4.0 * inv6 * (inv6 - 1.0);
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  };
+
+  compute_forces();
+  Stopwatch sw;
+  for (uint64_t it = start_iter; it < uint64_t(cfg.iterations); ++it) {
+    // Velocity Verlet: kick, drift (with reflecting walls), re-force, kick.
+    store.mark_dirty(pos, uint64_t(3 * natoms) * 8);
+    store.mark_dirty(vel, uint64_t(3 * natoms) * 8);
+    for (int64_t a = 0; a < 3 * natoms; ++a) {
+      vel[a] += 0.5 * kDt * force[size_t(a)];
+      pos[a] += kDt * vel[a];
+    }
+    for (int64_t a = 0; a < 3 * natoms; ++a) {
+      if (pos[a] < 0) {
+        pos[a] = -pos[a];
+        vel[a] = -vel[a];
+      } else if (pos[a] > box) {
+        pos[a] = 2 * box - pos[a];
+        vel[a] = -vel[a];
+      }
+    }
+    compute_forces();
+    for (int64_t a = 0; a < 3 * natoms; ++a) {
+      vel[a] += 0.5 * kDt * force[size_t(a)];
+    }
+
+    // CoMD reports global energy each step: a cross-rank reduction.
+    if (comm != nullptr) {
+      double ke = 0;
+      for (int64_t a = 0; a < 3 * natoms; ++a) ke += 0.5 * vel[a] * vel[a];
+      (void)comm->allreduce_sum(rank, ke + potential);
+    }
+
+    ++res.iterations_done;
+    if (cfg.ckpt_every > 0 && (it + 1) % uint64_t(cfg.ckpt_every) == 0) {
+      store.set_iteration(it + 1);
+      store.checkpoint();
+    }
+  }
+  res.elapsed_s = sw.elapsed_sec();
+  res.checkpoint_s = store.checkpoint_seconds();
+
+  double ke = 0;
+  for (int64_t a = 0; a < 3 * natoms; ++a) ke += 0.5 * vel[a] * vel[a];
+  res.checksum = ke + potential;
+  res.state_bytes = store.state_bytes();
+  res.checkpoint_bytes = store.checkpoint_bytes();
+  res.storage_bytes = store.storage_bytes();
+  res.dram_bytes = store.dram_bytes();
+  return res;
+}
+
+}  // namespace crpm

@@ -1,0 +1,186 @@
+// HPCCG stand-in: conjugate gradient on a 27-point Poisson-like operator
+// over an nx x ny x nz grid per rank, ranks stacked along z (the original
+// Mantevo HPCCG decomposition). The checkpointed state is the CG vectors
+// x, r, p plus the scalar recurrence (rtrans) and the iteration counter —
+// exactly what a restart needs; the matrix and right-hand side are
+// regenerated deterministically.
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "apps/miniapp.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace crpm {
+
+namespace {
+
+// 27-point stencil: diagonal 26, off-diagonals -1 (HPCCG's generated
+// matrix). Rows at the global domain boundary simply have fewer
+// off-diagonal terms.
+struct Grid {
+  int nx, ny, nz_local, rank, nranks;
+  int64_t nrow() const { return int64_t(nx) * ny * nz_local; }
+  int64_t idx(int x, int y, int z) const {
+    return (int64_t(z) * ny + y) * nx + x;
+  }
+};
+
+// y = A * p. `p` has one halo plane before and after the local planes:
+// p[-1 plane] and p[nz_local plane] hold neighbour data (zero at domain
+// boundary). Index into p is therefore idx(x, y, z + 1).
+void matvec(const Grid& g, const double* p_with_halo, double* out) {
+  const int64_t plane = int64_t(g.nx) * g.ny;
+  for (int z = 0; z < g.nz_local; ++z) {
+    bool zlo_edge = g.rank == 0 && z == 0;
+    bool zhi_edge = g.rank == g.nranks - 1 && z == g.nz_local - 1;
+    for (int y = 0; y < g.ny; ++y) {
+      for (int x = 0; x < g.nx; ++x) {
+        double sum = 26.0 * p_with_halo[(z + 1) * plane + g.idx(x, y, 0)];
+        for (int dz = -1; dz <= 1; ++dz) {
+          if (dz == -1 && zlo_edge) continue;
+          if (dz == 1 && zhi_edge) continue;
+          for (int dy = -1; dy <= 1; ++dy) {
+            int yy = y + dy;
+            if (yy < 0 || yy >= g.ny) continue;
+            for (int dx = -1; dx <= 1; ++dx) {
+              int xx = x + dx;
+              if (xx < 0 || xx >= g.nx) continue;
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              sum -= p_with_halo[(z + 1 + dz) * plane + g.idx(xx, yy, 0)];
+            }
+          }
+        }
+        out[g.idx(x, y, z)] = sum;
+      }
+    }
+  }
+}
+
+double dot_local(const double* a, const double* b, int64_t n) {
+  double s = 0;
+  for (int64_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+double reduce_sum(SimComm* comm, int rank, double v) {
+  return comm != nullptr ? comm->allreduce_sum(rank, v) : v;
+}
+
+}  // namespace
+
+MiniAppResult run_hpccg(const MiniAppConfig& cfg) {
+  Grid g;
+  g.nx = g.ny = cfg.size;
+  g.nz_local = cfg.size;
+  g.rank = cfg.store.rank;
+  g.nranks = cfg.store.comm != nullptr ? cfg.store.comm->nranks() : 1;
+  const int64_t nrow = g.nrow();
+  const int64_t plane = int64_t(g.nx) * g.ny;
+
+  StateStore::Config store_cfg = cfg.store;
+  if (store_cfg.capacity_bytes == 0) {
+    store_cfg.capacity_bytes = uint64_t(nrow) * 8 * 3 * 3 / 2 + (2 << 20);
+  }
+  StateStore store(store_cfg);
+  auto* x = store.array<double>(0, uint64_t(nrow));
+  auto* r = store.array<double>(1, uint64_t(nrow));
+  auto* p = store.array<double>(2, uint64_t(nrow));
+  auto* scalars = store.array<double>(3, 4);  // [rtrans]
+
+  // Transient (regenerated) data: b and the halo'd copy of p.
+  std::vector<double> b(static_cast<size_t>(nrow));
+  std::vector<double> p_halo(static_cast<size_t>(nrow + 2 * plane), 0.0);
+  std::vector<double> Ap(static_cast<size_t>(nrow));
+
+  // b = A * ones: exact solution is x == 1 everywhere.
+  {
+    std::vector<double> ones(static_cast<size_t>(nrow + 2 * plane), 1.0);
+    if (g.rank == 0) std::fill_n(ones.begin(), size_t(plane), 0.0);
+    if (g.rank == g.nranks - 1) {
+      std::fill(ones.end() - plane, ones.end(), 0.0);
+    }
+    matvec(g, ones.data(), b.data());
+  }
+
+  MiniAppResult res;
+  res.resumed = store.recovered();
+  uint64_t start_iter = store.iteration();
+  res.start_iteration = start_iter;
+  res.recovery_s = store.last_recovery_seconds();
+  if (store.container() != nullptr) {
+    res.recovery_sync_s =
+        double(store.container()->recovery_sync_ns()) * 1e-9;
+  }
+
+  if (!res.resumed) {
+    // x = 0, r = p = b, rtrans = <r, r>.
+    store.mark_dirty(x, uint64_t(nrow) * 8);
+    store.mark_dirty(r, uint64_t(nrow) * 8);
+    store.mark_dirty(p, uint64_t(nrow) * 8);
+    store.mark_dirty(scalars, 4 * 8);
+    std::memset(x, 0, size_t(nrow) * 8);
+    std::memcpy(r, b.data(), size_t(nrow) * 8);
+    std::memcpy(p, b.data(), size_t(nrow) * 8);
+    scalars[0] = reduce_sum(cfg.store.comm, g.rank,
+                            dot_local(r, r, nrow));
+  }
+  double rtrans = scalars[0];
+
+  SimComm* comm = cfg.store.comm;
+  Stopwatch sw;
+  for (uint64_t it = start_iter; it < uint64_t(cfg.iterations); ++it) {
+    // Halo exchange of p (shared-memory ranks).
+    std::memcpy(p_halo.data() + plane, p, size_t(nrow) * 8);
+    if (comm != nullptr) {
+      comm->publish(g.rank, p);
+      comm->barrier();
+      if (g.rank > 0) {
+        const auto* lo = static_cast<const double*>(comm->peer(g.rank - 1));
+        std::memcpy(p_halo.data(), lo + (g.nz_local - 1) * plane,
+                    size_t(plane) * 8);
+      }
+      if (g.rank < g.nranks - 1) {
+        const auto* hi = static_cast<const double*>(comm->peer(g.rank + 1));
+        std::memcpy(p_halo.data() + plane + nrow, hi, size_t(plane) * 8);
+      }
+      comm->barrier();
+    }
+
+    matvec(g, p_halo.data(), Ap.data());
+    double pAp =
+        reduce_sum(comm, g.rank, dot_local(p, Ap.data(), nrow));
+    double alpha = rtrans / pAp;
+
+    store.mark_dirty(x, uint64_t(nrow) * 8);
+    store.mark_dirty(r, uint64_t(nrow) * 8);
+    for (int64_t i = 0; i < nrow; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * Ap[i];
+    }
+    double old_rtrans = rtrans;
+    rtrans = reduce_sum(comm, g.rank, dot_local(r, r, nrow));
+    double beta = rtrans / old_rtrans;
+    store.mark_dirty(p, uint64_t(nrow) * 8);
+    for (int64_t i = 0; i < nrow; ++i) p[i] = r[i] + beta * p[i];
+
+    ++res.iterations_done;
+    if (cfg.ckpt_every > 0 && (it + 1) % uint64_t(cfg.ckpt_every) == 0) {
+      store.mark_dirty(scalars, 4 * 8);
+      scalars[0] = rtrans;
+      store.set_iteration(it + 1);
+      store.checkpoint();
+    }
+  }
+  res.elapsed_s = sw.elapsed_sec();
+  res.checkpoint_s = store.checkpoint_seconds();
+  res.checksum = std::sqrt(rtrans);
+  res.state_bytes = store.state_bytes();
+  res.checkpoint_bytes = store.checkpoint_bytes();
+  res.storage_bytes = store.storage_bytes();
+  res.dram_bytes = store.dram_bytes();
+  return res;
+}
+
+}  // namespace crpm

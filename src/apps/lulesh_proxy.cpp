@@ -1,0 +1,185 @@
+// LULESH stand-in: explicit shock-hydrodynamics-shaped proxy.
+//
+// Mirrors LULESH 2.0's data and control shape — a size^3 element domain
+// per rank with (size+1)^3 nodes, nodal position/velocity arrays and
+// element energy/pressure/artificial-viscosity arrays, a Lagrange-leapfrog
+// step that rewrites every array, and a globally reduced time-step — which
+// is what determines its checkpoint behaviour: ~10 large dense arrays all
+// dirty every iteration, checkpointed every five iterations (Section
+// 5.2.2). The physics is a simplified energy-diffusion + node-kick scheme,
+// deterministic and conserving a checksum for restart verification.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "apps/miniapp.h"
+#include "util/stopwatch.h"
+
+namespace crpm {
+
+namespace {
+
+struct Domain {
+  int n;  // elements per edge
+  int64_t nelem() const { return int64_t(n) * n * n; }
+  int64_t nnode() const { return int64_t(n + 1) * (n + 1) * (n + 1); }
+  int64_t eidx(int x, int y, int z) const {
+    return (int64_t(z) * n + y) * n + x;
+  }
+  int64_t nidx(int x, int y, int z) const {
+    return (int64_t(z) * (n + 1) + y) * (n + 1) + x;
+  }
+};
+
+}  // namespace
+
+MiniAppResult run_lulesh_proxy(const MiniAppConfig& cfg) {
+  Domain d{cfg.size};
+  const int64_t ne = d.nelem();
+  const int64_t nn = d.nnode();
+  SimComm* comm = cfg.store.comm;
+  int rank = cfg.store.rank;
+
+  StateStore::Config store_cfg = cfg.store;
+  if (store_cfg.capacity_bytes == 0) {
+    store_cfg.capacity_bytes =
+        (uint64_t(5 * ne) + uint64_t(7 * nn)) * 8 * 3 / 2 + (2 << 20);
+  }
+  StateStore store(store_cfg);
+  // Element-centred state.
+  auto* e = store.array<double>(0, uint64_t(ne));   // energy
+  auto* pr = store.array<double>(1, uint64_t(ne));  // pressure
+  auto* q = store.array<double>(2, uint64_t(ne));   // artificial viscosity
+  auto* v = store.array<double>(3, uint64_t(ne));   // relative volume
+  // Node-centred state.
+  auto* xd = store.array<double>(4, uint64_t(nn));  // velocity components
+  auto* yd = store.array<double>(5, uint64_t(nn));
+  auto* zd = store.array<double>(6, uint64_t(nn));
+  auto* xp = store.array<double>(7, uint64_t(nn));  // displacements
+  auto* yp = store.array<double>(8, uint64_t(nn));
+  auto* zp = store.array<double>(9, uint64_t(nn));
+  auto* scalars = store.array<double>(10, 4);  // [t, dt]
+  // Immutable after initialization (like LULESH's nodal masses and mesh):
+  // part of the checkpoint state but never dirty after epoch 1, so the
+  // differential checkpoints skip them while FTI re-serializes them.
+  auto* elem_mass = store.array<double>(11, uint64_t(ne));
+  auto* nodal_mass = store.array<double>(12, uint64_t(nn));
+
+  MiniAppResult res;
+  res.resumed = store.recovered();
+  uint64_t start_iter = store.iteration();
+  res.start_iteration = start_iter;
+  res.recovery_s = store.last_recovery_seconds();
+  if (store.container() != nullptr) {
+    res.recovery_sync_s =
+        double(store.container()->recovery_sync_ns()) * 1e-9;
+  }
+
+  if (!res.resumed) {
+    // Sedov-like initialization: a point of energy at the rank's corner.
+    store.mark_dirty(e, uint64_t(ne) * 8);
+    store.mark_dirty(v, uint64_t(ne) * 8);
+    store.mark_dirty(scalars, 4 * 8);
+    store.mark_dirty(elem_mass, uint64_t(ne) * 8);
+    store.mark_dirty(nodal_mass, uint64_t(nn) * 8);
+    std::fill_n(v, ne, 1.0);
+    std::fill_n(elem_mass, ne, 1.0);
+    std::fill_n(nodal_mass, nn, 0.125);
+    e[d.eidx(0, 0, 0)] = 3.948746e+7 / double(1 + rank);
+    scalars[0] = 0.0;      // t
+    scalars[1] = 1.0e-7;   // dt
+  }
+
+  const int64_t eplane = int64_t(d.n) * d.n;
+  std::vector<double> enew(static_cast<size_t>(ne));
+
+  Stopwatch sw;
+  for (uint64_t it = start_iter; it < uint64_t(cfg.iterations); ++it) {
+    double dt = scalars[1];
+
+    // 1. Element update: energy diffusion + EOS (pressure from energy).
+    store.mark_dirty(e, uint64_t(ne) * 8);
+    store.mark_dirty(pr, uint64_t(ne) * 8);
+    store.mark_dirty(q, uint64_t(ne) * 8);
+    store.mark_dirty(v, uint64_t(ne) * 8);
+    double max_e = 0;
+    for (int z = 0; z < d.n; ++z) {
+      for (int y = 0; y < d.n; ++y) {
+        for (int x = 0; x < d.n; ++x) {
+          int64_t i = d.eidx(x, y, z);
+          double lap = -6.0 * e[i];
+          lap += e[x > 0 ? i - 1 : i] + e[x < d.n - 1 ? i + 1 : i];
+          lap += e[y > 0 ? i - d.n : i] + e[y < d.n - 1 ? i + d.n : i];
+          lap += e[z > 0 ? i - eplane : i] + e[z < d.n - 1 ? i + eplane : i];
+          enew[size_t(i)] = e[i] + 0.1 * lap + dt * q[i];
+          max_e = std::max(max_e, std::abs(enew[size_t(i)]));
+        }
+      }
+    }
+    for (int64_t i = 0; i < ne; ++i) {
+      e[i] = enew[size_t(i)];
+      pr[i] = (2.0 / 3.0) * e[i] * v[i];
+      q[i] = 0.25 * std::abs(pr[i]) * dt;
+      v[i] = std::clamp(v[i] + 1e-9 * pr[i] * dt, 0.1, 10.0);
+    }
+
+    // 2. Nodal kick: velocities from pressure gradients of the eight
+    // surrounding elements (simplified to the element below the node),
+    // positions from velocities.
+    store.mark_dirty(xd, uint64_t(nn) * 8);
+    store.mark_dirty(yd, uint64_t(nn) * 8);
+    store.mark_dirty(zd, uint64_t(nn) * 8);
+    store.mark_dirty(xp, uint64_t(nn) * 8);
+    store.mark_dirty(yp, uint64_t(nn) * 8);
+    store.mark_dirty(zp, uint64_t(nn) * 8);
+    for (int z = 0; z < d.n; ++z) {
+      for (int y = 0; y < d.n; ++y) {
+        for (int x = 0; x < d.n; ++x) {
+          int64_t eid = d.eidx(x, y, z);
+          int64_t nid = d.nidx(x, y, z);
+          double f = pr[eid] * 1e-10 / nodal_mass[nid] * 0.125;
+          xd[nid] += f * dt;
+          yd[nid] += 0.5 * f * dt;
+          zd[nid] += 0.25 * f * dt;
+          xp[nid] += xd[nid] * dt;
+          yp[nid] += yd[nid] * dt;
+          zp[nid] += zd[nid] * dt;
+        }
+      }
+    }
+
+    // 3. Courant-like global time-step control (the LULESH allreduce).
+    double local_dt = 1.0e-7 / (1.0 + 1e-9 * max_e);
+    double new_dt = local_dt;
+    if (comm != nullptr) {
+      // min-reduce via the u64 helper: monotone transform on positives.
+      uint64_t bits;
+      std::memcpy(&bits, &local_dt, 8);
+      uint64_t min_bits = comm->allreduce_min(rank, bits);
+      std::memcpy(&new_dt, &min_bits, 8);
+    }
+    store.mark_dirty(scalars, 4 * 8);
+    scalars[0] += dt;
+    scalars[1] = std::min(new_dt, dt * 1.1);
+
+    ++res.iterations_done;
+    if (cfg.ckpt_every > 0 && (it + 1) % uint64_t(cfg.ckpt_every) == 0) {
+      store.set_iteration(it + 1);
+      store.checkpoint();
+    }
+  }
+  res.elapsed_s = sw.elapsed_sec();
+  res.checkpoint_s = store.checkpoint_seconds();
+
+  double sum = 0;
+  for (int64_t i = 0; i < ne; ++i) sum += e[i] * (1 + (i % 7));
+  res.checksum = sum;
+  res.state_bytes = store.state_bytes();
+  res.checkpoint_bytes = store.checkpoint_bytes();
+  res.storage_bytes = store.storage_bytes();
+  res.dram_bytes = store.dram_bytes();
+  return res;
+}
+
+}  // namespace crpm

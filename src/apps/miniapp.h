@@ -1,0 +1,55 @@
+// Shared configuration/result types for the parallel-computing mini-apps
+// (Section 5.2.2: LULESH, HPCCG, CoMD stand-ins).
+//
+// Each app allocates its state through a StateStore, runs `iterations`
+// compute steps, checkpoints every `ckpt_every` iterations (the paper uses
+// five), and transparently resumes from the recovered iteration after a
+// restart.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/state_store.h"
+
+namespace crpm {
+
+struct MiniAppConfig {
+  int size = 24;        // problem dimension per rank (LULESH "90^3" knob)
+  int iterations = 60;  // total iterations of the run
+  int ckpt_every = 5;   // checkpoint period in iterations (0 = never)
+  // store.capacity_bytes == 0 lets the app size its container to the
+  // actual program state (recommended: recovery time and storage cost then
+  // reflect the state, not the provisioning).
+  StateStore::Config store;
+};
+
+struct MiniAppResult {
+  uint64_t iterations_done = 0;   // iterations executed by THIS run
+  bool resumed = false;           // recovered from a checkpoint
+  uint64_t start_iteration = 0;   // first iteration of this run
+  double elapsed_s = 0;           // wall time of the compute+checkpoint loop
+  double checkpoint_s = 0;        // time inside checkpoints
+  double recovery_s = 0;          // time restoring state at startup
+  double recovery_sync_s = 0;     // ... region-sync portion (crpm only)
+  double checksum = 0;            // physics invariant for verification
+  uint64_t state_bytes = 0;       // live program state (Section 5.6)
+  uint64_t checkpoint_bytes = 0;  // total data written by checkpoints
+  uint64_t storage_bytes = 0;     // NVM/file footprint
+  uint64_t dram_bytes = 0;        // DRAM buffers + bitmaps (crpm)
+};
+
+// Conjugate-gradient solver on a 27-point Poisson operator (HPCCG).
+// Multi-rank: z-slab decomposition with halo exchange and dot-product
+// reductions through the store's SimComm.
+MiniAppResult run_hpccg(const MiniAppConfig& cfg);
+
+// Explicit shock-hydrodynamics-shaped stencil proxy (LULESH): nodal
+// position/velocity arrays plus element energy/pressure arrays updated
+// each step, with a global dt reduction.
+MiniAppResult run_lulesh_proxy(const MiniAppConfig& cfg);
+
+// Lennard-Jones molecular dynamics with cell lists (CoMD): fcc lattice,
+// velocity-Verlet integration; positions and velocities are the state.
+MiniAppResult run_comd_proxy(const MiniAppConfig& cfg);
+
+}  // namespace crpm

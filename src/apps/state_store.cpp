@@ -1,0 +1,184 @@
+#include "apps/state_store.h"
+
+#include <cstring>
+
+#include "comm/coordinated.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace crpm {
+
+namespace {
+constexpr uint32_t kIterationRoot = kNumRoots - 1;  // crpm root slot
+constexpr int kIterationFtiId = 1 << 20;            // FTI buffer id
+}  // namespace
+
+const char* backend_name(CkptBackend b) {
+  switch (b) {
+    case CkptBackend::kNone: return "no-checkpoint";
+    case CkptBackend::kFti: return "FTI";
+    case CkptBackend::kCrpmBuffered: return "libcrpm-Buffered";
+  }
+  return "?";
+}
+
+StateStore::StateStore(const Config& cfg) : cfg_(cfg) {
+  switch (cfg_.backend) {
+    case CkptBackend::kNone:
+      break;
+    case CkptBackend::kFti: {
+      fti_ = std::make_unique<FtiLike>(cfg_.dir, cfg_.rank);
+      if (cfg_.cost_model.enabled) {
+        // FTI's checkpoint files live on the same (emulated) NVM.
+        fti_->set_write_cost_ns_per_line(cfg_.cost_model.nt_store_ns_per_line);
+      }
+      // The iteration counter is protected like any other state buffer.
+      plain_arrays_.push_back(std::make_unique<uint8_t[]>(8));
+      std::memset(plain_arrays_.back().get(), 0, 8);
+      fti_->protect(kIterationFtiId, plain_arrays_.back().get(), 8);
+      fti_recover_pending_ = true;
+      break;
+    }
+    case CkptBackend::kCrpmBuffered: {
+      CrpmOptions opt;
+      opt.buffered = true;
+      opt.main_region_size = cfg_.capacity_bytes;
+      std::string path =
+          cfg_.dir + "/crpm-rank" + std::to_string(cfg_.rank) + ".ctr";
+      auto dev = std::make_unique<FileNvmDevice>(
+          path, Container::required_device_size(opt));
+      dev->set_cost_model(cfg_.cost_model);
+      Stopwatch sw;
+      if (cfg_.comm != nullptr) {
+        // Keep the device alive alongside the container.
+        NvmDevice* raw = dev.get();
+        owned_dev_ = std::move(dev);
+        auto opened = coordinated_open(*cfg_.comm, cfg_.rank, raw, opt);
+        ctr_ = std::move(opened.container);
+      } else {
+        ctr_ = Container::open(std::move(dev), opt);
+      }
+      recovery_seconds_ = sw.elapsed_sec();
+      heap_ = std::make_unique<Heap>(*ctr_);
+      recovered_ = !ctr_->was_fresh();
+      if (recovered_) {
+        uint64_t off = ctr_->get_root(kIterationRoot);
+        CRPM_CHECK(off != 0, "recovered container missing iteration root");
+        iteration_ = *static_cast<uint64_t*>(ctr_->from_offset(off));
+      } else {
+        auto* it = static_cast<uint64_t*>(heap_->allocate(sizeof(uint64_t)));
+        ctr_->annotate(it, sizeof(uint64_t));
+        *it = 0;
+        ctr_->set_root(kIterationRoot, ctr_->to_offset(it));
+      }
+      break;
+    }
+  }
+}
+
+StateStore::~StateStore() = default;
+
+void* StateStore::raw_array(uint32_t slot, uint64_t bytes) {
+  if (cfg_.backend == CkptBackend::kCrpmBuffered) {
+    CRPM_CHECK(slot < kIterationRoot, "slot %u reserved", slot);
+    void* p;
+    if (recovered_) {
+      uint64_t off = ctr_->get_root(slot);
+      CRPM_CHECK(off != 0, "recovered container missing array slot %u",
+                 slot);
+      p = ctr_->from_offset(off);
+    } else {
+      p = heap_->allocate(bytes);
+      ctr_->annotate(p, bytes);
+      std::memset(p, 0, bytes);
+      ctr_->set_root(slot, ctr_->to_offset(p));
+    }
+    registered_.emplace_back(p, bytes);
+    return p;
+  }
+  plain_arrays_.push_back(std::make_unique<uint8_t[]>(bytes));
+  void* p = plain_arrays_.back().get();
+  std::memset(p, 0, bytes);
+  registered_.emplace_back(p, bytes);
+  if (cfg_.backend == CkptBackend::kFti) {
+    fti_->protect(static_cast<int>(slot), p, bytes);
+  }
+  return p;
+}
+
+void StateStore::finalize_recovery_probe() {
+  if (!fti_recover_pending_) return;
+  fti_recover_pending_ = false;
+  Stopwatch sw;
+  if (fti_->recover()) {
+    recovered_ = true;
+    std::memcpy(&iteration_, plain_arrays_.front().get(), 8);
+  }
+  recovery_seconds_ = sw.elapsed_sec();
+}
+
+void StateStore::mark_dirty(const void* p, uint64_t bytes) {
+  if (cfg_.backend == CkptBackend::kCrpmBuffered) {
+    ctr_->annotate(p, bytes);
+  }
+}
+
+void StateStore::checkpoint() {
+  Stopwatch sw;
+  switch (cfg_.backend) {
+    case CkptBackend::kNone:
+      return;
+    case CkptBackend::kFti: {
+      finalize_recovery_probe();
+      std::memcpy(plain_arrays_.front().get(), &iteration_, 8);
+      fti_->checkpoint();
+      if (cfg_.comm != nullptr) cfg_.comm->barrier();
+      break;
+    }
+    case CkptBackend::kCrpmBuffered: {
+      uint64_t off = ctr_->get_root(kIterationRoot);
+      auto* it = static_cast<uint64_t*>(ctr_->from_offset(off));
+      ctr_->annotate(it, sizeof(uint64_t));
+      *it = iteration_;
+      if (cfg_.comm != nullptr) {
+        coordinated_checkpoint(*cfg_.comm, *ctr_);
+      } else {
+        ctr_->checkpoint();
+      }
+      break;
+    }
+  }
+  ckpt_seconds_ += sw.elapsed_sec();
+  ++ckpts_;
+}
+
+uint64_t StateStore::state_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [p, n] : registered_) total += n;
+  return total;
+}
+
+uint64_t StateStore::storage_bytes() const {
+  switch (cfg_.backend) {
+    case CkptBackend::kNone: return 0;
+    case CkptBackend::kFti: return fti_->checkpoint_state_bytes();
+    case CkptBackend::kCrpmBuffered: return ctr_->nvm_bytes();
+  }
+  return 0;
+}
+
+uint64_t StateStore::dram_bytes() const {
+  return cfg_.backend == CkptBackend::kCrpmBuffered ? ctr_->dram_bytes() : 0;
+}
+
+uint64_t StateStore::checkpoint_bytes() const {
+  switch (cfg_.backend) {
+    case CkptBackend::kNone: return 0;
+    case CkptBackend::kFti: return fti_->bytes_written();
+    case CkptBackend::kCrpmBuffered:
+      return ctr_->stats().snapshot().checkpoint_bytes;
+  }
+  return 0;
+}
+
+}  // namespace crpm

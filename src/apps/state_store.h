@@ -1,0 +1,118 @@
+// StateStore: pluggable program-state management for the mini-apps.
+//
+// The paper ports LULESH / HPCCG / CoMD to checkpoint-recovery "by
+// replacing memory allocation functions and adding checkpoint logic"
+// (Section 5.2.2). StateStore is that porting layer: an application
+// allocates its state arrays through it, marks the arrays it rewrites each
+// iteration, and calls checkpoint() every N iterations. Three backends:
+//
+//   kNone          plain DRAM arrays, no persistence (the 1.0 baseline of
+//                  Figure 8)
+//   kFti           plain DRAM arrays protected by the FTI-like library
+//                  (full serialized checkpoints to files)
+//   kCrpmBuffered  arrays in a libcrpm buffered container (DRAM working
+//                  state, differential NVM checkpoints)
+//
+// Multi-rank apps pass a SimComm; checkpoints are then coordinated
+// (Section 3.6) and recovery agrees on the global minimum epoch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/fti.h"
+#include "comm/sim_comm.h"
+#include "core/container.h"
+#include "core/heap.h"
+
+namespace crpm {
+
+enum class CkptBackend { kNone, kFti, kCrpmBuffered };
+
+const char* backend_name(CkptBackend b);
+
+class StateStore {
+ public:
+  struct Config {
+    CkptBackend backend = CkptBackend::kNone;
+    std::string dir;          // checkpoint files / containers live here
+    int rank = 0;
+    SimComm* comm = nullptr;  // null for single-rank apps
+    uint64_t capacity_bytes = 64 << 20;  // crpm container sizing (0 = let
+                                         // the caller compute from state)
+    CostModel cost_model = CostModel::disabled();
+  };
+
+  explicit StateStore(const Config& cfg);
+  ~StateStore();
+
+  // Allocates (or re-attaches, after recovery) array `slot` of `count`
+  // elements. Slots must be allocated in the same order and size across
+  // restarts. T must be trivially copyable.
+  template <typename T>
+  T* array(uint32_t slot, uint64_t count) {
+    return static_cast<T*>(raw_array(slot, count * sizeof(T)));
+  }
+
+  // True if this run restored state from a previous checkpoint. Call only
+  // after ALL arrays have been allocated: for the FTI backend this is the
+  // point where the protect list is complete and recovery actually loads
+  // the buffers (FTI's contract).
+  bool recovered() {
+    finalize_recovery_probe();
+    return recovered_;
+  }
+
+  // The recovered iteration counter (0 on fresh runs); the app stores its
+  // progress here before each checkpoint. Like recovered(), valid after
+  // all arrays are allocated.
+  uint64_t iteration() {
+    finalize_recovery_probe();
+    return iteration_;
+  }
+  void set_iteration(uint64_t it) { iteration_ = it; }
+
+  // Declares [p, p + bytes) modified since the last checkpoint. Required
+  // for kCrpmBuffered (it drives the dirty-block bitmap); no-op otherwise.
+  void mark_dirty(const void* p, uint64_t bytes);
+
+  // Persists all state (collective across ranks when a SimComm is set).
+  void checkpoint();
+
+  // --- accounting (Figure 8 / Sections 5.5-5.6) -------------------------
+  double checkpoint_seconds() const { return ckpt_seconds_; }
+  uint64_t checkpoints_taken() const { return ckpts_; }
+  uint64_t state_bytes() const;      // live program state
+  uint64_t storage_bytes() const;    // NVM/file footprint
+  uint64_t dram_bytes() const;       // extra DRAM (buffers, bitmaps)
+  uint64_t checkpoint_bytes() const; // data written across all checkpoints
+  double last_recovery_seconds() const { return recovery_seconds_; }
+
+  Container* container() { return ctr_.get(); }
+
+ private:
+  void* raw_array(uint32_t slot, uint64_t bytes);
+  void finalize_recovery_probe();
+
+  Config cfg_;
+  bool recovered_ = false;
+  uint64_t iteration_ = 0;
+  double ckpt_seconds_ = 0;
+  double recovery_seconds_ = 0;
+  uint64_t ckpts_ = 0;
+
+  // kNone / kFti
+  std::vector<std::unique_ptr<uint8_t[]>> plain_arrays_;
+  std::vector<std::pair<void*, uint64_t>> registered_;
+  std::unique_ptr<FtiLike> fti_;
+  bool fti_recover_pending_ = false;
+
+  // kCrpmBuffered
+  std::unique_ptr<NvmDevice> owned_dev_;  // when coordinated_open is used
+  std::unique_ptr<Container> ctr_;
+  std::unique_ptr<Heap> heap_;
+};
+
+}  // namespace crpm

@@ -1,0 +1,78 @@
+// Page-granularity incremental checkpointing baseline (Section 2.2.1;
+// Section 5.1 systems "Mprotect" and "Soft-dirty bit").
+//
+// The working state lives in an NVM data area and is traced at page
+// granularity by the OS (mprotect faults or soft-dirty PTEs). At each
+// checkpoint the dirty pages are journaled (redo log with full-page
+// payloads), committed with a single persisted counter, applied to a shadow
+// copy of the data area, and the journal is truncated. Recovery replays a
+// committed journal and restores the data area from the shadow.
+//
+// This reproduces the two costs the paper measures for these systems: page
+// faults / pagemap scans for tracing, and whole-page write amplification
+// (problem P1) — one modified cache line costs 2 x 4 KB of media writes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/policy.h"
+#include "baselines/region_heap.h"
+#include "baselines/undolog.h"  // BaselineStats
+#include "nvm/device.h"
+#include "trace/page_tracer.h"
+
+namespace crpm {
+
+enum class PageTracerKind { kMprotect, kSoftDirty };
+
+class PageCkptPolicy {
+ public:
+  static uint64_t required_device_size(uint64_t data_size);
+
+  PageCkptPolicy(NvmDevice* dev, uint64_t data_size, PageTracerKind kind);
+  PageCkptPolicy(std::unique_ptr<NvmDevice> dev, uint64_t data_size,
+                 PageTracerKind kind);
+  ~PageCkptPolicy();
+
+  void* allocate(size_t n) { return heap_->allocate(n); }
+  void deallocate(void* p, size_t n) { heap_->deallocate(p, n); }
+  void on_write(const void*, size_t) {}  // tracing is OS-driven
+  void checkpoint();
+  void set_root(uint32_t slot, uint64_t off);
+  uint64_t get_root(uint32_t slot);
+  uint64_t to_offset(const void* p) {
+    return static_cast<uint64_t>(static_cast<const uint8_t*>(p) - data_);
+  }
+  void* from_offset(uint64_t off) { return data_ + off; }
+  bool fresh() const { return fresh_; }
+
+  NvmDevice* device() { return dev_; }
+  const BaselineStats& bstats() const { return stats_; }
+  PageTracer* tracer() { return tracer_.get(); }
+
+ private:
+  struct PageHeader;
+
+  PageHeader* header() const;
+  void init(uint64_t data_size, PageTracerKind kind);
+  void recover();
+
+  std::unique_ptr<NvmDevice> owned_;
+  NvmDevice* dev_ = nullptr;
+  uint64_t* journal_index_ = nullptr;  // page index per journal slot
+  uint8_t* journal_pages_ = nullptr;   // 4 KB payload per slot
+  uint8_t* shadow_ = nullptr;          // last checkpoint image
+  uint8_t* data_ = nullptr;            // working state (traced)
+  uint64_t data_size_ = 0;
+  uint64_t journal_capacity_ = 0;  // slots
+  std::unique_ptr<RegionAllocator> heap_;
+  std::unique_ptr<PageTracer> tracer_;
+  std::vector<uint64_t> scratch_pages_;
+  BaselineStats stats_;
+  bool fresh_ = false;
+};
+
+static_assert(PersistencePolicy<PageCkptPolicy>);
+
+}  // namespace crpm

@@ -1,0 +1,41 @@
+// Persistence-policy concept.
+//
+// Every checkpoint-recovery system the paper compares (Section 5.1) is
+// expressed as a policy with the same five responsibilities, so a single
+// persistent data-structure implementation (src/containers) runs unmodified
+// under every system — mirroring how the paper reuses one instrumented STL
+// container across libraries:
+//
+//   allocate/deallocate  program-state allocation
+//   on_write(addr, len)  called BEFORE each store (the instrumentation hook;
+//                        page-fault-based systems ignore it)
+//   checkpoint()         epoch boundary: make the current state durable
+//   set_root/get_root    named offsets surviving restart
+//   to_offset/from_offset  position-independent references
+//
+// Policies: CrpmPolicy (libcrpm-Default/-Buffered), NvmNpPolicy (no
+// persistence), UndoLogPolicy, LmcPolicy, PageCkptPolicy (mprotect /
+// soft-dirty incremental checkpointing).
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+
+namespace crpm {
+
+template <typename P>
+concept PersistencePolicy = requires(P p, const void* ca, void* a, size_t n,
+                                     uint32_t slot, uint64_t off) {
+  { p.allocate(n) } -> std::same_as<void*>;
+  { p.deallocate(a, n) };
+  { p.on_write(ca, n) };
+  { p.checkpoint() };
+  { p.set_root(slot, off) };
+  { p.get_root(slot) } -> std::convertible_to<uint64_t>;
+  { p.to_offset(ca) } -> std::convertible_to<uint64_t>;
+  { p.from_offset(off) } -> std::same_as<void*>;
+  { p.fresh() } -> std::convertible_to<bool>;
+};
+
+}  // namespace crpm

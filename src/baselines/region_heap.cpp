@@ -1,0 +1,112 @@
+#include "baselines/region_heap.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace crpm {
+
+namespace {
+constexpr uint64_t kRegionHeapMagic = 0x7265676865617031ull;  // "regheap1"
+constexpr uint64_t kSmallStep = 16;
+constexpr uint64_t kSmallMax = 256;
+constexpr uint64_t kLargeMin = 512;
+}  // namespace
+
+struct RegionAllocator::Header {
+  uint64_t magic;
+  uint64_t capacity;
+  uint64_t bump;
+  uint64_t allocated;
+  uint64_t free_heads[kNumClasses];
+};
+
+RegionAllocator::Header* RegionAllocator::header() const {
+  return reinterpret_cast<Header*>(base_);
+}
+
+RegionAllocator::RegionAllocator(uint8_t* base, uint64_t size,
+                                 RegionWriteHook hook, void* hook_ctx)
+    : base_(base), size_(size), hook_(hook), ctx_(hook_ctx) {
+  CRPM_CHECK(size_ > sizeof(Header) + 64, "region too small: %llu",
+             (unsigned long long)size_);
+}
+
+void RegionAllocator::format() {
+  Header* h = header();
+  hook(h, sizeof(Header));
+  std::memset(h, 0, sizeof(Header));
+  h->magic = kRegionHeapMagic;
+  h->capacity = size_;
+  h->bump = (sizeof(Header) + 63) & ~uint64_t{63};
+  h->allocated = 0;
+}
+
+void RegionAllocator::attach() {
+  Header* h = header();
+  CRPM_CHECK(h->magic == kRegionHeapMagic, "region heap magic mismatch");
+  CRPM_CHECK(h->capacity == size_, "region heap capacity mismatch");
+}
+
+uint32_t RegionAllocator::class_of(size_t size, size_t* rounded) {
+  if (size == 0) size = 1;
+  if (size <= kSmallMax) {
+    size_t r = (size + kSmallStep - 1) / kSmallStep * kSmallStep;
+    *rounded = r;
+    return static_cast<uint32_t>(r / kSmallStep - 1);
+  }
+  uint64_t r = kLargeMin;
+  uint32_t c = 16;
+  while (r < size) {
+    r <<= 1;
+    ++c;
+    CRPM_CHECK(c < kNumClasses, "allocation of %zu bytes exceeds heap limit",
+               size);
+  }
+  *rounded = r;
+  return c;
+}
+
+void* RegionAllocator::allocate(size_t size) {
+  size_t rounded = 0;
+  uint32_t c = class_of(size, &rounded);
+  Header* h = header();
+  uint64_t off = h->free_heads[c];
+  if (off != 0) {
+    uint64_t* obj = reinterpret_cast<uint64_t*>(base_ + off);
+    uint64_t next = *obj;
+    hook(&h->free_heads[c], sizeof(uint64_t));
+    h->free_heads[c] = next;
+  } else {
+    CRPM_CHECK(h->bump + rounded <= h->capacity,
+               "baseline region out of memory (capacity=%llu)",
+               (unsigned long long)h->capacity);
+    off = h->bump;
+    hook(&h->bump, sizeof(uint64_t));
+    h->bump += rounded;
+  }
+  hook(&h->allocated, sizeof(uint64_t));
+  h->allocated += rounded;
+  return base_ + off;
+}
+
+void RegionAllocator::deallocate(void* p, size_t size) {
+  if (p == nullptr) return;
+  size_t rounded = 0;
+  uint32_t c = class_of(size, &rounded);
+  Header* h = header();
+  uint64_t off = to_offset(p);
+  CRPM_CHECK(off >= sizeof(Header) && off + rounded <= h->capacity,
+             "deallocate of foreign pointer");
+  auto* obj = static_cast<uint64_t*>(p);
+  hook(obj, sizeof(uint64_t));
+  *obj = h->free_heads[c];
+  hook(&h->free_heads[c], sizeof(uint64_t));
+  h->free_heads[c] = off;
+  hook(&h->allocated, sizeof(uint64_t));
+  h->allocated -= rounded;
+}
+
+uint64_t RegionAllocator::bytes_in_use() const { return header()->allocated; }
+
+}  // namespace crpm

@@ -1,0 +1,55 @@
+// Hooked region allocator shared by the baseline systems.
+//
+// Same structure as crpm::Heap (bump pointer + segregated free lists, all
+// bookkeeping inside the managed region so each system's own checkpoint
+// mechanism covers it), but generic over a write hook: before every
+// bookkeeping store it invokes hook(ctx, addr, len), which each policy
+// routes to its own tracing (undo logging, LMC records, nothing for
+// page-fault systems).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace crpm {
+
+using RegionWriteHook = void (*)(void* ctx, const void* addr, size_t len);
+
+class RegionAllocator {
+ public:
+  // Manages [base, base + size). `hook` may be null (no tracing).
+  RegionAllocator(uint8_t* base, uint64_t size, RegionWriteHook hook,
+                  void* hook_ctx);
+
+  // (Re)initializes the bookkeeping. Call once on fresh regions.
+  void format();
+  // Validates recovered bookkeeping on reopened regions.
+  void attach();
+
+  void* allocate(size_t size);
+  void deallocate(void* p, size_t size);
+
+  uint64_t to_offset(const void* p) const {
+    return static_cast<uint64_t>(static_cast<const uint8_t*>(p) - base_);
+  }
+  void* from_offset(uint64_t off) const { return base_ + off; }
+
+  uint64_t bytes_in_use() const;
+
+  static constexpr uint32_t kNumClasses = 16 + 27;
+
+ private:
+  struct Header;
+  Header* header() const;
+  static uint32_t class_of(size_t size, size_t* rounded);
+  void hook(const void* addr, size_t len) {
+    if (hook_ != nullptr) hook_(ctx_, addr, len);
+  }
+
+  uint8_t* base_;
+  uint64_t size_;
+  RegionWriteHook hook_;
+  void* ctx_;
+};
+
+}  // namespace crpm

@@ -1,0 +1,79 @@
+// Undo-log baseline (Sections 2.2.2 and 5.1, system 2).
+//
+// Instrumentation-based in-memory checkpointing (Zhao et al. CC'12) made
+// persistent: before the first modification of each 256 B block in an
+// epoch, the pre-image is appended to an NVM undo log and persisted
+// immediately — one fence for the entry, one for the log head, exactly the
+// per-entry cost the paper identifies as problem P2. At the end of an epoch
+// the current state is flushed and the log truncated; after a crash the
+// logged pre-images roll the data area back to the last checkpoint.
+#pragma once
+
+#include <memory>
+
+#include "baselines/policy.h"
+#include "baselines/region_heap.h"
+#include "nvm/device.h"
+#include "util/bitmap.h"
+
+namespace crpm {
+
+struct BaselineStats {
+  uint64_t trace_bytes = 0;       // bytes written while tracing (log/records)
+  uint64_t checkpoint_bytes = 0;  // bytes persisted at checkpoints
+  uint64_t epochs = 0;
+  uint64_t entries = 0;           // undo entries / CoW records appended
+  uint64_t trace_ns = 0;          // time spent tracing (Figure 1 breakdown)
+};
+
+class UndoLogPolicy {
+ public:
+  static constexpr uint64_t kBlockSize = 256;  // undo-entry payload (paper)
+
+  // Device space needed for `data_size` bytes of program state; the log is
+  // sized at half the data area (CHECKed at runtime against overflow).
+  static uint64_t required_device_size(uint64_t data_size);
+
+  explicit UndoLogPolicy(NvmDevice* dev, uint64_t data_size);
+  UndoLogPolicy(std::unique_ptr<NvmDevice> dev, uint64_t data_size);
+
+  void* allocate(size_t n) { return heap_->allocate(n); }
+  void deallocate(void* p, size_t n) { heap_->deallocate(p, n); }
+  void on_write(const void* addr, size_t len);
+  void checkpoint();
+  void set_root(uint32_t slot, uint64_t off);
+  uint64_t get_root(uint32_t slot);
+  uint64_t to_offset(const void* p) {
+    return static_cast<uint64_t>(static_cast<const uint8_t*>(p) - data_);
+  }
+  void* from_offset(uint64_t off) { return data_ + off; }
+  bool fresh() const { return fresh_; }
+
+  NvmDevice* device() { return dev_; }
+  const BaselineStats& bstats() const { return stats_; }
+
+ private:
+  struct UndoHeader;
+  struct Entry;
+  static constexpr uint64_t kEntryStride = 64 + kBlockSize;
+
+  UndoHeader* header() const;
+  void init(uint64_t data_size);
+  void recover();
+  void log_block(uint64_t block);
+
+  std::unique_ptr<NvmDevice> owned_;
+  NvmDevice* dev_ = nullptr;
+  uint8_t* log_ = nullptr;
+  uint8_t* data_ = nullptr;
+  uint64_t data_size_ = 0;
+  uint64_t log_capacity_ = 0;
+  std::unique_ptr<RegionAllocator> heap_;
+  AtomicBitmap epoch_blocks_;  // blocks already logged this epoch
+  BaselineStats stats_;
+  bool fresh_ = false;
+};
+
+static_assert(PersistencePolicy<UndoLogPolicy>);
+
+}  // namespace crpm

@@ -1,0 +1,35 @@
+#include "comm/coordinated.h"
+
+#include "util/logging.h"
+
+namespace crpm {
+
+void coordinated_checkpoint(SimComm& comm, Container& ctr) {
+  CRPM_CHECK(ctr.retains_previous_epoch(),
+             "coordinated checkpoints need one epoch of retained history: "
+             "use buffered mode or set eager_cow_segments = 0");
+  ctr.checkpoint();
+  comm.barrier();
+}
+
+CoordinatedOpen coordinated_open(SimComm& comm, int rank, NvmDevice* dev,
+                                 const CrpmOptions& opt) {
+  uint64_t mine = Container::peek_committed_epoch(dev);
+  // A fresh (unformatted) container participates as epoch 0.
+  uint64_t vote = mine == Container::kLatestEpoch ? 0 : mine;
+  uint64_t emin = comm.allreduce_min(rank, vote);
+  CRPM_CHECK(vote <= emin + 1,
+             "rank %d committed epoch %llu but global minimum is %llu — "
+             "containers were not checkpointed coordinately",
+             rank, (unsigned long long)vote, (unsigned long long)emin);
+  CoordinatedOpen result;
+  uint64_t target = (mine == Container::kLatestEpoch || vote == emin)
+                        ? Container::kLatestEpoch
+                        : emin;
+  result.container = Container::open(dev, opt, target);
+  result.epoch = emin;
+  comm.barrier();
+  return result;
+}
+
+}  // namespace crpm

@@ -1,0 +1,39 @@
+// Coordinated checkpoint-recovery across ranks (Section 3.6).
+//
+// Checkpoint: each rank commits its own container's epoch, then all ranks
+// synchronize — after the barrier every container durably holds checkpoint
+// states of epochs e and e-1 (the double-buffered seg_state arrays plus the
+// two regions retain exactly one epoch of history).
+//
+// Recovery: ranks may have crashed with committed epochs differing by at
+// most one. Each rank peeks its committed epoch WITHOUT recovering (running
+// recovery first would refresh backups and destroy the retained history),
+// all ranks agree on the minimum, then every rank opens its container at
+// the agreed epoch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "comm/sim_comm.h"
+#include "core/container.h"
+
+namespace crpm {
+
+// The crpm_mpi_checkpoint() of Figure 3. The container must retain the
+// previous epoch across its commit (buffered mode, or default mode with
+// eager copy-on-write disabled) — otherwise a rank that crashes between
+// its commit and the barrier could not roll back to the global minimum.
+void coordinated_checkpoint(SimComm& comm, Container& ctr);
+
+struct CoordinatedOpen {
+  std::unique_ptr<Container> container;
+  uint64_t epoch = 0;  // the globally agreed recovered epoch
+};
+
+// Opens this rank's container on `dev`, recovering the globally minimal
+// committed epoch across all ranks. Collective: every rank must call it.
+CoordinatedOpen coordinated_open(SimComm& comm, int rank, NvmDevice* dev,
+                                 const CrpmOptions& opt);
+
+}  // namespace crpm

@@ -1,0 +1,90 @@
+// SimComm: MPI-like coordination for ranks-as-threads (substitute for real
+// MPI, which Section 3.6 uses for coordinated checkpoints).
+//
+// Provides exactly what the paper's protocol needs — barrier and min/sum
+// reductions — plus a rank-pointer registry the mini-apps use for halo
+// exchange through shared memory. One SimComm instance is shared by all
+// rank threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/sync.h"
+
+namespace crpm {
+
+class SimComm {
+ public:
+  explicit SimComm(int nranks)
+      : nranks_(nranks), barrier_(static_cast<size_t>(nranks)),
+        scratch_u64_(static_cast<size_t>(nranks)),
+        scratch_f64_(static_cast<size_t>(nranks)),
+        rank_ptrs_(static_cast<size_t>(nranks), nullptr) {}
+
+  int nranks() const { return nranks_; }
+
+  void barrier() { barrier_.arrive_and_wait(); }
+
+  uint64_t allreduce_min(int rank, uint64_t v) {
+    return allreduce_u64(rank, v, [](uint64_t a, uint64_t b) {
+      return a < b ? a : b;
+    });
+  }
+  uint64_t allreduce_max(int rank, uint64_t v) {
+    return allreduce_u64(rank, v, [](uint64_t a, uint64_t b) {
+      return a > b ? a : b;
+    });
+  }
+  uint64_t allreduce_sum(int rank, uint64_t v) {
+    return allreduce_u64(rank, v, [](uint64_t a, uint64_t b) {
+      return a + b;
+    });
+  }
+  double allreduce_sum(int rank, double v) {
+    scratch_f64_[static_cast<size_t>(rank)] = v;
+    barrier();
+    double acc = 0;
+    for (double x : scratch_f64_) acc += x;
+    barrier();
+    return acc;
+  }
+
+  // Publishes a per-rank pointer (e.g. this rank's state arrays) readable
+  // by other ranks after the next barrier.
+  void publish(int rank, void* p) {
+    rank_ptrs_[static_cast<size_t>(rank)] = p;
+  }
+  void* peer(int rank) const { return rank_ptrs_[static_cast<size_t>(rank)]; }
+
+  // Convenience: runs fn(rank) on nranks threads and joins them.
+  void run(const std::function<void(int)>& fn) {
+    std::vector<std::thread> ts;
+    ts.reserve(static_cast<size_t>(nranks_));
+    for (int r = 0; r < nranks_; ++r) ts.emplace_back(fn, r);
+    for (auto& t : ts) t.join();
+  }
+
+ private:
+  template <typename Combine>
+  uint64_t allreduce_u64(int rank, uint64_t v, Combine&& combine) {
+    scratch_u64_[static_cast<size_t>(rank)] = v;
+    barrier();
+    uint64_t acc = scratch_u64_[0];
+    for (int r = 1; r < nranks_; ++r) {
+      acc = combine(acc, scratch_u64_[static_cast<size_t>(r)]);
+    }
+    barrier();  // nobody reuses scratch before everyone has read it
+    return acc;
+  }
+
+  int nranks_;
+  SpinBarrier barrier_;
+  std::vector<uint64_t> scratch_u64_;
+  std::vector<double> scratch_f64_;
+  std::vector<void*> rank_ptrs_;
+};
+
+}  // namespace crpm

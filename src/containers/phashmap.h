@@ -1,0 +1,178 @@
+// Persistent chained hash map (the paper's unordered_map, Section 5.2.1).
+//
+// One implementation, parameterized by persistence policy: the same
+// container code runs under libcrpm, undo-log, LMC, page-granularity
+// checkpointing and NVM-NP, so benchmark differences come from the
+// checkpoint-recovery system alone. Every mutation is preceded by
+// p.on_write(addr, len) — the store-instrumentation the paper's compiler
+// pass would insert. All references are policy offsets (0 = null), so
+// recovered containers work at any mapping address.
+//
+// The bucket array is sized at construction (the paper sets the load
+// factor to avoid resizing); nodes come from the policy allocator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "baselines/policy.h"
+#include "util/logging.h"
+
+namespace crpm {
+
+// 64-bit finalizer (splitmix64); default hash for integral keys.
+struct Mix64Hash {
+  uint64_t operator()(uint64_t x) const {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+};
+
+template <typename K, typename V, PersistencePolicy P,
+          typename Hash = Mix64Hash>
+class PHashMap {
+  struct Node {
+    uint64_t next;
+    K key;
+    V value;
+  };
+  struct Meta {
+    uint64_t buckets_off;
+    uint64_t bucket_count;
+    uint64_t size;
+  };
+
+ public:
+  // Attaches to the map rooted at `root_slot`, creating it (with
+  // `bucket_count` buckets) if the policy is fresh or the slot is empty.
+  PHashMap(P& p, uint64_t bucket_count, uint32_t root_slot = 0) : p_(p) {
+    uint64_t meta_off = p_.fresh() ? 0 : p_.get_root(root_slot);
+    if (meta_off == 0) {
+      CRPM_CHECK(bucket_count > 0, "bucket_count must be positive");
+      auto* meta = static_cast<Meta*>(p_.allocate(sizeof(Meta)));
+      auto* buckets =
+          static_cast<uint64_t*>(p_.allocate(bucket_count * 8));
+      p_.on_write(buckets, bucket_count * 8);
+      for (uint64_t i = 0; i < bucket_count; ++i) buckets[i] = 0;
+      p_.on_write(meta, sizeof(Meta));
+      meta->buckets_off = p_.to_offset(buckets);
+      meta->bucket_count = bucket_count;
+      meta->size = 0;
+      p_.set_root(root_slot, p_.to_offset(meta));
+      meta_ = meta;
+    } else {
+      meta_ = static_cast<Meta*>(p_.from_offset(meta_off));
+    }
+  }
+
+  // Inserts (key, value); returns false (no modification) if key exists.
+  bool insert(const K& key, const V& value) {
+    uint64_t* slot = bucket_for(key);
+    for (uint64_t off = *slot; off != 0;) {
+      Node* n = node_at(off);
+      if (n->key == key) return false;
+      off = n->next;
+    }
+    auto* n = static_cast<Node*>(p_.allocate(sizeof(Node)));
+    p_.on_write(n, sizeof(Node));
+    n->key = key;
+    n->value = value;
+    n->next = *slot;
+    p_.on_write(slot, 8);
+    *slot = p_.to_offset(n);
+    bump_size(+1);
+    return true;
+  }
+
+  // Updates an existing key; returns false if absent.
+  bool update(const K& key, const V& value) {
+    Node* n = find_node(key);
+    if (n == nullptr) return false;
+    p_.on_write(&n->value, sizeof(V));
+    n->value = value;
+    return true;
+  }
+
+  // Insert-or-assign.
+  void put(const K& key, const V& value) {
+    if (!update(key, value)) CRPM_CHECK(insert(key, value), "put raced");
+  }
+
+  bool find(const K& key, V* out) const {
+    const Node* n = const_cast<PHashMap*>(this)->find_node(key);
+    if (n == nullptr) return false;
+    if (out != nullptr) *out = n->value;
+    return true;
+  }
+
+  bool contains(const K& key) const { return find(key, nullptr); }
+
+  bool erase(const K& key) {
+    uint64_t* slot = bucket_for(key);
+    uint64_t off = *slot;
+    uint64_t* link = slot;
+    while (off != 0) {
+      Node* n = node_at(off);
+      if (n->key == key) {
+        p_.on_write(link, 8);
+        *link = n->next;
+        p_.deallocate(n, sizeof(Node));
+        bump_size(-1);
+        return true;
+      }
+      link = &n->next;
+      off = n->next;
+    }
+    return false;
+  }
+
+  uint64_t size() const { return meta_->size; }
+  uint64_t bucket_count() const { return meta_->bucket_count; }
+
+  // Invokes fn(key, value) for every element (unspecified order).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    auto* buckets =
+        static_cast<uint64_t*>(p_.from_offset(meta_->buckets_off));
+    for (uint64_t b = 0; b < meta_->bucket_count; ++b) {
+      for (uint64_t off = buckets[b]; off != 0;) {
+        Node* n = node_at(off);
+        fn(n->key, n->value);
+        off = n->next;
+      }
+    }
+  }
+
+ private:
+  Node* node_at(uint64_t off) const {
+    return static_cast<Node*>(p_.from_offset(off));
+  }
+
+  uint64_t* bucket_for(const K& key) const {
+    auto* buckets =
+        static_cast<uint64_t*>(p_.from_offset(meta_->buckets_off));
+    return &buckets[Hash{}(key) % meta_->bucket_count];
+  }
+
+  Node* find_node(const K& key) {
+    for (uint64_t off = *bucket_for(key); off != 0;) {
+      Node* n = node_at(off);
+      if (n->key == key) return n;
+      off = n->next;
+    }
+    return nullptr;
+  }
+
+  void bump_size(int64_t d) {
+    p_.on_write(&meta_->size, 8);
+    meta_->size = static_cast<uint64_t>(
+        static_cast<int64_t>(meta_->size) + d);
+  }
+
+  P& p_;
+  Meta* meta_;
+};
+
+}  // namespace crpm

@@ -1,0 +1,455 @@
+// Persistent ordered map: a red-black tree (the paper's map, Section
+// 5.2.1), parameterized by persistence policy like PHashMap.
+//
+// CLRS-style red-black tree with an explicit persistent nil sentinel node
+// (offset 0 cannot be used as nil because fix-up procedures read and write
+// nil's parent). All links are policy offsets; every field store is
+// preceded by the instrumentation hook.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/policy.h"
+#include "util/logging.h"
+
+namespace crpm {
+
+template <typename K, typename V, PersistencePolicy P>
+class PMap {
+  enum Color : uint64_t { kRed = 0, kBlack = 1 };
+
+  struct Node {
+    uint64_t parent;
+    uint64_t left;
+    uint64_t right;
+    uint64_t color;
+    K key;
+    V value;
+  };
+
+  struct Meta {
+    uint64_t root;
+    uint64_t nil;
+    uint64_t size;
+  };
+
+ public:
+  PMap(P& p, uint32_t root_slot = 0) : p_(p) {
+    uint64_t meta_off = p_.fresh() ? 0 : p_.get_root(root_slot);
+    if (meta_off == 0) {
+      auto* meta = static_cast<Meta*>(p_.allocate(sizeof(Meta)));
+      auto* nil = static_cast<Node*>(p_.allocate(sizeof(Node)));
+      p_.on_write(nil, sizeof(Node));
+      nil->parent = nil->left = nil->right = p_.to_offset(nil);
+      nil->color = kBlack;
+      p_.on_write(meta, sizeof(Meta));
+      meta->nil = p_.to_offset(nil);
+      meta->root = meta->nil;
+      meta->size = 0;
+      p_.set_root(root_slot, p_.to_offset(meta));
+      meta_ = meta;
+    } else {
+      meta_ = static_cast<Meta*>(p_.from_offset(meta_off));
+    }
+    nil_ = meta_->nil;
+  }
+
+  bool insert(const K& key, const V& value) {
+    uint64_t y = nil_;
+    uint64_t x = meta_->root;
+    while (x != nil_) {
+      y = x;
+      Node* nx = N(x);
+      if (key < nx->key) {
+        x = nx->left;
+      } else if (nx->key < key) {
+        x = nx->right;
+      } else {
+        return false;  // duplicate
+      }
+    }
+    auto* nz = static_cast<Node*>(p_.allocate(sizeof(Node)));
+    uint64_t z = p_.to_offset(nz);
+    p_.on_write(nz, sizeof(Node));
+    nz->key = key;
+    nz->value = value;
+    nz->parent = y;
+    nz->left = nil_;
+    nz->right = nil_;
+    nz->color = kRed;
+    if (y == nil_) {
+      set_root(z);
+    } else if (key < N(y)->key) {
+      set_field(&N(y)->left, z);
+    } else {
+      set_field(&N(y)->right, z);
+    }
+    insert_fixup(z);
+    bump_size(+1);
+    return true;
+  }
+
+  bool update(const K& key, const V& value) {
+    uint64_t x = lookup(key);
+    if (x == nil_) return false;
+    Node* n = N(x);
+    p_.on_write(&n->value, sizeof(V));
+    n->value = value;
+    return true;
+  }
+
+  void put(const K& key, const V& value) {
+    if (!update(key, value)) CRPM_CHECK(insert(key, value), "put raced");
+  }
+
+  bool find(const K& key, V* out) const {
+    uint64_t x = const_cast<PMap*>(this)->lookup(key);
+    if (x == nil_) return false;
+    if (out != nullptr) *out = const_cast<PMap*>(this)->N(x)->value;
+    return true;
+  }
+
+  bool contains(const K& key) const { return find(key, nullptr); }
+
+  bool erase(const K& key) {
+    uint64_t z = lookup(key);
+    if (z == nil_) return false;
+    erase_node(z);
+    p_.deallocate(N(z), sizeof(Node));
+    bump_size(-1);
+    return true;
+  }
+
+  uint64_t size() const { return meta_->size; }
+
+  // In-order traversal: fn(key, value).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    walk(meta_->root, fn);
+  }
+
+  // Smallest key >= `key`; returns false if none.
+  bool lower_bound(const K& key, K* out_key, V* out_value = nullptr) const {
+    uint64_t best = nil_;
+    uint64_t x = meta_->root;
+    auto* self = const_cast<PMap*>(this);
+    while (x != nil_) {
+      Node* nx = self->N(x);
+      if (nx->key < key) {
+        x = nx->right;
+      } else {
+        best = x;
+        x = nx->left;
+      }
+    }
+    if (best == nil_) return false;
+    Node* nb = self->N(best);
+    if (out_key != nullptr) *out_key = nb->key;
+    if (out_value != nullptr) *out_value = nb->value;
+    return true;
+  }
+
+  bool min_key(K* out_key, V* out_value = nullptr) const {
+    if (meta_->root == nil_) return false;
+    auto* self = const_cast<PMap*>(this);
+    Node* n = self->N(self->minimum(meta_->root));
+    if (out_key != nullptr) *out_key = n->key;
+    if (out_value != nullptr) *out_value = n->value;
+    return true;
+  }
+
+  bool max_key(K* out_key, V* out_value = nullptr) const {
+    if (meta_->root == nil_) return false;
+    auto* self = const_cast<PMap*>(this);
+    uint64_t x = meta_->root;
+    while (self->N(x)->right != nil_) x = self->N(x)->right;
+    Node* n = self->N(x);
+    if (out_key != nullptr) *out_key = n->key;
+    if (out_value != nullptr) *out_value = n->value;
+    return true;
+  }
+
+  // In-order traversal of keys in [lo, hi): fn(key, value). The classic
+  // range scan an ordered persistent map exists for.
+  template <typename Fn>
+  void for_each_range(const K& lo, const K& hi, Fn&& fn) const {
+    walk_range(meta_->root, lo, hi, fn);
+  }
+
+  // Validates red-black invariants; returns black-height or aborts.
+  int check_invariants() const {
+    const Node* nil = const_cast<PMap*>(this)->N(nil_);
+    CRPM_CHECK(nil->color == kBlack, "nil must be black");
+    if (meta_->root != nil_) {
+      CRPM_CHECK(const_cast<PMap*>(this)->N(meta_->root)->color == kBlack,
+                 "root must be black");
+    }
+    return check_subtree(meta_->root);
+  }
+
+ private:
+  Node* N(uint64_t off) const {
+    return static_cast<Node*>(p_.from_offset(off));
+  }
+
+  void set_field(uint64_t* f, uint64_t v) {
+    p_.on_write(f, 8);
+    *f = v;
+  }
+
+  void set_color(uint64_t x, uint64_t c) {
+    Node* n = N(x);
+    p_.on_write(&n->color, 8);
+    n->color = c;
+  }
+
+  void set_root(uint64_t x) { set_field(&meta_->root, x); }
+
+  void bump_size(int64_t d) {
+    p_.on_write(&meta_->size, 8);
+    meta_->size =
+        static_cast<uint64_t>(static_cast<int64_t>(meta_->size) + d);
+  }
+
+  uint64_t lookup(const K& key) {
+    uint64_t x = meta_->root;
+    while (x != nil_) {
+      Node* nx = N(x);
+      if (key < nx->key) {
+        x = nx->left;
+      } else if (nx->key < key) {
+        x = nx->right;
+      } else {
+        break;
+      }
+    }
+    return x;
+  }
+
+  uint64_t minimum(uint64_t x) {
+    while (N(x)->left != nil_) x = N(x)->left;
+    return x;
+  }
+
+  void left_rotate(uint64_t x) {
+    uint64_t y = N(x)->right;
+    set_field(&N(x)->right, N(y)->left);
+    if (N(y)->left != nil_) set_field(&N(N(y)->left)->parent, x);
+    set_field(&N(y)->parent, N(x)->parent);
+    if (N(x)->parent == nil_) {
+      set_root(y);
+    } else if (x == N(N(x)->parent)->left) {
+      set_field(&N(N(x)->parent)->left, y);
+    } else {
+      set_field(&N(N(x)->parent)->right, y);
+    }
+    set_field(&N(y)->left, x);
+    set_field(&N(x)->parent, y);
+  }
+
+  void right_rotate(uint64_t x) {
+    uint64_t y = N(x)->left;
+    set_field(&N(x)->left, N(y)->right);
+    if (N(y)->right != nil_) set_field(&N(N(y)->right)->parent, x);
+    set_field(&N(y)->parent, N(x)->parent);
+    if (N(x)->parent == nil_) {
+      set_root(y);
+    } else if (x == N(N(x)->parent)->right) {
+      set_field(&N(N(x)->parent)->right, y);
+    } else {
+      set_field(&N(N(x)->parent)->left, y);
+    }
+    set_field(&N(y)->right, x);
+    set_field(&N(x)->parent, y);
+  }
+
+  void insert_fixup(uint64_t z) {
+    while (N(N(z)->parent)->color == kRed) {
+      uint64_t zp = N(z)->parent;
+      uint64_t zpp = N(zp)->parent;
+      if (zp == N(zpp)->left) {
+        uint64_t y = N(zpp)->right;
+        if (N(y)->color == kRed) {
+          set_color(zp, kBlack);
+          set_color(y, kBlack);
+          set_color(zpp, kRed);
+          z = zpp;
+        } else {
+          if (z == N(zp)->right) {
+            z = zp;
+            left_rotate(z);
+            zp = N(z)->parent;
+            zpp = N(zp)->parent;
+          }
+          set_color(zp, kBlack);
+          set_color(zpp, kRed);
+          right_rotate(zpp);
+        }
+      } else {
+        uint64_t y = N(zpp)->left;
+        if (N(y)->color == kRed) {
+          set_color(zp, kBlack);
+          set_color(y, kBlack);
+          set_color(zpp, kRed);
+          z = zpp;
+        } else {
+          if (z == N(zp)->left) {
+            z = zp;
+            right_rotate(z);
+            zp = N(z)->parent;
+            zpp = N(zp)->parent;
+          }
+          set_color(zp, kBlack);
+          set_color(zpp, kRed);
+          left_rotate(zpp);
+        }
+      }
+    }
+    if (N(meta_->root)->color != kBlack) set_color(meta_->root, kBlack);
+  }
+
+  void transplant(uint64_t u, uint64_t v) {
+    uint64_t up = N(u)->parent;
+    if (up == nil_) {
+      set_root(v);
+    } else if (u == N(up)->left) {
+      set_field(&N(up)->left, v);
+    } else {
+      set_field(&N(up)->right, v);
+    }
+    set_field(&N(v)->parent, up);
+  }
+
+  void erase_node(uint64_t z) {
+    uint64_t y = z;
+    uint64_t y_orig_color = N(y)->color;
+    uint64_t x;
+    if (N(z)->left == nil_) {
+      x = N(z)->right;
+      transplant(z, N(z)->right);
+    } else if (N(z)->right == nil_) {
+      x = N(z)->left;
+      transplant(z, N(z)->left);
+    } else {
+      y = minimum(N(z)->right);
+      y_orig_color = N(y)->color;
+      x = N(y)->right;
+      if (N(y)->parent == z) {
+        set_field(&N(x)->parent, y);
+      } else {
+        transplant(y, N(y)->right);
+        set_field(&N(y)->right, N(z)->right);
+        set_field(&N(N(y)->right)->parent, y);
+      }
+      transplant(z, y);
+      set_field(&N(y)->left, N(z)->left);
+      set_field(&N(N(y)->left)->parent, y);
+      set_color(y, N(z)->color);
+    }
+    if (y_orig_color == kBlack) erase_fixup(x);
+  }
+
+  void erase_fixup(uint64_t x) {
+    while (x != meta_->root && N(x)->color == kBlack) {
+      uint64_t xp = N(x)->parent;
+      if (x == N(xp)->left) {
+        uint64_t w = N(xp)->right;
+        if (N(w)->color == kRed) {
+          set_color(w, kBlack);
+          set_color(xp, kRed);
+          left_rotate(xp);
+          w = N(xp)->right;
+        }
+        if (N(N(w)->left)->color == kBlack &&
+            N(N(w)->right)->color == kBlack) {
+          set_color(w, kRed);
+          x = xp;
+        } else {
+          if (N(N(w)->right)->color == kBlack) {
+            set_color(N(w)->left == nil_ ? nil_ : N(w)->left, kBlack);
+            set_color(w, kRed);
+            right_rotate(w);
+            w = N(xp)->right;
+          }
+          set_color(w, N(xp)->color);
+          set_color(xp, kBlack);
+          set_color(N(w)->right, kBlack);
+          left_rotate(xp);
+          x = meta_->root;
+        }
+      } else {
+        uint64_t w = N(xp)->left;
+        if (N(w)->color == kRed) {
+          set_color(w, kBlack);
+          set_color(xp, kRed);
+          right_rotate(xp);
+          w = N(xp)->left;
+        }
+        if (N(N(w)->right)->color == kBlack &&
+            N(N(w)->left)->color == kBlack) {
+          set_color(w, kRed);
+          x = xp;
+        } else {
+          if (N(N(w)->left)->color == kBlack) {
+            set_color(N(w)->right == nil_ ? nil_ : N(w)->right, kBlack);
+            set_color(w, kRed);
+            left_rotate(w);
+            w = N(xp)->left;
+          }
+          set_color(w, N(xp)->color);
+          set_color(xp, kBlack);
+          set_color(N(w)->left, kBlack);
+          right_rotate(xp);
+          x = meta_->root;
+        }
+      }
+    }
+    if (N(x)->color != kBlack) set_color(x, kBlack);
+  }
+
+  template <typename Fn>
+  void walk(uint64_t x, Fn&& fn) const {
+    if (x == nil_) return;
+    const Node* n = N(x);
+    walk(n->left, fn);
+    fn(n->key, n->value);
+    walk(n->right, fn);
+  }
+
+  template <typename Fn>
+  void walk_range(uint64_t x, const K& lo, const K& hi, Fn&& fn) const {
+    if (x == nil_) return;
+    const Node* n = N(x);
+    // Prune subtrees entirely outside [lo, hi).
+    if (!(n->key < lo)) walk_range(n->left, lo, hi, fn);
+    if (!(n->key < lo) && n->key < hi) fn(n->key, n->value);
+    if (n->key < hi) walk_range(n->right, lo, hi, fn);
+  }
+
+  int check_subtree(uint64_t x) const {
+    if (x == nil_) return 1;
+    const Node* n = N(x);
+    if (n->color == kRed) {
+      CRPM_CHECK(N(n->left)->color == kBlack && N(n->right)->color == kBlack,
+                 "red node with red child");
+    }
+    if (n->left != nil_) {
+      CRPM_CHECK(N(n->left)->key < n->key, "left child ordering violated");
+      CRPM_CHECK(N(n->left)->parent == x, "left parent link broken");
+    }
+    if (n->right != nil_) {
+      CRPM_CHECK(n->key < N(n->right)->key, "right child ordering violated");
+      CRPM_CHECK(N(n->right)->parent == x, "right parent link broken");
+    }
+    int lh = check_subtree(n->left);
+    int rh = check_subtree(n->right);
+    CRPM_CHECK(lh == rh, "black-height mismatch");
+    return lh + (n->color == kBlack ? 1 : 0);
+  }
+
+  P& p_;
+  Meta* meta_;
+  uint64_t nil_;
+};
+
+}  // namespace crpm

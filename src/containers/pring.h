@@ -1,0 +1,95 @@
+// Persistent bounded FIFO ring buffer.
+//
+// A recoverable work queue / log buffer: fixed capacity reserved at
+// creation, trivially-copyable elements, head/tail cursors in persistent
+// state. Like all the policy-templated containers it is epoch-consistent —
+// pushes and pops become durable at the next checkpoint and roll back
+// together with the rest of the container on a crash, so producer and
+// consumer positions can never tear apart.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "baselines/policy.h"
+#include "util/logging.h"
+
+namespace crpm {
+
+template <typename T, PersistencePolicy P>
+class PRing {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+  struct Meta {
+    uint64_t data_off;
+    uint64_t capacity;
+    uint64_t head;  // next slot to pop
+    uint64_t tail;  // next slot to push
+  };
+
+ public:
+  PRing(P& p, uint64_t capacity, uint32_t root_slot) : p_(p) {
+    uint64_t meta_off = p_.fresh() ? 0 : p_.get_root(root_slot);
+    if (meta_off == 0) {
+      CRPM_CHECK(capacity > 0, "ring capacity must be positive");
+      auto* meta = static_cast<Meta*>(p_.allocate(sizeof(Meta)));
+      void* data = p_.allocate(capacity * sizeof(T));
+      p_.on_write(meta, sizeof(Meta));
+      meta->data_off = p_.to_offset(data);
+      meta->capacity = capacity;
+      meta->head = 0;
+      meta->tail = 0;
+      p_.set_root(root_slot, p_.to_offset(meta));
+      meta_ = meta;
+    } else {
+      meta_ = static_cast<Meta*>(p_.from_offset(meta_off));
+    }
+  }
+
+  uint64_t size() const { return meta_->tail - meta_->head; }
+  uint64_t capacity() const { return meta_->capacity; }
+  bool empty() const { return size() == 0; }
+  bool full() const { return size() == meta_->capacity; }
+
+  // Returns false when full.
+  bool push(const T& v) {
+    if (full()) return false;
+    T* slot = slot_at(meta_->tail);
+    p_.on_write(slot, sizeof(T));
+    *slot = v;
+    p_.on_write(&meta_->tail, 8);
+    meta_->tail += 1;
+    return true;
+  }
+
+  // Returns false when empty.
+  bool pop(T* out) {
+    if (empty()) return false;
+    if (out != nullptr) *out = *slot_at(meta_->head);
+    p_.on_write(&meta_->head, 8);
+    meta_->head += 1;
+    return true;
+  }
+
+  const T& front() const {
+    CRPM_CHECK(!empty(), "front() on empty ring");
+    return *slot_at(meta_->head);
+  }
+
+  // Iterates from oldest to newest: fn(element).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (uint64_t i = meta_->head; i != meta_->tail; ++i) fn(*slot_at(i));
+  }
+
+ private:
+  T* slot_at(uint64_t logical) const {
+    auto* data = static_cast<T*>(p_.from_offset(meta_->data_off));
+    return &data[logical % meta_->capacity];
+  }
+
+  P& p_;
+  Meta* meta_;
+};
+
+}  // namespace crpm

@@ -1,0 +1,612 @@
+#include "core/container.h"
+
+#include <cstring>
+#include <mutex>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace crpm {
+
+// ---------------------------------------------------------------------------
+// Container (shared machinery)
+// ---------------------------------------------------------------------------
+
+Container::Container(NvmDevice* dev, std::unique_ptr<NvmDevice> owned,
+                     const CrpmOptions& opt, uint64_t target_epoch)
+    : dev_(dev), owned_dev_(std::move(owned)), opt_(opt.validated()),
+      geo_(opt_), layout_(dev_, geo_), target_epoch_(target_epoch) {
+  CRPM_CHECK(dev_->size() >= geo_.device_size(),
+             "device too small: have %zu need %llu", dev_->size(),
+             (unsigned long long)geo_.device_size());
+  tracker_ = std::make_unique<DirtyTracker>(geo_);
+  barrier_ = std::make_unique<SpinBarrier>(opt_.thread_count);
+  main_to_backup_.assign(geo_.nr_main_segs(), kNoPair);
+}
+
+uint64_t Container::required_device_size(const CrpmOptions& opt) {
+  return Geometry(opt.validated()).device_size();
+}
+
+void Container::open_or_format() {
+  MetaHeader* h = layout_.header();
+  if (h->magic != kMetaMagic || h->initialized == 0) {
+    layout_.format(opt_);
+    fresh_ = true;
+  } else {
+    layout_.check_header(opt_);
+    fresh_ = false;
+    // Epoch selection (Section 3.6) must precede region sync: the backup
+    // refresh below overwrites the retained previous-epoch data.
+    if (target_epoch_ != kLatestEpoch &&
+        target_epoch_ != h->committed_epoch) {
+      CRPM_CHECK(target_epoch_ + 1 == h->committed_epoch,
+                 "cannot recover epoch %llu: container holds %llu and one "
+                 "epoch of history at most",
+                 (unsigned long long)target_epoch_,
+                 (unsigned long long)h->committed_epoch);
+      CRPM_CHECK(retains_previous_epoch(),
+                 "previous epoch not retained: use buffered mode or set "
+                 "eager_cow_segments = 0 for coordinated checkpoints");
+      h->committed_epoch -= 1;
+      dev_->persist(&h->committed_epoch, sizeof(uint64_t));
+    }
+    Stopwatch sw;
+    region_sync();
+    recovery_sync_ns_ = sw.elapsed_ns();
+  }
+  rebuild_backup_index();
+  // Load the committed root array into the working copy.
+  const uint64_t* committed_roots = layout_.roots(active_index());
+  std::copy(committed_roots, committed_roots + kNumRoots,
+            roots_work_.begin());
+  roots_dirty_ = false;
+}
+
+uint64_t Container::peek_committed_epoch(NvmDevice* dev) {
+  if (dev->size() < sizeof(MetaHeader)) return kLatestEpoch;
+  const auto* h = reinterpret_cast<const MetaHeader*>(dev->base());
+  if (h->magic != kMetaMagic || h->initialized == 0) return kLatestEpoch;
+  return h->committed_epoch;
+}
+
+void Container::rebuild_backup_index() {
+  main_to_backup_.assign(geo_.nr_main_segs(), kNoPair);
+  free_backups_.clear();
+  const uint32_t* b2m = layout_.backup_to_main();
+  for (uint64_t b = 0; b < geo_.nr_backup_segs(); ++b) {
+    uint32_t m = b2m[b];
+    if (m == kNoPair) {
+      free_backups_.push_back(static_cast<uint32_t>(b));
+      continue;
+    }
+    CRPM_CHECK(m < geo_.nr_main_segs(), "corrupt pairing: backup %llu -> %u",
+               (unsigned long long)b, m);
+    CRPM_CHECK(main_to_backup_[m] == kNoPair,
+               "duplicate pairing for main segment %u", m);
+    main_to_backup_[m] = static_cast<uint32_t>(b);
+  }
+  steal_cursor_ = 0;
+}
+
+void Container::region_sync() {
+  // Figure 6, crpm_recovery. Full-segment copies: the DRAM dirty bitmap did
+  // not survive the crash, so the block-level diff is unknown.
+  const uint32_t* b2m = layout_.backup_to_main();
+  const uint8_t* state = layout_.seg_state(active_index());
+  uint64_t copies = 0;
+
+  // SS_Initial segments hold no committed program state — their logical
+  // checkpoint content is the zeroed initial image. A crash during the
+  // first epoch that touched such a segment can leave torn uncommitted
+  // stores on media (recovery's pairing loop below never visits them), so
+  // restore the zeros explicitly. memcmp first: almost all of these
+  // segments are still pristine.
+  for (uint64_t m = 0; m < geo_.nr_main_segs(); ++m) {
+    if (state[m] != kSegInitial) continue;
+    uint8_t* seg = layout_.main_segment(m);
+    uint64_t sz = geo_.segment_size();
+    bool pristine = seg[0] == 0 && std::memcmp(seg, seg + 1, sz - 1) == 0;
+    if (!pristine) {
+      std::memset(seg, 0, sz);
+      dev_->flush(seg, sz);
+      ++copies;
+    }
+  }
+  for (uint64_t b = 0; b < geo_.nr_backup_segs(); ++b) {
+    uint32_t m = b2m[b];
+    if (m == kNoPair) continue;
+    switch (state[m]) {
+      case kSegMain:
+        // Main holds the checkpoint; refresh the paired backup so that the
+        // block-level differential invariant (backup == main-at-checkpoint)
+        // holds again.
+        dev_->nt_copy(layout_.backup_segment(b), layout_.main_segment(m),
+                      geo_.segment_size());
+        ++copies;
+        break;
+      case kSegBackup:
+        // Backup holds the checkpoint; restore the working state.
+        dev_->nt_copy(layout_.main_segment(m), layout_.backup_segment(b),
+                      geo_.segment_size());
+        ++copies;
+        break;
+      case kSegInitial: {
+        // The pairing was persisted during an epoch that never committed
+        // (its segment still holds no checkpoint state), so the backup
+        // segment contains garbage. Drop the pairing: keeping it would
+        // make a later differential copy treat the garbage as a valid
+        // base image.
+        uint32_t* slot = layout_.backup_to_main() + b;
+        *slot = kNoPair;
+        dev_->flush(slot, sizeof(uint32_t));
+        ++copies;
+        break;
+      }
+      default:
+        CRPM_CHECK(false, "corrupt segment state %u for segment %u",
+                   state[m], m);
+    }
+  }
+  if (copies != 0) dev_->fence();
+}
+
+uint32_t Container::alloc_backup(uint64_t main_seg) {
+  std::lock_guard<SpinLock> lk(alloc_lock_);
+  uint32_t b = kNoPair;
+  if (!free_backups_.empty()) {
+    b = free_backups_.back();
+    free_backups_.pop_back();
+  } else {
+    // Recycle: "a backup segment can be allocated if it is not used for
+    // saving the checkpoint state" (Section 3.3) — i.e. its paired main
+    // segment's state is SS_Main.
+    uint32_t* b2m = layout_.backup_to_main();
+    const uint8_t* state = layout_.seg_state(active_index());
+    uint64_t n = geo_.nr_backup_segs();
+    for (uint64_t probe = 0; probe < n; ++probe) {
+      uint32_t cand = static_cast<uint32_t>((steal_cursor_ + probe) % n);
+      uint32_t victim = b2m[cand];
+      if (victim == kNoPair || victim == main_seg) continue;
+      if (state[victim] != kSegMain) continue;  // backup saves a checkpoint
+      SpinLock& vlock = tracker_->segment_lock(victim);
+      if (!vlock.try_lock()) continue;  // victim mid-CoW; skip
+      // Re-check under the victim's lock.
+      if (state[victim] == kSegMain && b2m[cand] == victim) {
+        main_to_backup_[victim] = kNoPair;
+        b = cand;
+        steal_cursor_ = (cand + 1) % n;
+        stats_.add_backup_steal();
+        vlock.unlock();
+        break;
+      }
+      vlock.unlock();
+    }
+    CRPM_CHECK(b != kNoPair,
+               "backup region exhausted: more than %llu segments dirty in "
+               "one epoch; increase backup_ratio",
+               (unsigned long long)geo_.nr_backup_segs());
+  }
+  uint32_t* b2m = layout_.backup_to_main();
+  b2m[b] = static_cast<uint32_t>(main_seg);
+  dev_->flush(&b2m[b], sizeof(uint32_t));  // fenced by the caller's fence
+  main_to_backup_[main_seg] = b;
+  return b;
+}
+
+void Container::set_root(uint32_t slot, uint64_t off) {
+  CRPM_CHECK(slot < kNumRoots, "root slot %u out of range", slot);
+  roots_work_[slot] = off;
+  roots_dirty_ = true;
+}
+
+uint64_t Container::get_root(uint32_t slot) const {
+  CRPM_CHECK(slot < kNumRoots, "root slot %u out of range", slot);
+  return roots_work_[slot];
+}
+
+void Container::stage_roots_for_commit() {
+  // Always carry the working roots into the inactive array (it is two
+  // epochs stale), exactly like the seg_state copy-forward.
+  uint64_t* dst = layout_.roots(1 - active_index());
+  std::copy(roots_work_.begin(), roots_work_.end(), dst);
+  dev_->flush(dst, 8 * kNumRoots);
+}
+
+uint64_t Container::dram_bytes() const { return tracker_->bitmap_bytes(); }
+
+
+std::unique_ptr<Container> Container::open(NvmDevice* dev,
+                                           const CrpmOptions& opt,
+                                           uint64_t target_epoch) {
+  if (opt.buffered) {
+    return std::make_unique<BufferedContainer>(dev, nullptr, opt,
+                                               target_epoch);
+  }
+  return std::make_unique<DefaultContainer>(dev, nullptr, opt, target_epoch);
+}
+
+std::unique_ptr<Container> Container::open(std::unique_ptr<NvmDevice> dev,
+                                           const CrpmOptions& opt,
+                                           uint64_t target_epoch) {
+  NvmDevice* raw = dev.get();
+  if (opt.buffered) {
+    return std::make_unique<BufferedContainer>(raw, std::move(dev), opt,
+                                               target_epoch);
+  }
+  return std::make_unique<DefaultContainer>(raw, std::move(dev), opt,
+                                            target_epoch);
+}
+
+std::unique_ptr<Container> Container::open_file(const std::string& path,
+                                                const CrpmOptions& opt) {
+  auto dev = std::make_unique<FileNvmDevice>(path, required_device_size(opt));
+  return open(std::move(dev), opt);
+}
+
+// ---------------------------------------------------------------------------
+// DefaultContainer
+// ---------------------------------------------------------------------------
+
+DefaultContainer::DefaultContainer(NvmDevice* dev,
+                                   std::unique_ptr<NvmDevice> owned,
+                                   const CrpmOptions& opt,
+                                   uint64_t target_epoch)
+    : Container(dev, std::move(owned), opt, target_epoch) {
+  open_or_format();
+}
+
+void DefaultContainer::annotate(const void* addr, size_t len) {
+  if (len == 0) return;
+  uint8_t* base = layout_.main_base();
+  uint64_t off = static_cast<uint64_t>(static_cast<const uint8_t*>(addr) -
+                                       base);
+  CRPM_CHECK(off < geo_.main_region_size() &&
+                 off + len <= geo_.main_region_size(),
+             "annotate outside working state: off=%llu len=%zu",
+             (unsigned long long)off, len);
+  uint64_t b0 = geo_.block_of_offset(off);
+  uint64_t b1 = geo_.block_of_offset(off + len - 1);
+  uint64_t seg = ~uint64_t{0};
+  for (uint64_t b = b0; b <= b1; ++b) {
+    uint64_t s = geo_.segment_of_block(b);
+    if (s != seg) {
+      seg = s;
+      if (!tracker_->segment_dirty(s)) copy_on_write(s);
+    }
+    if (!tracker_->block_dirty(b)) tracker_->dirty_blocks().set(b);
+  }
+}
+
+void DefaultContainer::copy_on_write(uint64_t seg) {
+  Stopwatch sw;
+  std::lock_guard<SpinLock> lk(tracker_->segment_lock(seg));
+  if (tracker_->segment_dirty(seg)) return;  // another thread won the race
+
+  uint8_t* state = layout_.seg_state(active_index());
+  if (state[seg] == kSegMain) {
+    uint32_t b = main_to_backup_[seg];
+    bool differential = true;
+    if (b == kNoPair) {
+      b = alloc_backup(seg);
+      differential = false;  // fresh backup: copy the whole segment
+    }
+    uint8_t* msrc = layout_.main_segment(seg);
+    uint8_t* bdst = layout_.backup_segment(b);
+    uint64_t blocks = 0;
+    uint64_t bytes = 0;
+    if (differential) {
+      // Block-based data copy (Figure 6, lines 9-12): only blocks recorded
+      // dirty — exactly those where main and backup differ — are moved.
+      uint64_t first = geo_.first_block_of_segment(seg);
+      uint64_t bs = geo_.block_size();
+      tracker_->dirty_blocks().for_each_set(
+          first, geo_.blocks_per_segment(), [&](size_t blk) {
+            uint64_t rel = (blk - first) * bs;
+            dev_->nt_copy(bdst + rel, msrc + rel, bs);
+            ++blocks;
+          });
+      bytes = blocks * bs;
+    } else {
+      dev_->nt_copy(bdst, msrc, geo_.segment_size());
+      bytes = geo_.segment_size();
+    }
+    dev_->fence();  // fence #1: pairing + copied data durable
+    state[seg] = kSegBackup;
+    dev_->persist(&state[seg], 1);  // flush + fence #2
+    tracker_->clear_segment_blocks(seg);
+    stats_.add_cow(!differential, blocks, bytes);
+  }
+  // kSegInitial: first-ever modification, no checkpoint state to protect.
+  // kSegBackup: backup already equals the checkpoint (eager CoW or
+  // post-recovery state); the segment is immediately writable.
+  tracker_->dirty_segments().set(seg);
+  stats_.add_trace_ns(sw.elapsed_ns());
+}
+
+void DefaultContainer::checkpoint() {
+  Stopwatch sw;
+  bool leader = barrier_->arrive_and_wait();
+
+  // Phase 0 (leader): snapshot the dirty segment set and pick the flush
+  // strategy (Figure 6, lines 27-31).
+  if (leader) {
+    ckpt_segs_.clear();
+    tracker_->dirty_segments().for_each_set(
+        [&](size_t s) { ckpt_segs_.push_back(s); });
+    ckpt_skip_ = ckpt_segs_.empty() && !roots_dirty_;
+    ckpt_cursor_.store(0, std::memory_order_relaxed);
+    ckpt_flushed_bytes_.store(0, std::memory_order_relaxed);
+    if (!ckpt_skip_) {
+      uint64_t dirty_bytes = tracker_->dirty_bytes_in_dirty_segments();
+      ckpt_use_wbinvd_ = dirty_bytes > opt_.wbinvd_threshold;
+    }
+  }
+  barrier_->arrive_and_wait();
+
+  // Nothing modified this epoch: no new checkpoint state to commit. This is
+  // why read-only workloads run at NVM-NP speed (Section 5.2.1).
+  if (ckpt_skip_) {
+    barrier_->arrive_and_wait();
+    if (leader) stats_.add_checkpoint_ns(sw.elapsed_ns());
+    return;
+  }
+
+  // Phase 1: persist dirty blocks of the main region. All collective
+  // threads claim dirty segments from a shared cursor.
+  if (ckpt_use_wbinvd_) {
+    if (leader) {
+      dev_->wbinvd_flush();
+      uint64_t bytes = tracker_->dirty_bytes_in_dirty_segments();
+      ckpt_flushed_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    }
+  } else {
+    uint64_t bs = geo_.block_size();
+    uint64_t local_bytes = 0;
+    for (;;) {
+      size_t i = ckpt_cursor_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= ckpt_segs_.size()) break;
+      uint64_t s = ckpt_segs_[i];
+      uint64_t first = geo_.first_block_of_segment(s);
+      tracker_->dirty_blocks().for_each_set(
+          first, geo_.blocks_per_segment(), [&](size_t blk) {
+            dev_->flush(layout_.block_addr(blk), bs);
+            local_bytes += bs;
+          });
+    }
+    ckpt_flushed_bytes_.fetch_add(local_bytes, std::memory_order_relaxed);
+  }
+  dev_->fence();  // per-thread: order own flushes (Figure 6, line 32)
+  barrier_->arrive_and_wait();
+
+  // Phase 2 (leader): atomically promote the working state (Figure 6,
+  // lines 35-42).
+  if (leader) {
+    int e_act = active_index();
+    int e_new = 1 - e_act;
+    uint8_t* act = layout_.seg_state(e_act);
+    uint8_t* next = layout_.seg_state(e_new);
+    std::memcpy(next, act, geo_.nr_main_segs());
+    for (uint64_t s : ckpt_segs_) next[s] = kSegMain;
+    dev_->flush(next, geo_.nr_main_segs());
+    stage_roots_for_commit();
+    dev_->fence();
+
+    MetaHeader* h = layout_.header();
+    h->committed_epoch += 1;  // the commit point
+    dev_->persist(&h->committed_epoch, sizeof(uint64_t));
+    roots_dirty_ = false;
+
+    // Note: the in-place flush of dirty main-region blocks is persistence,
+    // not copying; the paper's "checkpoint size" metric counts the data
+    // *copied* to build checkpoints (CoW traffic), which add_cow tracks.
+
+    // Eager copy-on-write (Section 3.4.2): with few dirty segments, run
+    // their CoW for the next epoch now, with two batched fences.
+    if (opt_.eager_cow_segments != 0 &&
+        ckpt_segs_.size() <= opt_.eager_cow_segments) {
+      eager_cow(ckpt_segs_);
+    }
+
+    tracker_->dirty_segments().clear_all();
+    stats_.add_epoch();
+    stats_.add_checkpoint_ns(sw.elapsed_ns());
+  }
+  barrier_->arrive_and_wait();
+}
+
+void DefaultContainer::eager_cow(const std::vector<uint64_t>& segs) {
+  // After the commit above, every segment in `segs` has state SS_Main in
+  // the new active array. Copy each one's dirty blocks to its paired backup
+  // (skipping unpaired segments — their first CoW next epoch does a full
+  // copy anyway), then flip all states with a single fence pair.
+  uint8_t* state = layout_.seg_state(active_index());
+  std::vector<uint64_t> done;
+  uint64_t bs = geo_.block_size();
+  for (uint64_t s : segs) {
+    uint32_t b = main_to_backup_[s];
+    if (b == kNoPair) continue;
+    uint8_t* msrc = layout_.main_segment(s);
+    uint8_t* bdst = layout_.backup_segment(b);
+    uint64_t first = geo_.first_block_of_segment(s);
+    uint64_t blocks = 0;
+    tracker_->dirty_blocks().for_each_set(
+        first, geo_.blocks_per_segment(), [&](size_t blk) {
+          uint64_t rel = (blk - first) * bs;
+          dev_->nt_copy(bdst + rel, msrc + rel, bs);
+          ++blocks;
+        });
+    stats_.add_cow(false, blocks, blocks * bs);
+    done.push_back(s);
+  }
+  if (done.empty()) return;
+  dev_->fence();  // all eager copies durable
+  for (uint64_t s : done) {
+    state[s] = kSegBackup;
+    dev_->flush(&state[s], 1);
+  }
+  dev_->fence();
+  for (uint64_t s : done) tracker_->clear_segment_blocks(s);
+  stats_.add_eager_cow(done.size());
+}
+
+// ---------------------------------------------------------------------------
+// BufferedContainer
+// ---------------------------------------------------------------------------
+
+BufferedContainer::BufferedContainer(NvmDevice* dev,
+                                     std::unique_ptr<NvmDevice> owned,
+                                     const CrpmOptions& opt,
+                                     uint64_t target_epoch)
+    : Container(dev, std::move(owned), opt, target_epoch) {
+  buf_storage_.resize(geo_.main_region_size() + 4096);
+  // Align the DRAM working state so blocks are cache-line aligned.
+  auto raw = reinterpret_cast<uintptr_t>(buf_storage_.data());
+  buf_ = reinterpret_cast<uint8_t*>((raw + 4095) & ~uintptr_t{4095});
+  cur_dirty_.reset_size(geo_.nr_blocks());
+  prev_dirty_.reset_size(geo_.nr_blocks());
+  open_or_format();
+  if (!was_fresh()) {
+    Stopwatch sw;
+    load_dram_from_main();
+    recovery_load_ns_ = sw.elapsed_ns();
+  }
+}
+
+uint64_t BufferedContainer::dram_bytes() const {
+  return geo_.main_region_size() + 2 * ((geo_.nr_blocks() + 7) / 8) +
+         Container::dram_bytes();
+}
+
+void BufferedContainer::load_dram_from_main() {
+  // region_sync() already made main == checkpoint state; the second
+  // recovery phase of Section 5.5 copies it into the DRAM buffer.
+  std::memcpy(buf_, layout_.main_base(), geo_.main_region_size());
+}
+
+void BufferedContainer::annotate(const void* addr, size_t len) {
+  if (len == 0) return;
+  uint64_t off =
+      static_cast<uint64_t>(static_cast<const uint8_t*>(addr) - buf_);
+  CRPM_CHECK(off < geo_.main_region_size() &&
+                 off + len <= geo_.main_region_size(),
+             "annotate outside working state: off=%llu len=%zu",
+             (unsigned long long)off, len);
+  uint64_t b0 = geo_.block_of_offset(off);
+  uint64_t b1 = geo_.block_of_offset(off + len - 1);
+  for (uint64_t b = b0; b <= b1; ++b) {
+    if (!cur_dirty_.test(b)) cur_dirty_.set(b);
+  }
+}
+
+void BufferedContainer::checkpoint() {
+  Stopwatch sw;
+  bool leader = barrier_->arrive_and_wait();
+  uint64_t e = committed_epoch() + 1;  // the epoch being committed
+  bool to_main = targets_main(e);
+
+  if (leader) {
+    // Phase 0: collect segments with blocks dirty in epochs e-1 or e, make
+    // sure each has what it needs (a pairing when targeting the backup
+    // region; full first copy on a fresh pairing), and detach any committed
+    // seg_state entry that points into the region we are about to write.
+    ckpt_segs_.clear();
+    ckpt_full_copy_.clear();
+    uint8_t* act = layout_.seg_state(active_index());
+    bool flipped = false;
+    for (uint64_t s = 0; s < geo_.nr_main_segs(); ++s) {
+      uint64_t first = geo_.first_block_of_segment(s);
+      if (!cur_dirty_.any_in_range(first, geo_.blocks_per_segment()) &&
+          !prev_dirty_.any_in_range(first, geo_.blocks_per_segment())) {
+        continue;
+      }
+      bool full = false;
+      if (!to_main) {
+        if (main_to_backup_[s] == kNoPair) {
+          alloc_backup(s);
+          full = true;  // fresh backup segment: nothing valid in it yet
+        }
+      }
+      // If the committed metadata says this segment's checkpoint lives in
+      // the region we are about to overwrite, repoint it at the other
+      // region first. Both copies are identical for such a segment (its
+      // last copy was two or more epochs ago, so both parities received
+      // it), hence the active-array update preserves the checkpoint.
+      uint8_t points_to_target = to_main ? kSegMain : kSegBackup;
+      if (act[s] == points_to_target) {
+        act[s] = to_main ? kSegBackup : kSegMain;
+        dev_->flush(&act[s], 1);
+        flipped = true;
+      }
+      ckpt_segs_.push_back(s);
+      ckpt_full_copy_.push_back(full ? 1 : 0);
+    }
+    if (flipped) dev_->fence();
+    ckpt_skip_ = ckpt_segs_.empty() && !roots_dirty_;
+    ckpt_cursor_.store(0, std::memory_order_relaxed);
+  }
+  barrier_->arrive_and_wait();
+
+  if (ckpt_skip_) {
+    barrier_->arrive_and_wait();
+    if (leader) stats_.add_checkpoint_ns(sw.elapsed_ns());
+    return;
+  }
+
+  // Phase 1: replicate dirty blocks from DRAM into the target region.
+  uint64_t bs = geo_.block_size();
+  uint64_t local_bytes = 0;
+  for (;;) {
+    size_t i = ckpt_cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= ckpt_segs_.size()) break;
+    uint64_t s = ckpt_segs_[i];
+    uint8_t* target = to_main
+                          ? layout_.main_segment(s)
+                          : layout_.backup_segment(main_to_backup_[s]);
+    const uint8_t* src = buf_ + geo_.segment_offset(s);
+    if (ckpt_full_copy_[i] != 0) {
+      dev_->nt_copy(target, src, geo_.segment_size());
+      local_bytes += geo_.segment_size();
+      continue;
+    }
+    uint64_t first = geo_.first_block_of_segment(s);
+    AtomicBitmap::for_each_set_union(
+        cur_dirty_, prev_dirty_, first, geo_.blocks_per_segment(),
+        [&](size_t blk) {
+          uint64_t rel = (blk - first) * bs;
+          dev_->nt_copy(target + rel, src + rel, bs);
+          local_bytes += bs;
+        });
+  }
+  dev_->fence();
+  stats_.add_checkpoint_bytes(local_bytes);
+  barrier_->arrive_and_wait();
+
+  // Phase 2 (leader): commit.
+  if (leader) {
+    int e_act = active_index();
+    int e_new = 1 - e_act;
+    uint8_t* act = layout_.seg_state(e_act);
+    uint8_t* next = layout_.seg_state(e_new);
+    std::memcpy(next, act, geo_.nr_main_segs());
+    for (uint64_t s : ckpt_segs_) next[s] = to_main ? kSegMain : kSegBackup;
+    dev_->flush(next, geo_.nr_main_segs());
+    stage_roots_for_commit();
+    dev_->fence();
+
+    MetaHeader* h = layout_.header();
+    h->committed_epoch += 1;
+    dev_->persist(&h->committed_epoch, sizeof(uint64_t));
+    roots_dirty_ = false;
+
+    // Age the dirty generations: blocks dirty in the just-committed epoch
+    // must also be replicated at the next checkpoint (into the other
+    // region).
+    prev_dirty_.assign_and_clear(cur_dirty_);
+    stats_.add_epoch();
+    stats_.add_checkpoint_ns(sw.elapsed_ns());
+  }
+  barrier_->arrive_and_wait();
+}
+
+}  // namespace crpm

@@ -1,0 +1,264 @@
+// Containers: the libcrpm programming model (Sections 3.2–3.5).
+//
+// A container is a named persistent region holding the application's program
+// state. Opening it maps the latest checkpoint state; crpm_checkpoint()
+// atomically promotes the current working state to the new checkpoint state.
+//
+// Two modes:
+//   * DefaultContainer — the working state lives directly in the NVM main
+//     region; segment-level copy-on-write protects the checkpoint state
+//     (Section 3.4, "libcrpm-Default").
+//   * BufferedContainer — the working state lives in DRAM; each checkpoint
+//     replicates two generations of dirty blocks into the main or backup
+//     region by epoch parity (Section 3.5, "libcrpm-Buffered").
+//
+// The application contract: before any store to container memory, call
+// annotate(addr, len). The paper's LLVM pass inserts those calls
+// automatically; in this reproduction the provided persistent containers
+// (crpm::pmap, crpm::punordered_map, ...) and the crpm::p<T> wrapper place
+// them, and array codes call annotate() on whole arrays per iteration.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/crpm_stats.h"
+#include "core/dirty_tracker.h"
+#include "core/layout.h"
+#include "core/options.h"
+#include "nvm/device.h"
+#include "util/sync.h"
+
+namespace crpm {
+
+class Container {
+ public:
+  virtual ~Container() = default;
+
+  Container(const Container&) = delete;
+  Container& operator=(const Container&) = delete;
+
+  // Recover to the most recent committed epoch.
+  static constexpr uint64_t kLatestEpoch = ~uint64_t{0};
+
+  // Opens (recovering) or creates (formatting) a container on `dev`.
+  // The non-owning overload is used by tests that keep driving the device
+  // (e.g. CrashSimDevice) across simulated restarts.
+  //
+  // `target_epoch` selects which checkpoint state to recover (Section 3.6):
+  // kLatestEpoch recovers the newest commit; committed_epoch - 1 rolls back
+  // one epoch using the container's retained history (requires
+  // retains_previous_epoch()). Any other value aborts. Rollback must be
+  // decided at open time — recovery itself (the backup-refresh of Figure 6,
+  // line 50) destroys the older epoch.
+  static std::unique_ptr<Container> open(NvmDevice* dev,
+                                         const CrpmOptions& opt,
+                                         uint64_t target_epoch = kLatestEpoch);
+  static std::unique_ptr<Container> open(std::unique_ptr<NvmDevice> dev,
+                                         const CrpmOptions& opt,
+                                         uint64_t target_epoch = kLatestEpoch);
+
+  // Convenience: file-backed container at `path`.
+  static std::unique_ptr<Container> open_file(const std::string& path,
+                                              const CrpmOptions& opt);
+
+  // Reads the committed epoch from an unopened (formatted) device without
+  // triggering recovery; returns kLatestEpoch if the device holds no
+  // initialized container. Used by coordinated recovery to agree on a
+  // global epoch before any rank recovers.
+  static uint64_t peek_committed_epoch(NvmDevice* dev);
+
+  // Bytes a device must provide for these options.
+  static uint64_t required_device_size(const CrpmOptions& opt);
+
+  // --- working-state access -------------------------------------------
+
+  // Base of the working state (main region, or the DRAM buffer in buffered
+  // mode). All application objects live inside [data(), data()+capacity()).
+  virtual uint8_t* data() = 0;
+  uint64_t capacity() const { return geo_.main_region_size(); }
+
+  // Instrumentation hook: marks [addr, addr+len) about to be modified.
+  // MUST be called before every store into the working state.
+  virtual void annotate(const void* addr, size_t len) = 0;
+
+  // Collective checkpoint: every registered thread (options().thread_count)
+  // calls this; the call returns on all threads once the new checkpoint
+  // state is committed (Figure 6, crpm_checkpoint).
+  virtual void checkpoint() = 0;
+
+  bool contains(const void* addr, size_t len) {
+    auto a = reinterpret_cast<uintptr_t>(addr);
+    auto b = reinterpret_cast<uintptr_t>(data());
+    return a >= b && a + len <= b + capacity();
+  }
+
+  // --- offsets and roots ------------------------------------------------
+
+  // Offset 0 is occupied by heap bookkeeping, so 0 doubles as "null".
+  uint64_t to_offset(const void* p) {
+    return static_cast<uint64_t>(static_cast<const uint8_t*>(p) - data());
+  }
+  void* from_offset(uint64_t off) { return data() + off; }
+
+  // Root pointer array (Section 3.2): named offsets for retrieving objects
+  // after a restart. Root updates are epoch-consistent: like all working
+  // state they become durable at the next crpm_checkpoint() and roll back
+  // together with the data they reference (the persistent array is
+  // double-buffered alongside seg_state).
+  void set_root(uint32_t slot, uint64_t off);
+  uint64_t get_root(uint32_t slot) const;
+
+  // --- introspection -----------------------------------------------------
+
+  uint64_t committed_epoch() const { return layout_.header()->committed_epoch; }
+  // True if open() formatted a fresh container (no prior state existed).
+  bool was_fresh() const { return fresh_; }
+
+  // True if the container still holds epoch e-1 right after committing
+  // epoch e, i.e. rollback_one_epoch() is usable for coordinated recovery.
+  // Buffered containers always do; default containers only with eager
+  // copy-on-write disabled (eager CoW overwrites the backup copy of the
+  // previous epoch during the checkpoint itself).
+  virtual bool retains_previous_epoch() const {
+    return opt_.eager_cow_segments == 0;
+  }
+
+  const Geometry& geometry() const { return geo_; }
+  const CrpmOptions& options() const { return opt_; }
+  NvmDevice* device() { return dev_; }
+  CrpmStats& stats() { return stats_; }
+  DirtyTracker& tracker() { return *tracker_; }
+
+  // Storage accounting (Section 5.6).
+  uint64_t nvm_bytes() const { return geo_.device_size(); }
+  uint64_t metadata_bytes() const { return geo_.metadata_size(); }
+  virtual uint64_t dram_bytes() const;
+
+  // Recovery-time breakdown of the open that constructed this container
+  // (Section 5.5): region synchronization, then (buffered mode) the copy
+  // of the main region into DRAM.
+  uint64_t recovery_sync_ns() const { return recovery_sync_ns_; }
+  uint64_t recovery_load_ns() const { return recovery_load_ns_; }
+
+ protected:
+  Container(NvmDevice* dev, std::unique_ptr<NvmDevice> owned,
+            const CrpmOptions& opt, uint64_t target_epoch);
+
+  // Formats if pristine, otherwise validates and runs the shared recovery
+  // phase (region sync). Called by subclass constructors.
+  void open_or_format();
+
+  // Region-sync recovery (Section 3.4.3 / Figure 6 crpm_recovery): restores
+  // the invariant main == checkpoint and backup == main for paired segments.
+  void region_sync();
+
+  // Rebuilds main_to_backup / free backup list from NVM metadata.
+  void rebuild_backup_index();
+
+  int active_index() const {
+    return static_cast<int>(layout_.header()->committed_epoch & 1);
+  }
+
+  // Allocates (or recycles, Section 3.3) a backup segment and durably pairs
+  // it with `main_seg`. The pairing is flushed but not fenced; callers fence
+  // before depending on it. Aborts if the backup region is exhausted.
+  uint32_t alloc_backup(uint64_t main_seg);
+
+  // Writes the working root array into the inactive persistent copy and
+  // flushes it (fenced by the caller's pre-commit fence). Leader-only,
+  // inside the checkpoint.
+  void stage_roots_for_commit();
+
+  NvmDevice* dev_;
+  std::unique_ptr<NvmDevice> owned_dev_;
+  CrpmOptions opt_;
+  Geometry geo_;
+  Layout layout_;
+  CrpmStats stats_;
+  std::unique_ptr<DirtyTracker> tracker_;
+  std::unique_ptr<SpinBarrier> barrier_;
+  uint64_t target_epoch_ = kLatestEpoch;
+  uint64_t recovery_sync_ns_ = 0;
+  uint64_t recovery_load_ns_ = 0;
+  bool fresh_ = false;
+
+  // DRAM index over backup_to_main.
+  SpinLock alloc_lock_;
+  std::vector<uint32_t> main_to_backup_;
+  std::vector<uint32_t> free_backups_;
+  uint64_t steal_cursor_ = 0;
+
+  // Working copy of the root array; committed with the epoch.
+  std::array<uint64_t, kNumRoots> roots_work_{};
+  bool roots_dirty_ = false;
+};
+
+// Section 3.4: working state in NVM, segment-level copy-on-write.
+class DefaultContainer final : public Container {
+ public:
+  DefaultContainer(NvmDevice* dev, std::unique_ptr<NvmDevice> owned,
+                   const CrpmOptions& opt,
+                   uint64_t target_epoch = kLatestEpoch);
+
+  uint8_t* data() override { return layout_.main_base(); }
+  void annotate(const void* addr, size_t len) override;
+  void checkpoint() override;
+
+ private:
+  // Copy-on-write of main segment `seg` (Figure 6, copy_on_write).
+  void copy_on_write(uint64_t seg);
+
+  // Batched CoW of all dirty segments inside the checkpoint (Section 3.4.2,
+  // last paragraph): one fence for all copies, one for all state flips.
+  void eager_cow(const std::vector<uint64_t>& segs);
+
+  // Shared checkpoint-phase state distributed over collective threads.
+  std::vector<uint64_t> ckpt_segs_;
+  std::atomic<size_t> ckpt_cursor_{0};
+  std::atomic<uint64_t> ckpt_flushed_bytes_{0};
+  bool ckpt_use_wbinvd_ = false;
+  bool ckpt_skip_ = false;
+};
+
+// Section 3.5: working state in DRAM, parity-alternating differential
+// replication at checkpoint time.
+class BufferedContainer final : public Container {
+ public:
+  BufferedContainer(NvmDevice* dev, std::unique_ptr<NvmDevice> owned,
+                    const CrpmOptions& opt,
+                    uint64_t target_epoch = kLatestEpoch);
+
+  uint8_t* data() override { return buf_; }
+  void annotate(const void* addr, size_t len) override;
+  void checkpoint() override;
+
+  uint64_t dram_bytes() const override;
+  bool retains_previous_epoch() const override { return true; }
+
+ private:
+  // True when the checkpoint of epoch `e` targets the main region.
+  static bool targets_main(uint64_t e) { return (e & 1) == 0; }
+
+  void load_dram_from_main();
+
+  std::vector<uint8_t> buf_storage_;
+  uint8_t* buf_ = nullptr;
+
+  // Two generations of dirty block bitmaps: blocks modified during the
+  // current epoch and during the previous epoch ("modified during epochs
+  // e-1 or e", Section 3.5).
+  AtomicBitmap cur_dirty_;
+  AtomicBitmap prev_dirty_;
+
+  // Checkpoint-phase shared state.
+  std::vector<uint64_t> ckpt_segs_;
+  std::vector<uint8_t> ckpt_full_copy_;  // per-entry: fresh pairing => full
+  std::atomic<size_t> ckpt_cursor_{0};
+  bool ckpt_skip_ = false;
+};
+
+}  // namespace crpm

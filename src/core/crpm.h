@@ -1,0 +1,72 @@
+// libcrpm public C-style API (Section 3.2, Figure 3).
+//
+// Mirrors the calls the paper's applications use:
+//
+//   crpm_t* c = crpm_open("lulesh.crpm", &opts);
+//   if (crpm_is_fresh(c)) {
+//     Domain* d = (Domain*)crpm_malloc(c, sizeof(Domain));
+//     crpm_set_root(c, 0, d);
+//   }
+//   Domain* d = (Domain*)crpm_get_root(c, 0);
+//   ... compute, calling crpm_annotate(...) before stores ...
+//   crpm_checkpoint(c);   // collective across registered threads
+//
+// This is a thin veneer over crpm::Container + crpm::Heap; C++ callers can
+// use those directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/options.h"
+
+namespace crpm {
+class Container;
+class Heap;
+}  // namespace crpm
+
+extern "C" {
+
+struct crpm_t;  // opaque handle: one open container + its heap
+
+// Opens (recovering) or creates the container file at `path`. `opt` may be
+// null for defaults.
+crpm_t* crpm_open(const char* path, const crpm::CrpmOptions* opt);
+
+// Closes the container. In-flight (uncheckpointed) modifications are
+// discarded on the next open, exactly as a crash would discard them.
+void crpm_close(crpm_t* c);
+
+// True if crpm_open created a brand-new container (no recovered state).
+int crpm_is_fresh(const crpm_t* c);
+
+// Collective checkpoint (every thread declared in options.thread_count
+// must call; blocks until all arrive). On return the pre-call working
+// state is the new durable checkpoint state.
+void crpm_checkpoint(crpm_t* c);
+
+// Program-state allocation.
+void* crpm_malloc(crpm_t* c, size_t size);
+void crpm_free(crpm_t* c, void* p, size_t size);
+
+// Root pointer array (kNumRoots slots). Epoch-consistent: a root update
+// commits at the next crpm_checkpoint() together with the object it
+// references, and rolls back with it on a crash.
+void crpm_set_root(crpm_t* c, uint32_t slot, const void* p);
+void* crpm_get_root(crpm_t* c, uint32_t slot);
+
+// The instrumentation hook (what the compiler pass would insert): mark
+// [addr, addr+len) about to be modified. Safe to call on any address;
+// non-container addresses are ignored.
+void crpm_annotate_range(const void* addr, size_t len);
+
+// Introspection.
+uint64_t crpm_committed_epoch(const crpm_t* c);
+void* crpm_base(crpm_t* c);
+size_t crpm_capacity(const crpm_t* c);
+
+// Access to the underlying C++ objects (for the rest of this library).
+crpm::Container* crpm_container(crpm_t* c);
+crpm::Heap* crpm_heap(crpm_t* c);
+
+}  // extern "C"

@@ -1,0 +1,46 @@
+#include "core/crpm_stats.h"
+
+#include <sstream>
+
+namespace crpm {
+
+CrpmStatsSnapshot CrpmStatsSnapshot::operator-(
+    const CrpmStatsSnapshot& rhs) const {
+  CrpmStatsSnapshot d;
+  d.epochs = epochs - rhs.epochs;
+  d.cow_count = cow_count - rhs.cow_count;
+  d.cow_full_copies = cow_full_copies - rhs.cow_full_copies;
+  d.cow_blocks_copied = cow_blocks_copied - rhs.cow_blocks_copied;
+  d.checkpoint_bytes = checkpoint_bytes - rhs.checkpoint_bytes;
+  d.eager_cow_segments = eager_cow_segments - rhs.eager_cow_segments;
+  d.trace_ns = trace_ns - rhs.trace_ns;
+  d.checkpoint_ns = checkpoint_ns - rhs.checkpoint_ns;
+  d.backup_steals = backup_steals - rhs.backup_steals;
+  return d;
+}
+
+std::string CrpmStatsSnapshot::to_string() const {
+  std::ostringstream os;
+  os << "epochs=" << epochs << " cow=" << cow_count
+     << " cow_full=" << cow_full_copies << " blocks=" << cow_blocks_copied
+     << " ckpt_bytes=" << checkpoint_bytes
+     << " eager=" << eager_cow_segments << " steals=" << backup_steals;
+  return os.str();
+}
+
+CrpmStatsSnapshot CrpmStats::snapshot() const {
+  CrpmStatsSnapshot s;
+  s.epochs = epochs_.load(std::memory_order_relaxed);
+  s.cow_count = cow_count_.load(std::memory_order_relaxed);
+  s.cow_full_copies = cow_full_copies_.load(std::memory_order_relaxed);
+  s.cow_blocks_copied = cow_blocks_copied_.load(std::memory_order_relaxed);
+  s.checkpoint_bytes = checkpoint_bytes_.load(std::memory_order_relaxed);
+  s.eager_cow_segments =
+      eager_cow_segments_.load(std::memory_order_relaxed);
+  s.trace_ns = trace_ns_.load(std::memory_order_relaxed);
+  s.checkpoint_ns = checkpoint_ns_.load(std::memory_order_relaxed);
+  s.backup_steals = backup_steals_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace crpm

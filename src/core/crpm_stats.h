@@ -1,0 +1,66 @@
+// Runtime statistics for one container: checkpoint sizes (Table 1a),
+// copy-on-write activity, and time spent in tracing vs. checkpointing
+// (Figure 1 breakdown).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace crpm {
+
+struct CrpmStatsSnapshot {
+  uint64_t epochs = 0;
+  uint64_t cow_count = 0;           // segment copy-on-writes performed
+  uint64_t cow_full_copies = 0;     // CoWs that copied the whole segment
+  uint64_t cow_blocks_copied = 0;   // blocks moved by differential CoW
+  uint64_t checkpoint_bytes = 0;    // bytes copied/flushed to build ckpts
+  uint64_t eager_cow_segments = 0;  // segments eagerly CoW'd at checkpoint
+  uint64_t trace_ns = 0;            // time in CoW slow path (memory trace)
+  uint64_t checkpoint_ns = 0;       // time inside crpm_checkpoint
+  uint64_t backup_steals = 0;       // backup segments recycled
+
+  CrpmStatsSnapshot operator-(const CrpmStatsSnapshot& rhs) const;
+  std::string to_string() const;
+};
+
+class CrpmStats {
+ public:
+  void add_epoch() { epochs_.fetch_add(1, std::memory_order_relaxed); }
+  void add_cow(bool full_copy, uint64_t blocks, uint64_t bytes) {
+    cow_count_.fetch_add(1, std::memory_order_relaxed);
+    if (full_copy) cow_full_copies_.fetch_add(1, std::memory_order_relaxed);
+    cow_blocks_copied_.fetch_add(blocks, std::memory_order_relaxed);
+    checkpoint_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void add_checkpoint_bytes(uint64_t bytes) {
+    checkpoint_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void add_eager_cow(uint64_t segments) {
+    eager_cow_segments_.fetch_add(segments, std::memory_order_relaxed);
+  }
+  void add_trace_ns(uint64_t ns) {
+    trace_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  void add_checkpoint_ns(uint64_t ns) {
+    checkpoint_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  void add_backup_steal() {
+    backup_steals_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  CrpmStatsSnapshot snapshot() const;
+
+ private:
+  std::atomic<uint64_t> epochs_{0};
+  std::atomic<uint64_t> cow_count_{0};
+  std::atomic<uint64_t> cow_full_copies_{0};
+  std::atomic<uint64_t> cow_blocks_copied_{0};
+  std::atomic<uint64_t> checkpoint_bytes_{0};
+  std::atomic<uint64_t> eager_cow_segments_{0};
+  std::atomic<uint64_t> trace_ns_{0};
+  std::atomic<uint64_t> checkpoint_ns_{0};
+  std::atomic<uint64_t> backup_steals_{0};
+};
+
+}  // namespace crpm

@@ -1,0 +1,72 @@
+// DRAM-side dirty tracking (Section 3.4.1).
+//
+// dirty_blocks: one bit per 256 B block of the main region. Set by the
+//   instrumented write hook; NOT cleared at checkpoint — a set bit means
+//   "this block may differ between the main segment and its paired backup",
+//   which is exactly the set of blocks the next copy-on-write must move.
+//   Bits are cleared only after a successful copy-on-write (Figure 6, l.15).
+//
+// dirty_segments: one bit per segment, meaning "this segment was CoW'd (or
+//   first-touched) during the current epoch"; consulted on the hook fast
+//   path and cleared when the epoch commits (Figure 6, l.42).
+//
+// Per-segment spinlocks serialize concurrent copy-on-writes (Section 3.4.4).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/layout.h"
+#include "util/bitmap.h"
+#include "util/sync.h"
+
+namespace crpm {
+
+class DirtyTracker {
+ public:
+  explicit DirtyTracker(const Geometry& geo)
+      : geo_(geo),
+        dirty_blocks_(geo.nr_blocks()),
+        dirty_segments_(geo.nr_main_segs()),
+        seg_locks_(geo.nr_main_segs()) {}
+
+  AtomicBitmap& dirty_blocks() { return dirty_blocks_; }
+  AtomicBitmap& dirty_segments() { return dirty_segments_; }
+  SpinLock& segment_lock(uint64_t seg) { return seg_locks_[seg]; }
+
+  bool segment_dirty(uint64_t seg) const { return dirty_segments_.test(seg); }
+  bool block_dirty(uint64_t block) const { return dirty_blocks_.test(block); }
+
+  // Clears the dirty-block bits of one segment (after its CoW completes).
+  void clear_segment_blocks(uint64_t seg) {
+    dirty_blocks_.clear_range(geo_.first_block_of_segment(seg),
+                              geo_.blocks_per_segment());
+  }
+
+  // Dirty blocks within one segment.
+  uint64_t dirty_blocks_in_segment(uint64_t seg) const {
+    return dirty_blocks_.count_range(geo_.first_block_of_segment(seg),
+                                     geo_.blocks_per_segment());
+  }
+
+  // Total bytes of dirty blocks inside dirty segments (drives the
+  // clwb-vs-wbinvd decision at checkpoint).
+  uint64_t dirty_bytes_in_dirty_segments() const {
+    uint64_t blocks = 0;
+    dirty_segments_.for_each_set([&](size_t seg) {
+      blocks += dirty_blocks_in_segment(seg);
+    });
+    return blocks * geo_.block_size();
+  }
+
+  // DRAM footprint of the dirty block bitmap (reported in Section 5.6).
+  uint64_t bitmap_bytes() const { return (geo_.nr_blocks() + 7) / 8; }
+
+ private:
+  Geometry geo_;
+  AtomicBitmap dirty_blocks_;
+  AtomicBitmap dirty_segments_;
+  std::vector<SpinLock> seg_locks_;
+};
+
+}  // namespace crpm

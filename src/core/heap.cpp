@@ -1,0 +1,123 @@
+#include "core/heap.h"
+
+#include <cstring>
+#include <mutex>
+
+#include "util/logging.h"
+
+namespace crpm {
+
+namespace {
+constexpr uint64_t kHeapMagic = 0x6372706d68656170ull;  // "crpmheap"
+constexpr uint64_t kSmallStep = 16;
+constexpr uint64_t kSmallMax = 256;   // classes 0..15: 16,32,...,256
+constexpr uint64_t kLargeMin = 512;   // classes 16..: 512,1024,... (pow2)
+}  // namespace
+
+struct Heap::HeapHeader {
+  uint64_t magic;
+  uint64_t capacity;
+  uint64_t bump;        // offset of the next never-allocated byte
+  uint64_t allocated;   // live bytes (for accounting)
+  uint64_t free_heads[kNumClasses];  // 0 = empty list
+};
+
+Heap::HeapHeader* Heap::header() {
+  return reinterpret_cast<HeapHeader*>(ctr_.data());
+}
+const Heap::HeapHeader* Heap::header() const {
+  return reinterpret_cast<const HeapHeader*>(
+      const_cast<Heap*>(this)->ctr_.data());
+}
+
+Heap::Heap(Container& ctr) : ctr_(ctr) {
+  HeapHeader* h = header();
+  if (ctr_.was_fresh() || h->magic != kHeapMagic) {
+    format();
+  } else {
+    CRPM_CHECK(h->capacity == ctr_.capacity(),
+               "heap capacity mismatch: %llu vs container %llu",
+               (unsigned long long)h->capacity,
+               (unsigned long long)ctr_.capacity());
+  }
+}
+
+void Heap::format() {
+  HeapHeader* h = header();
+  ctr_.annotate(h, sizeof(HeapHeader));
+  std::memset(h, 0, sizeof(HeapHeader));
+  h->magic = kHeapMagic;
+  h->capacity = ctr_.capacity();
+  h->bump = (sizeof(HeapHeader) + 63) & ~uint64_t{63};
+  h->allocated = 0;
+}
+
+uint32_t Heap::class_of(size_t size, size_t* rounded) {
+  if (size == 0) size = 1;
+  if (size <= kSmallMax) {
+    size_t r = (size + kSmallStep - 1) / kSmallStep * kSmallStep;
+    *rounded = r;
+    return static_cast<uint32_t>(r / kSmallStep - 1);
+  }
+  uint64_t r = kLargeMin;
+  uint32_t c = 16;
+  while (r < size) {
+    r <<= 1;
+    ++c;
+    CRPM_CHECK(c < kNumClasses, "allocation of %zu bytes exceeds heap limit",
+               size);
+  }
+  *rounded = r;
+  return c;
+}
+
+void* Heap::allocate(size_t size) {
+  size_t rounded = 0;
+  uint32_t c = class_of(size, &rounded);
+  std::lock_guard<SpinLock> lk(lock_);
+  HeapHeader* h = header();
+
+  uint64_t off = h->free_heads[c];
+  if (off != 0) {
+    // Pop from the free list. The next-pointer lives in the object itself.
+    uint64_t* obj = static_cast<uint64_t*>(ctr_.from_offset(off));
+    uint64_t next = *obj;
+    ctr_.annotate(&h->free_heads[c], sizeof(uint64_t));
+    h->free_heads[c] = next;
+  } else {
+    CRPM_CHECK(h->bump + rounded <= h->capacity,
+               "container out of memory: capacity=%llu bump=%llu need=%zu",
+               (unsigned long long)h->capacity, (unsigned long long)h->bump,
+               rounded);
+    off = h->bump;
+    ctr_.annotate(&h->bump, sizeof(uint64_t));
+    h->bump += rounded;
+  }
+  ctr_.annotate(&h->allocated, sizeof(uint64_t));
+  h->allocated += rounded;
+  return ctr_.from_offset(off);
+}
+
+void Heap::deallocate(void* p, size_t size) {
+  if (p == nullptr) return;
+  size_t rounded = 0;
+  uint32_t c = class_of(size, &rounded);
+  std::lock_guard<SpinLock> lk(lock_);
+  HeapHeader* h = header();
+  uint64_t off = ctr_.to_offset(p);
+  CRPM_CHECK(off >= sizeof(HeapHeader) && off + rounded <= h->capacity,
+             "deallocate of foreign pointer (offset %llu)",
+             (unsigned long long)off);
+  auto* obj = static_cast<uint64_t*>(p);
+  ctr_.annotate(obj, sizeof(uint64_t));
+  *obj = h->free_heads[c];
+  ctr_.annotate(&h->free_heads[c], sizeof(uint64_t));
+  h->free_heads[c] = off;
+  ctr_.annotate(&h->allocated, sizeof(uint64_t));
+  h->allocated -= rounded;
+}
+
+uint64_t Heap::bytes_in_use() const { return header()->allocated; }
+uint64_t Heap::bytes_total() const { return header()->capacity; }
+
+}  // namespace crpm

@@ -1,0 +1,68 @@
+// Recoverable memory allocator for program state objects (Section 4).
+//
+// The heap's bookkeeping (bump pointer, segregated free lists) lives inside
+// the container's working state and is annotated like any other program
+// state, so it is checkpointed and rolled back with the data it manages —
+// the paper instruments the allocator when building libcrpm for the same
+// reason. No internal failure atomicity is needed: a crash mid-allocation
+// rolls the whole heap back to the last checkpoint.
+//
+// Free objects store the offset of the next free object in their first
+// 8 bytes. All references are container offsets, so the container file can
+// be remapped at a different virtual address across restarts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/container.h"
+#include "util/sync.h"
+
+namespace crpm {
+
+class Heap {
+ public:
+  // Attaches to `ctr`'s working state. On a fresh container the heap
+  // formats itself (callers should checkpoint before relying on it
+  // surviving a crash); on an existing container it validates the
+  // recovered bookkeeping.
+  explicit Heap(Container& ctr);
+
+  Heap(const Heap&) = delete;
+  Heap& operator=(const Heap&) = delete;
+
+  // Allocates `size` bytes of program state; never returns nullptr
+  // (aborts when the container is full). Thread-safe.
+  void* allocate(size_t size);
+  void deallocate(void* p, size_t size);
+
+  uint64_t offset_of(const void* p) { return ctr_.to_offset(p); }
+  void* pointer_to(uint64_t off) { return ctr_.from_offset(off); }
+
+  Container& container() { return ctr_; }
+
+  // Bytes handed out minus bytes freed (free-list contents count as used
+  // from the bump allocator's perspective).
+  uint64_t bytes_in_use() const;
+  uint64_t bytes_total() const;
+
+  // Number of size classes (16 B .. 1 GiB).
+  static constexpr uint32_t kNumClasses = 16 + 27;
+
+ private:
+  struct HeapHeader;
+
+  HeapHeader* header();
+  const HeapHeader* header() const;
+
+  // Rounded allocation size and its class index; sizes above the largest
+  // class abort.
+  static uint32_t class_of(size_t size, size_t* rounded);
+
+  void format();
+
+  Container& ctr_;
+  SpinLock lock_;
+};
+
+}  // namespace crpm

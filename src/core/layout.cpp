@@ -1,0 +1,128 @@
+#include "core/layout.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace crpm {
+
+namespace {
+
+bool is_pow2(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+uint32_t log2_u64(uint64_t v) {
+  return 63u - static_cast<uint32_t>(__builtin_clzll(v));
+}
+
+uint64_t round_up(uint64_t v, uint64_t align) {
+  return (v + align - 1) / align * align;
+}
+
+}  // namespace
+
+CrpmOptions CrpmOptions::validated() const {
+  CrpmOptions o = *this;
+  CRPM_CHECK(is_pow2(o.block_size) && o.block_size >= kCacheLineSize,
+             "block_size must be a power of two >= 64, got %llu",
+             (unsigned long long)o.block_size);
+  CRPM_CHECK(is_pow2(o.segment_size) && o.segment_size >= o.block_size,
+             "segment_size must be a power of two >= block_size, got %llu",
+             (unsigned long long)o.segment_size);
+  CRPM_CHECK(o.main_region_size > 0, "main_region_size must be positive");
+  CRPM_CHECK(o.backup_ratio > 0.0 && o.backup_ratio <= 1.0,
+             "backup_ratio must be in (0, 1], got %f", o.backup_ratio);
+  CRPM_CHECK(o.thread_count >= 1, "thread_count must be >= 1");
+  // Buffered mode keeps committed data distributed over BOTH regions, so a
+  // backup segment may never be recycled away from its main segment; force
+  // a full backup region (Section 3.5).
+  if (o.buffered) o.backup_ratio = 1.0;
+  o.main_region_size = round_up(o.main_region_size, o.segment_size);
+  return o;
+}
+
+Geometry::Geometry(const CrpmOptions& opt_in) {
+  CrpmOptions opt = opt_in.validated();
+  segment_size_ = opt.segment_size;
+  block_size_ = opt.block_size;
+  segment_shift_ = log2_u64(segment_size_);
+  block_shift_ = log2_u64(block_size_);
+  blocks_per_segment_ = segment_size_ / block_size_;
+  nr_main_segs_ = opt.main_region_size / segment_size_;
+  nr_backup_segs_ = static_cast<uint64_t>(
+      double(nr_main_segs_) * opt.backup_ratio + 0.5);
+  if (nr_backup_segs_ == 0) nr_backup_segs_ = 1;
+  if (nr_backup_segs_ > nr_main_segs_) nr_backup_segs_ = nr_main_segs_;
+
+  seg_state_offset_ = 4096;
+  backup_to_main_offset_ =
+      round_up(seg_state_offset_ + 2 * nr_main_segs_, 64);
+  roots_offset_ =
+      round_up(backup_to_main_offset_ + 4 * nr_backup_segs_, 64);
+  // Segments must be block- and cache-line-aligned within the device; align
+  // the main region to the larger of segment size and 4 KB so page-based
+  // tracers can also target it.
+  uint64_t align = segment_size_ > 4096 ? segment_size_ : 4096;
+  main_region_offset_ = round_up(roots_offset_ + 2 * 8 * kNumRoots, align);
+  backup_region_offset_ =
+      main_region_offset_ + nr_main_segs_ * segment_size_;
+  device_size_ = backup_region_offset_ + nr_backup_segs_ * segment_size_;
+}
+
+void Layout::format(const CrpmOptions& opt) {
+  MetaHeader* h = header();
+  std::memset(h, 0, sizeof(MetaHeader));
+  h->magic = kMetaMagic;
+  h->version = kMetaVersion;
+  h->flags = opt.buffered ? 1u : 0u;
+  h->segment_size = geo_.segment_size();
+  h->block_size = geo_.block_size();
+  h->nr_main_segs = geo_.nr_main_segs();
+  h->nr_backup_segs = geo_.nr_backup_segs();
+  h->main_region_offset = geo_.main_region_offset();
+  h->backup_region_offset = geo_.backup_region_offset();
+  h->seg_state_offset = geo_.seg_state_offset();
+  h->backup_to_main_offset = geo_.backup_to_main_offset();
+  h->roots_offset = geo_.roots_offset();
+  h->committed_epoch = 0;
+  h->initialized = 0;
+
+  std::memset(seg_state(0), kSegInitial, geo_.nr_main_segs());
+  std::memset(seg_state(1), kSegInitial, geo_.nr_main_segs());
+  uint32_t* b2m = backup_to_main();
+  for (uint64_t i = 0; i < geo_.nr_backup_segs(); ++i) b2m[i] = kNoPair;
+  std::memset(roots(0), 0, 2 * 8 * kNumRoots);
+
+  dev_->flush(h, sizeof(MetaHeader));
+  dev_->flush(seg_state(0), 2 * geo_.nr_main_segs());
+  dev_->flush(b2m, 4 * geo_.nr_backup_segs());
+  dev_->flush(roots(0), 2 * 8 * kNumRoots);
+  dev_->fence();
+
+  // The initialized flag is persisted last: a crash mid-format leaves a
+  // container that will simply be reformatted on the next open.
+  h->initialized = 1;
+  dev_->persist(&h->initialized, 1);
+}
+
+void Layout::check_header(const CrpmOptions& opt) const {
+  const MetaHeader* h = header();
+  CRPM_CHECK(h->magic == kMetaMagic, "not a crpm container (magic=%llx)",
+             (unsigned long long)h->magic);
+  CRPM_CHECK(h->version == kMetaVersion, "container version %u unsupported",
+             h->version);
+  CRPM_CHECK(h->segment_size == geo_.segment_size() &&
+                 h->block_size == geo_.block_size() &&
+                 h->nr_main_segs == geo_.nr_main_segs() &&
+                 h->nr_backup_segs == geo_.nr_backup_segs(),
+             "geometry mismatch: container was created with "
+             "seg=%llu blk=%llu main=%llu backup=%llu",
+             (unsigned long long)h->segment_size,
+             (unsigned long long)h->block_size,
+             (unsigned long long)h->nr_main_segs,
+             (unsigned long long)h->nr_backup_segs);
+  bool want_buffered = opt.buffered;
+  CRPM_CHECK(((h->flags & 1u) != 0) == want_buffered,
+             "container buffered-mode flag mismatch");
+}
+
+}  // namespace crpm

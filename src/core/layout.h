@@ -1,0 +1,179 @@
+// Compacted persistent memory layout (Section 3.3, Figure 4).
+//
+// Device byte map:
+//
+//   [ MetaHeader                      ]  4 KB, holds committed_epoch
+//   [ seg_state[0][nr_main]           ]  1 B per main segment
+//   [ seg_state[1][nr_main]           ]  (double-buffered for crash safety)
+//   [ backup_to_main[nr_backup]       ]  4 B per backup segment
+//   [ roots[2][kNumRoots]             ]  8 B each, double-buffered like
+//                                        seg_state: committed with epochs
+//   [ padding to segment alignment    ]
+//   [ main region:   nr_main  * seg   ]  application-visible working state
+//   [ backup region: nr_backup * seg  ]  differential checkpoint data
+//
+// Geometry is pure index math (segment/block <-> offset); Layout binds a
+// geometry to a device and exposes typed views of the metadata.
+#pragma once
+
+#include <cstdint>
+
+#include "core/options.h"
+#include "nvm/device.h"
+
+namespace crpm {
+
+inline constexpr uint32_t kNumRoots = 16;
+inline constexpr uint32_t kNoPair = 0xFFFFFFFFu;
+inline constexpr uint64_t kMetaMagic = 0x6372706d2d763031ull;  // "crpm-v01"
+inline constexpr uint32_t kMetaVersion = 1;
+
+enum SegState : uint8_t {
+  kSegInitial = 0,  // segment holds no committed program state
+  kSegMain = 1,     // main segment holds the checkpoint state
+  kSegBackup = 2,   // paired backup segment holds the checkpoint state
+};
+
+// On-media header. All fields little-endian native; the header occupies the
+// first cache lines of the device and committed_epoch sits alone in its own
+// cache line so its persist never drags unrelated bytes along.
+struct MetaHeader {
+  uint64_t magic;
+  uint32_t version;
+  uint32_t flags;  // bit 0: buffered container
+  uint64_t segment_size;
+  uint64_t block_size;
+  uint64_t nr_main_segs;
+  uint64_t nr_backup_segs;
+  uint64_t main_region_offset;
+  uint64_t backup_region_offset;
+  uint64_t seg_state_offset;       // seg_state[0]; [1] follows immediately
+  uint64_t backup_to_main_offset;
+  uint64_t roots_offset;
+  uint8_t initialized;  // set (and persisted) after initial format completes
+  uint8_t pad0[7];
+  // --- own cache line: the atomic commit point (Figure 6, line 41) ---
+  alignas(64) uint64_t committed_epoch;
+};
+static_assert(sizeof(MetaHeader) <= 4096);
+static_assert(offsetof(MetaHeader, committed_epoch) % 64 == 0);
+
+// Segment/block arithmetic for a given options set.
+class Geometry {
+ public:
+  Geometry() = default;
+  explicit Geometry(const CrpmOptions& opt);
+
+  uint64_t segment_size() const { return segment_size_; }
+  uint64_t block_size() const { return block_size_; }
+  uint64_t nr_main_segs() const { return nr_main_segs_; }
+  uint64_t nr_backup_segs() const { return nr_backup_segs_; }
+  uint64_t blocks_per_segment() const { return blocks_per_segment_; }
+  uint64_t nr_blocks() const { return nr_main_segs_ * blocks_per_segment_; }
+  uint64_t main_region_size() const { return nr_main_segs_ * segment_size_; }
+  uint64_t backup_region_size() const {
+    return nr_backup_segs_ * segment_size_;
+  }
+
+  uint64_t segment_of_offset(uint64_t main_off) const {
+    return main_off >> segment_shift_;
+  }
+  uint64_t block_of_offset(uint64_t main_off) const {
+    return main_off >> block_shift_;
+  }
+  uint64_t first_block_of_segment(uint64_t seg) const {
+    return seg * blocks_per_segment_;
+  }
+  uint64_t segment_of_block(uint64_t block) const {
+    return block / blocks_per_segment_;
+  }
+  uint64_t block_offset(uint64_t block) const {  // offset within main region
+    return block << block_shift_;
+  }
+  uint64_t segment_offset(uint64_t seg) const {
+    return seg << segment_shift_;
+  }
+
+  // Total device bytes needed (metadata + both regions).
+  uint64_t device_size() const { return device_size_; }
+  uint64_t main_region_offset() const { return main_region_offset_; }
+  uint64_t backup_region_offset() const { return backup_region_offset_; }
+  uint64_t seg_state_offset() const { return seg_state_offset_; }
+  uint64_t backup_to_main_offset() const { return backup_to_main_offset_; }
+  uint64_t roots_offset() const { return roots_offset_; }
+
+  // In-NVM metadata footprint in bytes, excluding the alignment padding
+  // before the main region (reported in Section 5.6).
+  uint64_t metadata_size() const {
+    return roots_offset_ + 2 * 8 * kNumRoots;
+  }
+
+ private:
+  uint64_t segment_size_ = 0;
+  uint64_t block_size_ = 0;
+  uint64_t nr_main_segs_ = 0;
+  uint64_t nr_backup_segs_ = 0;
+  uint64_t blocks_per_segment_ = 0;
+  uint32_t segment_shift_ = 0;
+  uint32_t block_shift_ = 0;
+  uint64_t seg_state_offset_ = 0;
+  uint64_t backup_to_main_offset_ = 0;
+  uint64_t roots_offset_ = 0;
+  uint64_t main_region_offset_ = 0;
+  uint64_t backup_region_offset_ = 0;
+  uint64_t device_size_ = 0;
+};
+
+// Typed accessors over the device's metadata and regions.
+class Layout {
+ public:
+  Layout() = default;
+  Layout(NvmDevice* dev, const Geometry& geo) : dev_(dev), geo_(geo) {}
+
+  MetaHeader* header() const {
+    return reinterpret_cast<MetaHeader*>(dev_->base());
+  }
+  uint8_t* seg_state(int which) const {
+    return dev_->base() + geo_.seg_state_offset() +
+           uint64_t(which) * geo_.nr_main_segs();
+  }
+  uint32_t* backup_to_main() const {
+    return reinterpret_cast<uint32_t*>(dev_->base() +
+                                       geo_.backup_to_main_offset());
+  }
+  uint64_t* roots(int which) const {
+    return reinterpret_cast<uint64_t*>(dev_->base() + geo_.roots_offset()) +
+           uint64_t(which) * kNumRoots;
+  }
+  uint8_t* main_base() const {
+    return dev_->base() + geo_.main_region_offset();
+  }
+  uint8_t* backup_base() const {
+    return dev_->base() + geo_.backup_region_offset();
+  }
+  uint8_t* main_segment(uint64_t seg) const {
+    return main_base() + geo_.segment_offset(seg);
+  }
+  uint8_t* backup_segment(uint64_t b) const {
+    return backup_base() + geo_.segment_offset(b);
+  }
+  uint8_t* block_addr(uint64_t block) const {
+    return main_base() + geo_.block_offset(block);
+  }
+
+  const Geometry& geometry() const { return geo_; }
+  NvmDevice* device() const { return dev_; }
+
+  // Formats a fresh device: writes the header, clears metadata arrays, and
+  // persists everything. Idempotent only on pristine devices.
+  void format(const CrpmOptions& opt);
+
+  // Validates an existing header against `opt`; aborts on mismatch.
+  void check_header(const CrpmOptions& opt) const;
+
+ private:
+  NvmDevice* dev_ = nullptr;
+  Geometry geo_;
+};
+
+}  // namespace crpm

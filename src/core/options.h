@@ -1,0 +1,57 @@
+// Container configuration.
+//
+// The defaults mirror the paper's platform: 2 MB segments (copy-on-write
+// granularity), 256 B blocks (data-copy granularity), a 32 MB LLC threshold
+// for choosing clwb-per-block vs. wbinvd during checkpointing, and eager
+// copy-on-write of all dirty segments inside the checkpoint when few
+// segments are dirty. Figure 10 sweeps segment_size and block_size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace crpm {
+
+struct CrpmOptions {
+  // Copy-on-write granularity. Must be a power of two and a multiple of
+  // block_size. Paper default: 2 MB (Figure 10a sweeps 512 B – 32 MB).
+  uint64_t segment_size = 2 * 1024 * 1024;
+
+  // Data-copy granularity. Must be a power of two and a multiple of the
+  // cache line size. Paper default: 256 B (Figure 10b sweeps 64 B – 16 KB).
+  uint64_t block_size = 256;
+
+  // Size of the main region (the application-visible heap), rounded up to a
+  // whole number of segments.
+  uint64_t main_region_size = 64 * 1024 * 1024;
+
+  // Backup segments as a fraction of main segments. 1.0 guarantees a paired
+  // backup always exists; lower ratios exercise backup-segment recycling
+  // ("a backup segment can be allocated if it is not used for saving the
+  //  checkpoint state", Section 3.3).
+  double backup_ratio = 1.0;
+
+  // Checkpoint flushes dirty blocks with clwb unless their total size
+  // exceeds this threshold, in which case a whole-cache writeback is used
+  // instead (Section 3.4.2; 32 MB = LLC size on the paper's platform).
+  uint64_t wbinvd_threshold = 32 * 1024 * 1024;
+
+  // If at most this many segments are dirty at the end of an epoch, their
+  // copy-on-write is executed inside the checkpoint with batched fences
+  // (Section 3.4.2, last paragraph). 0 disables eager copy-on-write.
+  uint64_t eager_cow_segments = 8;
+
+  // Number of application threads participating in the collective
+  // crpm_checkpoint() call.
+  uint32_t thread_count = 1;
+
+  // Buffered mode (Section 3.5): the working state lives in DRAM and is
+  // replicated differentially into NVM at each checkpoint.
+  bool buffered = false;
+
+  // Returns a copy with sizes validated and rounded; aborts on nonsensical
+  // combinations (block > segment, non-power-of-two sizes, ...).
+  CrpmOptions validated() const;
+};
+
+}  // namespace crpm

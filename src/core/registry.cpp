@@ -1,0 +1,53 @@
+#include "core/registry.h"
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "util/sync.h"
+
+namespace crpm {
+
+namespace {
+
+struct Entry {
+  uintptr_t begin;
+  uintptr_t end;
+  Container* ctr;
+};
+
+// A handful of containers per process; a linear scan under a reader-light
+// spinlock is faster than anything fancier at this scale.
+SpinLock g_lock;
+std::vector<Entry> g_entries;
+
+}  // namespace
+
+void register_container(Container* ctr) {
+  auto begin = reinterpret_cast<uintptr_t>(ctr->data());
+  std::lock_guard<SpinLock> lk(g_lock);
+  g_entries.push_back(Entry{begin, begin + ctr->capacity(), ctr});
+}
+
+void deregister_container(Container* ctr) {
+  std::lock_guard<SpinLock> lk(g_lock);
+  g_entries.erase(std::remove_if(g_entries.begin(), g_entries.end(),
+                                 [&](const Entry& e) { return e.ctr == ctr; }),
+                  g_entries.end());
+}
+
+Container* find_container(const void* addr) {
+  auto a = reinterpret_cast<uintptr_t>(addr);
+  std::lock_guard<SpinLock> lk(g_lock);
+  for (const Entry& e : g_entries) {
+    if (a >= e.begin && a < e.end) return e.ctr;
+  }
+  return nullptr;
+}
+
+void crpm_annotate(const void* addr, size_t len) {
+  Container* c = find_container(addr);
+  if (c != nullptr) c->annotate(addr, len);
+}
+
+}  // namespace crpm

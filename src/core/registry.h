@@ -1,0 +1,30 @@
+// Process-global address-range registry.
+//
+// The paper's compiler pass emits calls to a global hook_routine(addr, len)
+// before stores; at runtime the hook must find which open container owns
+// the address ("do not proceed if address is invalid", Figure 6 line 21).
+// Containers register their working-state range on open; crpm_annotate()
+// resolves addresses through this registry. The crpm::p<T> wrapper and the
+// C API both route through it.
+#pragma once
+
+#include <cstddef>
+
+#include "core/container.h"
+
+namespace crpm {
+
+// Registers/deregisters a container's [data, data+capacity) range.
+// Idempotent deregistration. Thread-safe.
+void register_container(Container* ctr);
+void deregister_container(Container* ctr);
+
+// Returns the container owning `addr`, or nullptr.
+Container* find_container(const void* addr);
+
+// The global instrumentation hook (the paper's hook_routine). A no-op when
+// the address belongs to no registered container, so instrumented code can
+// also run on transient DRAM objects.
+void crpm_annotate(const void* addr, size_t len);
+
+}  // namespace crpm

@@ -1,0 +1,51 @@
+#include "nvm/cost_model.h"
+
+#include <chrono>
+
+namespace crpm {
+
+namespace {
+
+// Cost of one steady_clock::now() call in ns, measured once at startup.
+// For very short waits the clock-read overhead itself is the wait.
+double clock_read_cost_ns() {
+  static const double cost = [] {
+    using clock = std::chrono::steady_clock;
+    constexpr int kIters = 4096;
+    auto t0 = clock::now();
+    for (int i = 0; i < kIters - 2; ++i) {
+      auto t = clock::now();
+      (void)t;
+    }
+    auto t1 = clock::now();
+    double total =
+        std::chrono::duration<double, std::nano>(t1 - t0).count();
+    double per = total / kIters;
+    return per < 1.0 ? 1.0 : per;
+  }();
+  return cost;
+}
+
+}  // namespace
+
+void spin_for_ns(double ns) {
+  if (ns <= 0) return;
+  double clock_cost = clock_read_cost_ns();
+  if (ns <= 2 * clock_cost) {
+    // The two clock reads below already cost at least this much.
+    auto t = std::chrono::steady_clock::now();
+    (void)t;
+    return;
+  }
+  using clock = std::chrono::steady_clock;
+  auto deadline =
+      clock::now() + std::chrono::duration_cast<clock::duration>(
+                         std::chrono::duration<double, std::nano>(ns));
+  while (clock::now() < deadline) {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+}  // namespace crpm

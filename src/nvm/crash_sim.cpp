@@ -1,0 +1,99 @@
+#include "nvm/crash_sim.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace crpm {
+
+CrashSimDevice::CrashSimDevice(size_t size) : NvmDevice(nullptr, 0) {
+  size_t aligned = (size + 4095) & ~size_t{4095};
+  volatile_mem_ = static_cast<uint8_t*>(std::aligned_alloc(4096, aligned));
+  CRPM_CHECK(volatile_mem_ != nullptr, "aligned_alloc(%zu) failed", aligned);
+  std::memset(volatile_mem_, 0, aligned);
+  media_.assign(aligned, 0);
+  staged_.assign(aligned, 0);
+  staged_bits_.reset_size(aligned / kCacheLineSize);
+  set_base(volatile_mem_, aligned);
+
+  set_event_hook([this](const PersistEvent&) {
+    uint64_t idx = events_seen_++;
+    if (armed_ && idx == crash_target_) {
+      armed_ = false;
+      throw SimulatedCrash{idx};
+    }
+  });
+}
+
+CrashSimDevice::~CrashSimDevice() { std::free(volatile_mem_); }
+
+void CrashSimDevice::arm_crash_at_event(uint64_t target) {
+  crash_target_ = target;
+  armed_ = true;
+  events_seen_ = 0;
+}
+
+void CrashSimDevice::disarm() { armed_ = false; }
+
+void CrashSimDevice::stage_line(uint64_t line_offset) {
+  std::memcpy(staged_.data() + line_offset, volatile_mem_ + line_offset,
+              kCacheLineSize);
+  staged_bits_.set(line_offset / kCacheLineSize);
+}
+
+void CrashSimDevice::media_flush_line(uint64_t line_offset) {
+  stage_line(line_offset);
+}
+
+void CrashSimDevice::media_nt_line(uint64_t line_offset) {
+  // nt_copy updates the volatile image first (in NvmDevice::nt_copy), then
+  // calls this; streaming stores go straight to the WPQ, i.e. staged.
+  stage_line(line_offset);
+}
+
+void CrashSimDevice::media_fence() {
+  staged_bits_.for_each_set([this](size_t line) {
+    uint64_t off = line * kCacheLineSize;
+    std::memcpy(media_.data() + off, staged_.data() + off, kCacheLineSize);
+  });
+  staged_bits_.clear_all();
+}
+
+void CrashSimDevice::media_wbinvd() {
+  // A whole-cache writeback flushes every dirty line: stage every line whose
+  // volatile contents differ from what is already staged/durable.
+  size_t lines = size() / kCacheLineSize;
+  for (size_t l = 0; l < lines; ++l) {
+    uint64_t off = l * kCacheLineSize;
+    const uint8_t* current = staged_bits_.test(l) ? staged_.data() + off
+                                                  : media_.data() + off;
+    if (std::memcmp(volatile_mem_ + off, current, kCacheLineSize) != 0) {
+      stage_line(off);
+    }
+  }
+}
+
+void CrashSimDevice::crash_and_restart(CrashPolicy policy, Xoshiro256& rng) {
+  switch (policy) {
+    case CrashPolicy::kDropPending:
+      break;
+    case CrashPolicy::kCommitPending:
+      media_fence();
+      break;
+    case CrashPolicy::kRandomPending:
+      staged_bits_.for_each_set([&](size_t line) {
+        if (rng.next() & 1) {
+          uint64_t off = line * kCacheLineSize;
+          std::memcpy(media_.data() + off, staged_.data() + off,
+                      kCacheLineSize);
+        }
+      });
+      break;
+  }
+  staged_bits_.clear_all();
+  std::memcpy(volatile_mem_, media_.data(), size());
+  armed_ = false;
+}
+
+}  // namespace crpm

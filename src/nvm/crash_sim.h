@@ -1,0 +1,80 @@
+// Crash-simulation NVM device.
+//
+// Models the volatile-cache / persistent-media split of an ADR platform:
+//
+//   * Application stores land in the *volatile* image (the pointer handed
+//     to the runtime) and are NOT durable.
+//   * flush(line) stages the line's current volatile contents.
+//   * fence() commits all staged lines to the *media* image.
+//   * A simulated crash discards the volatile image and reloads it from
+//     media. Staged-but-unfenced lines are committed per CrashPolicy —
+//     kDropPending is the conservative outcome, kRandomPending models the
+//     hardware's freedom to drain the write-pending queue partially and
+//     out of order.
+//
+// Together with the per-line event hook this enumerates every reachable
+// crash state of the checkpoint protocol; the failure-atomicity tests
+// (tests/crash_injection_test.cpp) are built on it.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nvm/device.h"
+#include "util/bitmap.h"
+#include "util/rng.h"
+
+namespace crpm {
+
+enum class CrashPolicy {
+  kDropPending,    // no staged line reaches media (WPQ fully lost)
+  kCommitPending,  // every staged line reaches media (WPQ fully drained)
+  kRandomPending,  // each staged line independently reaches media or not
+};
+
+// Thrown by the crash-point injector; unwinds the protocol code under test.
+struct SimulatedCrash {
+  uint64_t event_index;
+};
+
+class CrashSimDevice final : public NvmDevice {
+ public:
+  explicit CrashSimDevice(size_t size);
+  ~CrashSimDevice() override;
+
+  // Discards volatile state per `policy` and reloads the volatile image
+  // from media, as a machine restart would.
+  void crash_and_restart(CrashPolicy policy, Xoshiro256& rng);
+
+  // Installs a hook that throws SimulatedCrash at the `target`-th persist
+  // event (0-based) and disarms itself. Returns false and stays disarmed if
+  // a previous arm never fired (target beyond the event count).
+  void arm_crash_at_event(uint64_t target);
+  void disarm();
+  uint64_t events_seen() const { return events_seen_; }
+
+  // Direct media inspection for tests.
+  const uint8_t* media() const { return media_.data(); }
+
+  // Count of staged (flushed-but-unfenced) lines.
+  size_t staged_lines() const { return staged_bits_.count(); }
+
+ private:
+  void media_flush_line(uint64_t line_offset) override;
+  void media_fence() override;
+  void media_nt_line(uint64_t line_offset) override;
+  void media_wbinvd() override;
+
+  void stage_line(uint64_t line_offset);
+
+  uint8_t* volatile_mem_;
+  std::vector<uint8_t> media_;
+  std::vector<uint8_t> staged_;     // staged contents, line-granular overlay
+  AtomicBitmap staged_bits_;        // one bit per cache line
+
+  uint64_t events_seen_ = 0;
+  uint64_t crash_target_ = ~uint64_t{0};
+  bool armed_ = false;
+};
+
+}  // namespace crpm

@@ -1,0 +1,57 @@
+#include "nvm/stats.h"
+
+#include <sstream>
+
+namespace crpm {
+
+PersistStatsSnapshot PersistStatsSnapshot::operator-(
+    const PersistStatsSnapshot& rhs) const {
+  PersistStatsSnapshot d;
+  d.clwb = clwb - rhs.clwb;
+  d.sfence = sfence - rhs.sfence;
+  d.wbinvd = wbinvd - rhs.wbinvd;
+  d.nt_stores = nt_stores - rhs.nt_stores;
+  d.flushed_bytes = flushed_bytes - rhs.flushed_bytes;
+  d.media_write_bytes = media_write_bytes - rhs.media_write_bytes;
+  d.msync = msync - rhs.msync;
+  return d;
+}
+
+std::string PersistStatsSnapshot::to_string() const {
+  std::ostringstream os;
+  os << "clwb=" << clwb << " sfence=" << sfence << " wbinvd=" << wbinvd
+     << " nt_stores=" << nt_stores << " flushed_bytes=" << flushed_bytes
+     << " media_write_bytes=" << media_write_bytes << " msync=" << msync;
+  return os.str();
+}
+
+PersistStatsSnapshot PersistStats::snapshot() const {
+  PersistStatsSnapshot s;
+  s.clwb = clwb_.load(std::memory_order_relaxed);
+  s.sfence = sfence_.load(std::memory_order_relaxed);
+  s.wbinvd = wbinvd_.load(std::memory_order_relaxed);
+  s.nt_stores = nt_stores_.load(std::memory_order_relaxed);
+  s.flushed_bytes = flushed_bytes_.load(std::memory_order_relaxed);
+  s.media_write_bytes = media_write_bytes_.load(std::memory_order_relaxed);
+  s.msync = msync_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void PersistStats::reset() {
+  clwb_.store(0, std::memory_order_relaxed);
+  sfence_.store(0, std::memory_order_relaxed);
+  wbinvd_.store(0, std::memory_order_relaxed);
+  nt_stores_.store(0, std::memory_order_relaxed);
+  flushed_bytes_.store(0, std::memory_order_relaxed);
+  media_write_bytes_.store(0, std::memory_order_relaxed);
+  msync_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t media_bytes_for_range(uintptr_t addr, uint64_t bytes) {
+  if (bytes == 0) return 0;
+  uintptr_t first = addr / kMediaLineSize;
+  uintptr_t last = (addr + bytes - 1) / kMediaLineSize;
+  return (last - first + 1) * kMediaLineSize;
+}
+
+}  // namespace crpm

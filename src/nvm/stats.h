@@ -1,0 +1,80 @@
+// Persistence-instruction statistics.
+//
+// The paper's two headline metrics are (a) checkpoint size — bytes written
+// to NVM media per operation (Table 1a) — and (b) the number of sfence
+// instructions issued per epoch (Table 1b). Every simulated NVM device
+// maintains one of these counter blocks; benchmarks snapshot it around an
+// epoch to compute per-epoch deltas.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace crpm {
+
+// Intel Optane DCPMM internally accesses media in 256-byte units (XPLines);
+// writing a single cache line still costs one full media line. This constant
+// drives the write-amplification accounting.
+inline constexpr uint64_t kMediaLineSize = 256;
+
+// CPU cache line size; clwb operates at this granularity.
+inline constexpr uint64_t kCacheLineSize = 64;
+
+struct PersistStatsSnapshot {
+  uint64_t clwb = 0;            // cache-line write-backs issued
+  uint64_t sfence = 0;          // store fences issued
+  uint64_t wbinvd = 0;          // whole-cache flushes issued
+  uint64_t nt_stores = 0;       // non-temporal store instructions (64B units)
+  uint64_t flushed_bytes = 0;   // bytes covered by clwb (64B granularity)
+  uint64_t media_write_bytes = 0;  // bytes charged at 256B media granularity
+  uint64_t msync = 0;           // msync calls (file-backed devices only)
+
+  PersistStatsSnapshot operator-(const PersistStatsSnapshot& rhs) const;
+  std::string to_string() const;
+};
+
+// Thread-safe counters; cheap relaxed increments on the hot path.
+class PersistStats {
+ public:
+  void add_clwb(uint64_t lines) {
+    clwb_.fetch_add(lines, std::memory_order_relaxed);
+    flushed_bytes_.fetch_add(lines * kCacheLineSize,
+                             std::memory_order_relaxed);
+  }
+  void add_sfence() { sfence_.fetch_add(1, std::memory_order_relaxed); }
+  void add_wbinvd() { wbinvd_.fetch_add(1, std::memory_order_relaxed); }
+  void add_nt_store_bytes(uint64_t bytes) {
+    nt_stores_.fetch_add((bytes + kCacheLineSize - 1) / kCacheLineSize,
+                         std::memory_order_relaxed);
+  }
+  void add_media_write(uint64_t bytes) {
+    media_write_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void add_msync() { msync_.fetch_add(1, std::memory_order_relaxed); }
+
+  uint64_t sfence_count() const {
+    return sfence_.load(std::memory_order_relaxed);
+  }
+  uint64_t media_write_bytes() const {
+    return media_write_bytes_.load(std::memory_order_relaxed);
+  }
+
+  PersistStatsSnapshot snapshot() const;
+  void reset();
+
+ private:
+  std::atomic<uint64_t> clwb_{0};
+  std::atomic<uint64_t> sfence_{0};
+  std::atomic<uint64_t> wbinvd_{0};
+  std::atomic<uint64_t> nt_stores_{0};
+  std::atomic<uint64_t> flushed_bytes_{0};
+  std::atomic<uint64_t> media_write_bytes_{0};
+  std::atomic<uint64_t> msync_{0};
+};
+
+// Charges `bytes` starting at media-line-aligned accounting: the number of
+// distinct 256B media lines the range [addr, addr+bytes) touches.
+uint64_t media_bytes_for_range(uintptr_t addr, uint64_t bytes);
+
+}  // namespace crpm

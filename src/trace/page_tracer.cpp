@@ -1,0 +1,195 @@
+#include "trace/page_tracer.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+#include "util/logging.h"
+#include "util/sync.h"
+
+namespace crpm {
+
+namespace {
+
+// Registry of live mprotect tracers consulted by the SIGSEGV handler. The
+// handler only reads; mutation happens with tracers quiescent (constructor/
+// destructor), guarded by a spinlock against concurrent registration.
+constexpr int kMaxTracers = 16;
+MprotectTracer* g_tracers[kMaxTracers];
+SpinLock g_tracer_lock;
+struct sigaction g_prev_sigsegv;
+bool g_handler_installed = false;
+
+void sigsegv_handler(int sig, siginfo_t* info, void* uctx) {
+  void* addr = info->si_addr;
+  for (auto* t : g_tracers) {
+    if (t != nullptr && t->handle_fault(addr)) return;
+  }
+  // Not ours: chain to the previous handler or re-raise with defaults.
+  if (g_prev_sigsegv.sa_flags & SA_SIGINFO) {
+    if (g_prev_sigsegv.sa_sigaction != nullptr) {
+      g_prev_sigsegv.sa_sigaction(sig, info, uctx);
+      return;
+    }
+  } else if (g_prev_sigsegv.sa_handler != SIG_DFL &&
+             g_prev_sigsegv.sa_handler != SIG_IGN &&
+             g_prev_sigsegv.sa_handler != nullptr) {
+    g_prev_sigsegv.sa_handler(sig);
+    return;
+  }
+  ::signal(SIGSEGV, SIG_DFL);
+  ::raise(SIGSEGV);
+}
+
+void install_handler_once() {
+  if (g_handler_installed) return;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_sigaction = sigsegv_handler;
+  sa.sa_flags = SA_SIGINFO | SA_NODEFER;
+  sigemptyset(&sa.sa_mask);
+  CRPM_CHECK(::sigaction(SIGSEGV, &sa, &g_prev_sigsegv) == 0,
+             "sigaction failed: %s", std::strerror(errno));
+  g_handler_installed = true;
+}
+
+}  // namespace
+
+MprotectTracer::MprotectTracer(uint8_t* base, size_t len)
+    : base_(base), len_(len), dirty_(len / kPageSize) {
+  CRPM_CHECK(reinterpret_cast<uintptr_t>(base) % kPageSize == 0 &&
+                 len % kPageSize == 0,
+             "mprotect tracer range must be page-aligned");
+  std::lock_guard<SpinLock> lk(g_tracer_lock);
+  install_handler_once();
+  for (auto& slot : g_tracers) {
+    if (slot == nullptr) {
+      slot = this;
+      return;
+    }
+  }
+  CRPM_CHECK(false, "too many mprotect tracers");
+}
+
+MprotectTracer::~MprotectTracer() {
+  if (armed_) ::mprotect(base_, len_, PROT_READ | PROT_WRITE);
+  std::lock_guard<SpinLock> lk(g_tracer_lock);
+  for (auto& slot : g_tracers) {
+    if (slot == this) slot = nullptr;
+  }
+}
+
+void MprotectTracer::epoch_begin() {
+  dirty_.clear_all();
+  CRPM_CHECK(::mprotect(base_, len_, PROT_READ) == 0,
+             "mprotect(PROT_READ) failed: %s", std::strerror(errno));
+  armed_ = true;
+}
+
+bool MprotectTracer::handle_fault(void* addr) {
+  auto a = reinterpret_cast<uintptr_t>(addr);
+  auto b = reinterpret_cast<uintptr_t>(base_);
+  if (a < b || a >= b + len_) return false;
+  // clock_gettime and mprotect are both async-signal-safe.
+  struct timespec t0;
+  ::clock_gettime(CLOCK_MONOTONIC, &t0);
+  uint64_t page = (a - b) / kPageSize;
+  dirty_.set(page);
+  ++faults_;
+  bool ok = ::mprotect(base_ + page * kPageSize, kPageSize,
+                       PROT_READ | PROT_WRITE) == 0;
+  struct timespec t1;
+  ::clock_gettime(CLOCK_MONOTONIC, &t1);
+  fault_ns_ += static_cast<uint64_t>(t1.tv_sec - t0.tv_sec) * 1000000000ull +
+               static_cast<uint64_t>(t1.tv_nsec - t0.tv_nsec);
+  return ok;
+}
+
+void MprotectTracer::collect(std::vector<uint64_t>* dirty_pages) {
+  dirty_.for_each_set([&](size_t p) { dirty_pages->push_back(p); });
+  // Unprotect everything so the checkpoint itself can touch the region
+  // without faulting; epoch_begin re-arms.
+  CRPM_CHECK(::mprotect(base_, len_, PROT_READ | PROT_WRITE) == 0,
+             "mprotect(RW) failed: %s", std::strerror(errno));
+  armed_ = false;
+}
+
+bool SoftDirtyTracer::available() {
+  static const bool avail = [] {
+    // Functional probe: the interface can exist (clear_refs accepts "4")
+    // on kernels built without CONFIG_MEM_SOFT_DIRTY, where bit 55 never
+    // sets. Clear, dirty a page, and require the bit to appear.
+    int fd = ::open("/proc/self/clear_refs", O_WRONLY);
+    if (fd < 0) return false;
+    bool ok = ::write(fd, "4", 1) == 1;
+    ::close(fd);
+    if (!ok) return false;
+    int pm = ::open("/proc/self/pagemap", O_RDONLY);
+    if (pm < 0) return false;
+    void* page = ::mmap(nullptr, kPageSize, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (page == MAP_FAILED) {
+      ::close(pm);
+      return false;
+    }
+    *static_cast<volatile uint8_t*>(page) = 1;
+    uint64_t entry = 0;
+    uint64_t vpage = reinterpret_cast<uintptr_t>(page) / kPageSize;
+    bool dirty = ::pread(pm, &entry, 8, static_cast<off_t>(vpage * 8)) == 8 &&
+                 (entry & (uint64_t{1} << 55)) != 0;
+    ::munmap(page, kPageSize);
+    ::close(pm);
+    return dirty;
+  }();
+  return avail;
+}
+
+SoftDirtyTracer::SoftDirtyTracer(uint8_t* base, size_t len)
+    : base_(base), len_(len) {
+  CRPM_CHECK(reinterpret_cast<uintptr_t>(base) % kPageSize == 0 &&
+                 len % kPageSize == 0,
+             "soft-dirty tracer range must be page-aligned");
+  pagemap_fd_ = ::open("/proc/self/pagemap", O_RDONLY);
+  CRPM_CHECK(pagemap_fd_ >= 0, "cannot open /proc/self/pagemap: %s",
+             std::strerror(errno));
+}
+
+SoftDirtyTracer::~SoftDirtyTracer() {
+  if (pagemap_fd_ >= 0) ::close(pagemap_fd_);
+}
+
+void SoftDirtyTracer::epoch_begin() {
+  // Writing "4" clears the soft-dirty bits of the whole process — which is
+  // precisely the paper's observation that this mechanism is coarse.
+  int fd = ::open("/proc/self/clear_refs", O_WRONLY);
+  CRPM_CHECK(fd >= 0, "cannot open /proc/self/clear_refs: %s",
+             std::strerror(errno));
+  CRPM_CHECK(::write(fd, "4", 1) == 1, "clear_refs write failed: %s",
+             std::strerror(errno));
+  ::close(fd);
+}
+
+void SoftDirtyTracer::collect(std::vector<uint64_t>* dirty_pages) {
+  uint64_t pages = len_ / kPageSize;
+  uint64_t first_vpage = reinterpret_cast<uintptr_t>(base_) / kPageSize;
+  constexpr uint64_t kBatch = 1024;
+  uint64_t buf[kBatch];
+  for (uint64_t p = 0; p < pages; p += kBatch) {
+    uint64_t n = pages - p < kBatch ? pages - p : kBatch;
+    off_t off = static_cast<off_t>((first_vpage + p) * 8);
+    ssize_t rd = ::pread(pagemap_fd_, buf, n * 8, off);
+    CRPM_CHECK(rd == static_cast<ssize_t>(n * 8), "pagemap read failed: %s",
+               std::strerror(errno));
+    for (uint64_t i = 0; i < n; ++i) {
+      if (buf[i] & (uint64_t{1} << 55)) dirty_pages->push_back(p + i);
+    }
+  }
+}
+
+}  // namespace crpm

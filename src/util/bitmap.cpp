@@ -1,0 +1,66 @@
+#include "util/bitmap.h"
+
+#include <cassert>
+
+namespace crpm {
+
+void AtomicBitmap::reset_size(size_t nbits) {
+  nbits_ = nbits;
+  words_ = std::vector<std::atomic<uint64_t>>((nbits + 63) / 64);
+  for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+}
+
+void AtomicBitmap::clear_range(size_t first, size_t n) {
+  if (n == 0) return;
+  assert(first + n <= nbits_);
+  size_t last = first + n;  // exclusive
+  size_t w_first = first >> 6;
+  size_t w_last = (last - 1) >> 6;
+  if (w_first == w_last) {
+    uint64_t mask = (~uint64_t{0} << (first & 63));
+    if ((last & 63) != 0) mask &= (uint64_t{1} << (last & 63)) - 1;
+    words_[w_first].fetch_and(~mask, std::memory_order_acq_rel);
+    return;
+  }
+  // Leading partial word.
+  if ((first & 63) != 0) {
+    uint64_t mask = ~uint64_t{0} << (first & 63);
+    words_[w_first].fetch_and(~mask, std::memory_order_acq_rel);
+    ++w_first;
+  }
+  // Trailing partial word.
+  if ((last & 63) != 0) {
+    uint64_t mask = (uint64_t{1} << (last & 63)) - 1;
+    words_[w_last].fetch_and(~mask, std::memory_order_acq_rel);
+  } else {
+    ++w_last;  // trailing word is full, clear it in the loop below
+  }
+  for (size_t w = w_first; w < w_last; ++w) {
+    words_[w].store(0, std::memory_order_release);
+  }
+}
+
+void AtomicBitmap::clear_all() {
+  for (auto& w : words_) w.store(0, std::memory_order_release);
+}
+
+size_t AtomicBitmap::count_range(size_t first, size_t n) const {
+  size_t total = 0;
+  if (n == 0) return 0;
+  size_t last = first + n;
+  size_t w = first >> 6;
+  size_t w_end = (last + 63) >> 6;
+  for (; w < w_end; ++w) {
+    uint64_t bits = words_[w].load(std::memory_order_acquire);
+    if (w == (first >> 6) && (first & 63) != 0) {
+      bits &= ~uint64_t{0} << (first & 63);
+    }
+    if (w == (last >> 6) && (last & 63) != 0) {
+      bits &= (uint64_t{1} << (last & 63)) - 1;
+    }
+    total += static_cast<size_t>(__builtin_popcountll(bits));
+  }
+  return total;
+}
+
+}  // namespace crpm

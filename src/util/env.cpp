@@ -1,0 +1,46 @@
+#include "util/env.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace crpm {
+
+uint64_t env_u64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long x = std::strtoull(v, &end, 0);
+  if (end == v) return fallback;
+  // Accept k/m/g suffixes (powers of two) for sizes.
+  if (end != nullptr) {
+    switch (*end) {
+      case 'k': case 'K': x <<= 10; break;
+      case 'm': case 'M': x <<= 20; break;
+      case 'g': case 'G': x <<= 30; break;
+      default: break;
+    }
+  }
+  return static_cast<uint64_t>(x);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  double x = std::strtod(v, &end);
+  return end == v ? fallback : x;
+}
+
+bool env_bool(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "false") == 0 ||
+           std::strcmp(v, "off") == 0 || std::strcmp(v, "no") == 0);
+}
+
+std::string env_str(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback : std::string(v);
+}
+
+}  // namespace crpm

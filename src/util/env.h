@@ -1,0 +1,19 @@
+// Environment-variable configuration helpers for the benchmark harness.
+//
+// All benchmarks accept CRPM_BENCH_SCALE-style knobs so the paper's 24M-key
+// runs can be scaled to laptop-sized runs without editing code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace crpm {
+
+// Returns the value of `name` parsed as the given type, or `fallback` if the
+// variable is unset or unparseable.
+uint64_t env_u64(const char* name, uint64_t fallback);
+double env_double(const char* name, double fallback);
+bool env_bool(const char* name, bool fallback);
+std::string env_str(const char* name, const std::string& fallback);
+
+}  // namespace crpm

@@ -1,0 +1,42 @@
+// Minimal logging and invariant-checking helpers.
+//
+// CRPM_CHECK aborts on broken internal invariants — in a persistence library
+// continuing past a broken invariant risks corrupting the checkpoint state,
+// which is strictly worse than crashing (a crash is recoverable by design).
+#pragma once
+
+#include <cstdarg>
+#include <cstdlib>
+
+namespace crpm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Process-wide log threshold; messages below it are suppressed.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// printf-style logging to stderr with a severity prefix.
+void log_msg(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+}  // namespace crpm
+
+#define CRPM_LOG_DEBUG(...) \
+  ::crpm::log_msg(::crpm::LogLevel::kDebug, __VA_ARGS__)
+#define CRPM_LOG_INFO(...) ::crpm::log_msg(::crpm::LogLevel::kInfo, __VA_ARGS__)
+#define CRPM_LOG_WARN(...) ::crpm::log_msg(::crpm::LogLevel::kWarn, __VA_ARGS__)
+#define CRPM_LOG_ERROR(...) \
+  ::crpm::log_msg(::crpm::LogLevel::kError, __VA_ARGS__)
+
+// Always-on invariant check (not compiled out in release builds).
+#define CRPM_CHECK(expr, ...)                                         \
+  do {                                                                \
+    if (__builtin_expect(!(expr), 0)) {                               \
+      ::crpm::check_failed(__FILE__, __LINE__, #expr, __VA_ARGS__);   \
+    }                                                                 \
+  } while (0)

@@ -1,0 +1,47 @@
+// Monotonic stopwatch and time-accumulator used for epoch pacing and for
+// the execution/trace/checkpoint time breakdown of Figure 1.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace crpm {
+
+class Stopwatch {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  double elapsed_sec() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  uint64_t elapsed_ns() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+// Accumulates wall time across disjoint intervals; one per breakdown bucket
+// (execution / memory trace / checkpoint).
+class TimeAccumulator {
+ public:
+  void add_ns(uint64_t ns) { total_ns_ += ns; }
+  void add(const Stopwatch& sw) { total_ns_ += sw.elapsed_ns(); }
+  uint64_t total_ns() const { return total_ns_; }
+  double total_sec() const { return double(total_ns_) * 1e-9; }
+  void reset() { total_ns_ = 0; }
+
+ private:
+  uint64_t total_ns_ = 0;
+};
+
+}  // namespace crpm

@@ -1,0 +1,74 @@
+// Synchronization primitives: test-and-test-and-set spinlock (the paper's
+// per-segment locks) and a reusable sense-reversing thread barrier (the
+// collective crpm_checkpoint entry/exit barriers of Figure 6).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace crpm {
+
+// Per-segment lock. Copy-on-write critical sections are short (at most one
+// segment copy), so a spinlock beats a futex-based mutex; there is one lock
+// per 2 MB segment so the array must stay small (1 byte of state).
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  bool try_lock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+// Reusable barrier for N threads (sense-reversing). crpm_checkpoint is
+// collective: every application thread calls it and blocks until all threads
+// have arrived, so no thread is still mutating container data when the
+// leader commits the checkpoint.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(size_t n) : n_(n), remaining_(n) {}
+
+  // Returns true on exactly one thread per round (the "leader").
+  bool arrive_and_wait() {
+    bool sense = sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(n_, std::memory_order_relaxed);
+      sense_.store(!sense, std::memory_order_release);
+      return true;
+    }
+    while (sense_.load(std::memory_order_acquire) == sense) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    }
+    return false;
+  }
+
+  size_t participants() const { return n_; }
+
+ private:
+  size_t n_;
+  std::atomic<size_t> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace crpm

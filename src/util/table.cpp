@@ -1,0 +1,87 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace crpm {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+TablePrinter& TablePrinter::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TablePrinter& TablePrinter::cell(const std::string& s) {
+  rows_.back().push_back(s);
+  return *this;
+}
+
+TablePrinter& TablePrinter::cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return cell(std::string(buf));
+}
+
+TablePrinter& TablePrinter::cell(uint64_t v) {
+  return cell(format_count(v));
+}
+
+std::string TablePrinter::to_string() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    for (size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+      if (r[c].size() > widths[c]) widths[c] = r[c].size();
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string();
+      os << "| " << s << std::string(widths[c] - s.size(), ' ') << ' ';
+    }
+    os << "|\n";
+  };
+  emit_row(headers_);
+  for (size_t c = 0; c < widths.size(); ++c) {
+    os << "|" << std::string(widths[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+void TablePrinter::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string format_bytes(uint64_t bytes) {
+  static const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  if (u == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu%s",
+                  static_cast<unsigned long long>(bytes), units[u]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f%s", v, units[u]);
+  }
+  return buf;
+}
+
+std::string format_count(uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  size_t n = digits.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (i != 0 && (n - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+}  // namespace crpm

@@ -1,0 +1,42 @@
+// Plain-text table printer for the benchmark harness.
+//
+// Every bench binary prints the rows of the paper table / figure series it
+// reproduces; this formats them with aligned columns so outputs are directly
+// comparable to the paper's tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace crpm {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Begins a new row; subsequent add_* calls fill its cells left to right.
+  TablePrinter& row();
+  TablePrinter& cell(const std::string& s);
+  TablePrinter& cell(const char* s) { return cell(std::string(s)); }
+  TablePrinter& cell(double v, int precision = 2);
+  TablePrinter& cell(uint64_t v);
+  TablePrinter& cell(int v) { return cell(static_cast<uint64_t>(v < 0 ? 0 : v)); }
+
+  // Renders the table to stdout.
+  void print() const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a byte count with a binary-unit suffix ("1.5MiB").
+std::string format_bytes(uint64_t bytes);
+
+// Formats a count with thousands separators ("12,345,678").
+std::string format_count(uint64_t v);
+
+}  // namespace crpm

@@ -1,0 +1,64 @@
+// Zipfian key generator, YCSB-style (Gray et al., "Quickly generating
+// billion-record synthetic databases").
+//
+// The paper draws keys from a Zipfian distribution with alpha = 0.99 for the
+// balanced / read-heavy / read-only workloads (Section 5.2.1). The scrambled
+// variant spreads the hot keys across the key space, matching YCSB's
+// ScrambledZipfianGenerator, so hot keys don't cluster in adjacent hash
+// buckets or tree paths.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace crpm {
+
+class ZipfianGenerator {
+ public:
+  // Draws values in [0, n). `theta` is the skew (paper: 0.99).
+  ZipfianGenerator(uint64_t n, double theta = 0.99, uint64_t seed = 1);
+
+  uint64_t next(Xoshiro256& rng);
+
+  uint64_t n() const { return n_; }
+
+ private:
+  static double zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+// Zipfian with the rank-to-key mapping scrambled by a 64-bit mix, so the
+// most popular keys are spread uniformly over [0, n).
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t n, double theta = 0.99, uint64_t seed = 1)
+      : inner_(n, theta, seed), n_(n) {}
+
+  uint64_t next(Xoshiro256& rng) {
+    uint64_t rank = inner_.next(rng);
+    return fnv_mix(rank) % n_;
+  }
+
+ private:
+  static uint64_t fnv_mix(uint64_t x) {
+    // FNV-1a over the 8 bytes, like YCSB's FNVhash64.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+
+  ZipfianGenerator inner_;
+  uint64_t n_;
+};
+
+}  // namespace crpm

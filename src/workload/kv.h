@@ -1,0 +1,75 @@
+// Runtime-polymorphic KV-store handle over every compared system.
+//
+// The epoch runner (runner.h) drives this interface to produce the rows of
+// Figures 1, 7, 9, 10 and Table 1. make_kv() instantiates the requested
+// (system, data structure) pair: policy-based systems share the PMap /
+// PHashMap container code; Dalí is its own map.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/options.h"
+#include "nvm/cost_model.h"
+#include "nvm/device.h"
+
+namespace crpm {
+
+enum class SystemKind {
+  kMprotect,
+  kSoftDirty,
+  kUndoLog,
+  kLmc,
+  kDali,
+  kNvmNp,
+  kCrpmDefault,
+  kCrpmBuffered,
+};
+
+enum class StructureKind { kMap, kUnorderedMap };
+
+const char* system_name(SystemKind k);
+const char* structure_name(StructureKind k);
+
+// True if the (system, structure) pair is runnable here: Dalí is a hash map
+// only, and soft-dirty requires kernel support.
+bool system_supported(SystemKind k, StructureKind s);
+
+struct KvConfig {
+  // Expected maximum number of live keys; sizes regions and buckets.
+  uint64_t max_keys = 1 << 20;
+  CostModel cost_model = CostModel::disabled();
+  // libcrpm geometry (Figure 10 sweeps these).
+  uint64_t segment_size = 2 * 1024 * 1024;
+  uint64_t block_size = 256;
+  uint64_t eager_cow_segments = 8;
+  uint64_t wbinvd_threshold = 32 * 1024 * 1024;
+};
+
+struct KvMetrics {
+  uint64_t sfence = 0;            // persistence fences issued
+  uint64_t media_write_bytes = 0; // NVM media traffic
+  uint64_t checkpoint_bytes = 0;  // the paper's "checkpoint size"
+  uint64_t trace_ns = 0;          // memory-trace time (Figure 1)
+  uint64_t epochs = 0;
+};
+
+class KvBench {
+ public:
+  virtual ~KvBench() = default;
+
+  virtual bool insert(uint64_t key, uint64_t value) = 0;
+  virtual bool get(uint64_t key, uint64_t* value) = 0;
+  // Blind write: insert-or-assign.
+  virtual void put(uint64_t key, uint64_t value) = 0;
+  virtual void checkpoint() = 0;
+
+  virtual KvMetrics metrics() const = 0;
+  virtual const char* name() const = 0;
+};
+
+std::unique_ptr<KvBench> make_kv(SystemKind system, StructureKind structure,
+                                 const KvConfig& cfg);
+
+}  // namespace crpm

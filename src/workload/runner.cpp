@@ -1,0 +1,136 @@
+#include "workload/runner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/zipfian.h"
+
+namespace crpm {
+
+const char* mix_name(OpMix m) {
+  switch (m) {
+    case OpMix::kInsertOnly: return "insert-only";
+    case OpMix::kBalanced: return "balanced";
+    case OpMix::kReadHeavy: return "read-heavy";
+    case OpMix::kReadOnly: return "read-only";
+  }
+  return "?";
+}
+
+namespace {
+
+KvMetrics metrics_delta(const KvMetrics& now, const KvMetrics& base) {
+  KvMetrics d;
+  d.sfence = now.sfence - base.sfence;
+  d.media_write_bytes = now.media_write_bytes - base.media_write_bytes;
+  d.checkpoint_bytes = now.checkpoint_bytes - base.checkpoint_bytes;
+  d.trace_ns = now.trace_ns - base.trace_ns;
+  d.epochs = now.epochs - base.epochs;
+  return d;
+}
+
+}  // namespace
+
+RunResult run_kv(KvBench& kv, const WorkloadSpec& spec) {
+  Xoshiro256 rng(spec.seed);
+
+  // --- populate phase (not measured) ------------------------------------
+  // Checkpoint periodically while loading: log-structured baselines bound
+  // their per-epoch trace volume by their log capacity.
+  uint64_t base_keys = spec.mix == OpMix::kInsertOnly ? 0 : spec.populate_keys;
+  for (uint64_t k = 0; k < base_keys; ++k) {
+    kv.insert(k, k ^ 0xBEEF);
+    if ((k & 0x3FFF) == 0x3FFF) kv.checkpoint();
+  }
+  kv.checkpoint();
+
+  KvMetrics m0 = kv.metrics();
+  ScrambledZipfianGenerator zipf(base_keys == 0 ? 1 : base_keys,
+                                 spec.zipf_theta, spec.seed);
+
+  // Pre-shuffled key sequence for insert-only (uniformly distributed keys).
+  std::vector<uint64_t> insert_keys;
+  if (spec.mix == OpMix::kInsertOnly) {
+    insert_keys.resize(spec.insert_ops);
+    std::iota(insert_keys.begin(), insert_keys.end(), uint64_t{0});
+    std::shuffle(insert_keys.begin(), insert_keys.end(), rng);
+  }
+
+  // --- measured phase ----------------------------------------------------
+  const double interval_s = spec.interval_ms * 1e-3;
+  uint64_t ops = 0;
+  uint64_t epochs_done = 0;
+  double ckpt_wall_s = 0;
+  uint64_t trace_in_ckpt_ns = 0;
+
+  Stopwatch total_sw;
+  Stopwatch epoch_sw;
+
+  auto take_checkpoint = [&] {
+    uint64_t t0 = kv.metrics().trace_ns;
+    Stopwatch sw;
+    kv.checkpoint();
+    ckpt_wall_s += sw.elapsed_sec();
+    trace_in_ckpt_ns += kv.metrics().trace_ns - t0;
+    ++epochs_done;
+    epoch_sw.restart();
+  };
+
+  if (spec.mix == OpMix::kInsertOnly) {
+    for (uint64_t i = 0; i < spec.insert_ops; ++i) {
+      kv.insert(insert_keys[i], i);
+      ++ops;
+      if ((ops & 0xFF) == 0 && epoch_sw.elapsed_sec() >= interval_s) {
+        take_checkpoint();
+      }
+    }
+    take_checkpoint();  // final epoch
+  } else {
+    uint64_t update_permille;
+    switch (spec.mix) {
+      case OpMix::kBalanced: update_permille = 500; break;
+      case OpMix::kReadHeavy: update_permille = 50; break;
+      default: update_permille = 0; break;
+    }
+    uint64_t value = 0;
+    while (epochs_done < spec.epochs) {
+      uint64_t key = zipf.next(rng);
+      if (update_permille != 0 && rng.next_below(1000) < update_permille) {
+        kv.put(key, ++value);
+      } else {
+        uint64_t v;
+        bool found = kv.get(key, &v);
+        (void)found;
+      }
+      ++ops;
+      if ((ops & 0xFF) == 0 && epoch_sw.elapsed_sec() >= interval_s) {
+        take_checkpoint();
+      }
+    }
+  }
+
+  double total_s = total_sw.elapsed_sec();
+  KvMetrics d = metrics_delta(kv.metrics(), m0);
+
+  RunResult r;
+  r.ops = ops;
+  r.total_s = total_s;
+  r.throughput_mops = total_s > 0 ? double(ops) / total_s / 1e6 : 0;
+  r.epochs = epochs_done;
+  double trace_s = double(d.trace_ns) * 1e-9;
+  r.trace_s = trace_s;
+  r.checkpoint_s =
+      std::max(0.0, ckpt_wall_s - double(trace_in_ckpt_ns) * 1e-9);
+  r.execution_s = std::max(0.0, total_s - r.trace_s - r.checkpoint_s);
+  r.ckpt_bytes_per_op = ops > 0 ? double(d.checkpoint_bytes) / double(ops) : 0;
+  r.media_bytes_per_op =
+      ops > 0 ? double(d.media_write_bytes) / double(ops) : 0;
+  r.sfence_per_epoch =
+      epochs_done > 0 ? double(d.sfence) / double(epochs_done) : 0;
+  return r;
+}
+
+}  // namespace crpm

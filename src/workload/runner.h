@@ -1,0 +1,50 @@
+// Epoch-based KV workload runner (Section 5.2.1).
+//
+// Reproduces the paper's measurement methodology: populate the store, then
+// run the chosen operation mix with a wall-clock checkpoint interval
+// (default 128 ms), and report throughput plus the per-epoch metrics of
+// Table 1 and the execution/trace/checkpoint breakdown of Figure 1.
+//
+// Workloads: insert-only (uniform new keys), balanced (50% update / 50%
+// get), read-heavy (5% / 95%), read-only — keys Zipfian (theta 0.99).
+#pragma once
+
+#include <cstdint>
+
+#include "workload/kv.h"
+
+namespace crpm {
+
+enum class OpMix { kInsertOnly, kBalanced, kReadHeavy, kReadOnly };
+
+const char* mix_name(OpMix m);
+
+struct WorkloadSpec {
+  OpMix mix = OpMix::kBalanced;
+  uint64_t populate_keys = 1 << 20;  // paper: 24M, scaled via CRPM_BENCH_SCALE
+  uint64_t insert_ops = 200000;      // insert-only: entries inserted (paper: 5M)
+  double interval_ms = 128.0;        // checkpoint interval
+  uint64_t epochs = 8;               // epochs measured for mixed workloads
+  double zipf_theta = 0.99;
+  uint64_t seed = 1;
+};
+
+struct RunResult {
+  double throughput_mops = 0;  // operations per microsecond
+  uint64_t ops = 0;
+  double total_s = 0;
+  // Figure 1 breakdown (seconds).
+  double execution_s = 0;
+  double trace_s = 0;
+  double checkpoint_s = 0;
+  // Table 1 metrics.
+  double ckpt_bytes_per_op = 0;   // average checkpoint size per operation
+  double sfence_per_epoch = 0;    // fences issued per epoch
+  double media_bytes_per_op = 0;  // NVM media write traffic per operation
+  uint64_t epochs = 0;
+};
+
+// Runs `spec` against `kv`. The store must be freshly constructed.
+RunResult run_kv(KvBench& kv, const WorkloadSpec& spec);
+
+}  // namespace crpm

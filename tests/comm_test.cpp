@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "comm/coordinated.h"
+#include "comm/sim_comm.h"
+#include "core/container.h"
+#include "nvm/crash_sim.h"
+
+namespace crpm {
+namespace {
+
+TEST(SimComm, BarrierAndReductions) {
+  SimComm comm(4);
+  std::vector<uint64_t> mins(4), sums(4);
+  std::vector<double> dsums(4);
+  comm.run([&](int rank) {
+    mins[size_t(rank)] = comm.allreduce_min(rank, uint64_t(10 + rank));
+    sums[size_t(rank)] = comm.allreduce_sum(rank, uint64_t(rank));
+    dsums[size_t(rank)] = comm.allreduce_sum(rank, double(rank) * 0.5);
+  });
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(mins[size_t(r)], 10u);
+    EXPECT_EQ(sums[size_t(r)], 6u);
+    EXPECT_DOUBLE_EQ(dsums[size_t(r)], 3.0);
+  }
+}
+
+TEST(SimComm, PublishPeerPointers) {
+  SimComm comm(3);
+  std::vector<int> values{7, 8, 9};
+  std::vector<int> got(3);
+  comm.run([&](int rank) {
+    comm.publish(rank, &values[size_t(rank)]);
+    comm.barrier();
+    got[size_t(rank)] = *static_cast<int*>(comm.peer((rank + 1) % 3));
+  });
+  EXPECT_EQ(got, (std::vector<int>{8, 9, 7}));
+}
+
+CrpmOptions rank_opts() {
+  CrpmOptions o;
+  o.segment_size = 4096;
+  o.block_size = 256;
+  o.main_region_size = 256 * 1024;
+  // Coordinated recovery requires one epoch of retained history, which
+  // eager copy-on-write would destroy (see coordinated_checkpoint).
+  o.eager_cow_segments = 0;
+  return o;
+}
+
+TEST(Coordinated, StragglerRollsBackToGlobalMinimum) {
+  constexpr int kRanks = 3;
+  CrpmOptions o = rank_opts();
+  std::vector<std::unique_ptr<CrashSimDevice>> devs;
+  for (int r = 0; r < kRanks; ++r) {
+    devs.push_back(std::make_unique<CrashSimDevice>(
+        Container::required_device_size(o)));
+  }
+
+  // Phase 1: all ranks run 3 coordinated epochs; rank 1 then commits a 4th
+  // epoch alone (as if the crash hit between its commit and the barrier).
+  {
+    SimComm comm(kRanks);
+    comm.run([&](int rank) {
+      auto ctr = Container::open(devs[size_t(rank)].get(), o);
+      for (uint64_t e = 1; e <= 3; ++e) {
+        uint64_t v = e * 100 + uint64_t(rank);
+        ctr->annotate(ctr->data(), 8);
+        std::memcpy(ctr->data(), &v, 8);
+        coordinated_checkpoint(comm, *ctr);
+      }
+      if (rank == 1) {
+        uint64_t v = 400 + uint64_t(rank);
+        ctr->annotate(ctr->data(), 8);
+        std::memcpy(ctr->data(), &v, 8);
+        ctr->checkpoint();  // uncoordinated extra epoch
+      }
+    });
+  }
+  Xoshiro256 rng(3);
+  for (auto& d : devs) d->crash_and_restart(CrashPolicy::kDropPending, rng);
+
+  // Phase 2: coordinated recovery must agree on epoch 3 and roll rank 1
+  // back from its epoch-4 state.
+  {
+    SimComm comm(kRanks);
+    std::vector<uint64_t> agreed(kRanks);
+    std::vector<uint64_t> values(kRanks);
+    comm.run([&](int rank) {
+      auto opened = coordinated_open(comm, rank, devs[size_t(rank)].get(), o);
+      agreed[size_t(rank)] = opened.epoch;
+      EXPECT_EQ(opened.container->committed_epoch(), opened.epoch);
+      std::memcpy(&values[size_t(rank)], opened.container->data(), 8);
+    });
+    for (int r = 0; r < kRanks; ++r) {
+      EXPECT_EQ(agreed[size_t(r)], 3u);
+      EXPECT_EQ(values[size_t(r)], 300 + uint64_t(r)) << "rank " << r;
+    }
+  }
+}
+
+TEST(Coordinated, BufferedModeRollbackAlsoWorks) {
+  constexpr int kRanks = 2;
+  CrpmOptions o = rank_opts();
+  o.buffered = true;
+  std::vector<std::unique_ptr<CrashSimDevice>> devs;
+  for (int r = 0; r < kRanks; ++r) {
+    devs.push_back(std::make_unique<CrashSimDevice>(
+        Container::required_device_size(o)));
+  }
+  {
+    SimComm comm(kRanks);
+    comm.run([&](int rank) {
+      auto ctr = Container::open(devs[size_t(rank)].get(), o);
+      for (uint64_t e = 1; e <= 4; ++e) {
+        uint64_t v = e * 1000 + uint64_t(rank);
+        ctr->annotate(ctr->data() + 512, 8);
+        std::memcpy(ctr->data() + 512, &v, 8);
+        coordinated_checkpoint(comm, *ctr);
+      }
+      if (rank == 0) {
+        uint64_t v = 5000;
+        ctr->annotate(ctr->data() + 512, 8);
+        std::memcpy(ctr->data() + 512, &v, 8);
+        ctr->checkpoint();
+      }
+    });
+  }
+  Xoshiro256 rng(8);
+  for (auto& d : devs) d->crash_and_restart(CrashPolicy::kDropPending, rng);
+  {
+    SimComm comm(kRanks);
+    std::vector<uint64_t> values(kRanks);
+    comm.run([&](int rank) {
+      auto opened = coordinated_open(comm, rank, devs[size_t(rank)].get(), o);
+      EXPECT_EQ(opened.epoch, 4u);
+      std::memcpy(&values[size_t(rank)], opened.container->data() + 512, 8);
+    });
+    EXPECT_EQ(values[0], 4000u);
+    EXPECT_EQ(values[1], 4001u);
+  }
+}
+
+}  // namespace
+}  // namespace crpm

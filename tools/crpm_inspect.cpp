@@ -1,0 +1,194 @@
+// crpm_inspect: offline container inspection and consistency checking.
+//
+//   crpm_inspect <container-file>
+//
+// Prints the persistent metadata (header, committed epoch, segment-state
+// histogram, backup pairings, roots, heap usage) and verifies the
+// structural invariants that recovery depends on:
+//
+//   * magic/version/initialized flags
+//   * geometry arithmetic consistent with the device size
+//   * every pairing in range and no two backups paired to the same main
+//   * segment states within the enum; SS_Backup only with a pairing
+//
+// Read-only: opens the file without running recovery, so it can be used on
+// a crashed container before restarting the application.
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/layout.h"
+#include "util/table.h"
+
+using namespace crpm;
+
+namespace {
+
+int inspect(const char* path) {
+  int fd = ::open(path, O_RDONLY);
+  if (fd < 0) {
+    std::perror("open");
+    return 1;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    std::perror("fstat");
+    return 1;
+  }
+  auto size = static_cast<size_t>(st.st_size);
+  if (size < sizeof(MetaHeader)) {
+    std::fprintf(stderr, "file too small to be a crpm container\n");
+    return 1;
+  }
+  void* mem = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (mem == MAP_FAILED) {
+    std::perror("mmap");
+    return 1;
+  }
+  const auto* h = static_cast<const MetaHeader*>(mem);
+  const auto* base = static_cast<const uint8_t*>(mem);
+
+  if (h->magic != kMetaMagic) {
+    std::fprintf(stderr, "bad magic 0x%llx: not a crpm container\n",
+                 (unsigned long long)h->magic);
+    return 1;
+  }
+
+  std::printf("container:         %s\n", path);
+  std::printf("version:           %u  (initialized: %s, mode: %s)\n",
+              h->version, h->initialized ? "yes" : "NO",
+              (h->flags & 1u) ? "buffered" : "default");
+  std::printf("committed epoch:   %llu (active seg_state array: %llu)\n",
+              (unsigned long long)h->committed_epoch,
+              (unsigned long long)(h->committed_epoch & 1));
+  std::printf("geometry:          %llu main + %llu backup segments of %s, "
+              "%s blocks\n",
+              (unsigned long long)h->nr_main_segs,
+              (unsigned long long)h->nr_backup_segs,
+              format_bytes(h->segment_size).c_str(),
+              format_bytes(h->block_size).c_str());
+  std::printf("device size:       %s (file), regions at %s / %s\n",
+              format_bytes(size).c_str(),
+              format_bytes(h->main_region_offset).c_str(),
+              format_bytes(h->backup_region_offset).c_str());
+
+  int errors = 0;
+  uint64_t expected_min =
+      h->backup_region_offset + h->nr_backup_segs * h->segment_size;
+  if (size < expected_min) {
+    std::printf("ERROR: file truncated: need %llu bytes\n",
+                (unsigned long long)expected_min);
+    ++errors;
+  }
+
+  // Segment state histograms for both arrays.
+  const uint8_t* states = base + h->seg_state_offset;
+  for (int a = 0; a < 2; ++a) {
+    uint64_t counts[4] = {0, 0, 0, 0};
+    for (uint64_t s = 0; s < h->nr_main_segs; ++s) {
+      uint8_t v = states[a * h->nr_main_segs + s];
+      if (v > kSegBackup) {
+        if (counts[3]++ == 0) {
+          std::printf("ERROR: seg_state[%d][%llu] = %u (invalid)\n", a,
+                      (unsigned long long)s, v);
+          ++errors;
+        }
+        continue;
+      }
+      ++counts[v];
+    }
+    std::printf("seg_state[%d]%s:     initial=%llu main=%llu backup=%llu"
+                "%s\n",
+                a,
+                a == int(h->committed_epoch & 1) ? " (active)" : "         ",
+                (unsigned long long)counts[0], (unsigned long long)counts[1],
+                (unsigned long long)counts[2],
+                counts[3] ? " INVALID!" : "");
+  }
+
+  // Pairings.
+  const auto* b2m =
+      reinterpret_cast<const uint32_t*>(base + h->backup_to_main_offset);
+  std::vector<uint32_t> pair_of_main(h->nr_main_segs, kNoPair);
+  uint64_t paired = 0;
+  for (uint64_t b = 0; b < h->nr_backup_segs; ++b) {
+    uint32_t m = b2m[b];
+    if (m == kNoPair) continue;
+    ++paired;
+    if (m >= h->nr_main_segs) {
+      std::printf("ERROR: backup %llu paired to out-of-range main %u\n",
+                  (unsigned long long)b, m);
+      ++errors;
+      continue;
+    }
+    if (pair_of_main[m] != kNoPair) {
+      std::printf("ERROR: main segment %u paired to backups %u and %llu\n",
+                  m, pair_of_main[m], (unsigned long long)b);
+      ++errors;
+    }
+    pair_of_main[m] = static_cast<uint32_t>(b);
+  }
+  std::printf("pairings:          %llu of %llu backups in use\n",
+              (unsigned long long)paired,
+              (unsigned long long)h->nr_backup_segs);
+
+  // SS_Backup requires a pairing (in the active array).
+  const uint8_t* active =
+      states + (h->committed_epoch & 1) * h->nr_main_segs;
+  for (uint64_t s = 0; s < h->nr_main_segs; ++s) {
+    if (active[s] == kSegBackup && pair_of_main[s] == kNoPair) {
+      std::printf("ERROR: segment %llu is SS_Backup but has no pairing\n",
+                  (unsigned long long)s);
+      ++errors;
+    }
+  }
+
+  // Roots (double-buffered; report the committed/active copy).
+  const auto* roots =
+      reinterpret_cast<const uint64_t*>(base + h->roots_offset) +
+      (h->committed_epoch & 1) * kNumRoots;
+  for (uint32_t r = 0; r < kNumRoots; ++r) {
+    if (roots[r] != 0) {
+      std::printf("root[%u]:           offset %llu%s\n", r,
+                  (unsigned long long)roots[r],
+                  roots[r] >= h->nr_main_segs * h->segment_size
+                      ? "  ERROR: out of range"
+                      : "");
+      if (roots[r] >= h->nr_main_segs * h->segment_size) ++errors;
+    }
+  }
+
+  // Heap header (if present at main region offset 0).
+  const auto* heap_words =
+      reinterpret_cast<const uint64_t*>(base + h->main_region_offset);
+  if (heap_words[0] == 0x6372706d68656170ull /* crpm::Heap magic */ ||
+      heap_words[0] == 0x7265676865617031ull /* RegionAllocator magic */) {
+    std::printf("heap:              bump=%s, live=%s of %s\n",
+                format_bytes(heap_words[2]).c_str(),
+                format_bytes(heap_words[3]).c_str(),
+                format_bytes(heap_words[1]).c_str());
+  }
+
+  std::printf("%s (%d error%s)\n",
+              errors == 0 ? "container is structurally consistent"
+                          : "CONTAINER IS CORRUPT",
+              errors, errors == 1 ? "" : "s");
+  ::munmap(mem, size);
+  ::close(fd);
+  return errors == 0 ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <container-file>\n", argv[0]);
+    return 64;
+  }
+  return inspect(argv[1]);
+}
