@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_segblock.dir/bench_fig10_segblock.cpp.o"
+  "CMakeFiles/bench_fig10_segblock.dir/bench_fig10_segblock.cpp.o.d"
+  "bench_fig10_segblock"
+  "bench_fig10_segblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_segblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_interval.dir/bench_fig9_interval.cpp.o"
+  "CMakeFiles/bench_fig9_interval.dir/bench_fig9_interval.cpp.o.d"
+  "bench_fig9_interval"
+  "bench_fig9_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

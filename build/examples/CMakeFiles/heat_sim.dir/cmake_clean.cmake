@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_sim.dir/heat_sim.cpp.o"
+  "CMakeFiles/heat_sim.dir/heat_sim.cpp.o.d"
+  "heat_sim"
+  "heat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_lulesh.dir/mpi_lulesh.cpp.o"
+  "CMakeFiles/mpi_lulesh.dir/mpi_lulesh.cpp.o.d"
+  "mpi_lulesh"
+  "mpi_lulesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_lulesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

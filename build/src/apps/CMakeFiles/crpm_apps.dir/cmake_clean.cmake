@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crpm_apps.dir/comd_proxy.cpp.o"
+  "CMakeFiles/crpm_apps.dir/comd_proxy.cpp.o.d"
+  "CMakeFiles/crpm_apps.dir/hpccg.cpp.o"
+  "CMakeFiles/crpm_apps.dir/hpccg.cpp.o.d"
+  "CMakeFiles/crpm_apps.dir/lulesh_proxy.cpp.o"
+  "CMakeFiles/crpm_apps.dir/lulesh_proxy.cpp.o.d"
+  "CMakeFiles/crpm_apps.dir/state_store.cpp.o"
+  "CMakeFiles/crpm_apps.dir/state_store.cpp.o.d"
+  "libcrpm_apps.a"
+  "libcrpm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crpm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dali_map.cpp" "src/baselines/CMakeFiles/crpm_baselines.dir/dali_map.cpp.o" "gcc" "src/baselines/CMakeFiles/crpm_baselines.dir/dali_map.cpp.o.d"
+  "/root/repo/src/baselines/fti.cpp" "src/baselines/CMakeFiles/crpm_baselines.dir/fti.cpp.o" "gcc" "src/baselines/CMakeFiles/crpm_baselines.dir/fti.cpp.o.d"
+  "/root/repo/src/baselines/lmc.cpp" "src/baselines/CMakeFiles/crpm_baselines.dir/lmc.cpp.o" "gcc" "src/baselines/CMakeFiles/crpm_baselines.dir/lmc.cpp.o.d"
+  "/root/repo/src/baselines/page_policy.cpp" "src/baselines/CMakeFiles/crpm_baselines.dir/page_policy.cpp.o" "gcc" "src/baselines/CMakeFiles/crpm_baselines.dir/page_policy.cpp.o.d"
+  "/root/repo/src/baselines/region_heap.cpp" "src/baselines/CMakeFiles/crpm_baselines.dir/region_heap.cpp.o" "gcc" "src/baselines/CMakeFiles/crpm_baselines.dir/region_heap.cpp.o.d"
+  "/root/repo/src/baselines/undolog.cpp" "src/baselines/CMakeFiles/crpm_baselines.dir/undolog.cpp.o" "gcc" "src/baselines/CMakeFiles/crpm_baselines.dir/undolog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nvm/CMakeFiles/crpm_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crpm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/crpm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/crpm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crpm_baselines.dir/dali_map.cpp.o"
+  "CMakeFiles/crpm_baselines.dir/dali_map.cpp.o.d"
+  "CMakeFiles/crpm_baselines.dir/fti.cpp.o"
+  "CMakeFiles/crpm_baselines.dir/fti.cpp.o.d"
+  "CMakeFiles/crpm_baselines.dir/lmc.cpp.o"
+  "CMakeFiles/crpm_baselines.dir/lmc.cpp.o.d"
+  "CMakeFiles/crpm_baselines.dir/page_policy.cpp.o"
+  "CMakeFiles/crpm_baselines.dir/page_policy.cpp.o.d"
+  "CMakeFiles/crpm_baselines.dir/region_heap.cpp.o"
+  "CMakeFiles/crpm_baselines.dir/region_heap.cpp.o.d"
+  "CMakeFiles/crpm_baselines.dir/undolog.cpp.o"
+  "CMakeFiles/crpm_baselines.dir/undolog.cpp.o.d"
+  "libcrpm_baselines.a"
+  "libcrpm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crpm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

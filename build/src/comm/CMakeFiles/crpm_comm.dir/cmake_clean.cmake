@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crpm_comm.dir/coordinated.cpp.o"
+  "CMakeFiles/crpm_comm.dir/coordinated.cpp.o.d"
+  "libcrpm_comm.a"
+  "libcrpm_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crpm_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

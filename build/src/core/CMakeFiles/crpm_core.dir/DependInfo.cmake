@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/container.cpp" "src/core/CMakeFiles/crpm_core.dir/container.cpp.o" "gcc" "src/core/CMakeFiles/crpm_core.dir/container.cpp.o.d"
+  "/root/repo/src/core/crpm.cpp" "src/core/CMakeFiles/crpm_core.dir/crpm.cpp.o" "gcc" "src/core/CMakeFiles/crpm_core.dir/crpm.cpp.o.d"
+  "/root/repo/src/core/crpm_stats.cpp" "src/core/CMakeFiles/crpm_core.dir/crpm_stats.cpp.o" "gcc" "src/core/CMakeFiles/crpm_core.dir/crpm_stats.cpp.o.d"
+  "/root/repo/src/core/heap.cpp" "src/core/CMakeFiles/crpm_core.dir/heap.cpp.o" "gcc" "src/core/CMakeFiles/crpm_core.dir/heap.cpp.o.d"
+  "/root/repo/src/core/layout.cpp" "src/core/CMakeFiles/crpm_core.dir/layout.cpp.o" "gcc" "src/core/CMakeFiles/crpm_core.dir/layout.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/crpm_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/crpm_core.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nvm/CMakeFiles/crpm_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crpm_core.dir/container.cpp.o"
+  "CMakeFiles/crpm_core.dir/container.cpp.o.d"
+  "CMakeFiles/crpm_core.dir/crpm.cpp.o"
+  "CMakeFiles/crpm_core.dir/crpm.cpp.o.d"
+  "CMakeFiles/crpm_core.dir/crpm_stats.cpp.o"
+  "CMakeFiles/crpm_core.dir/crpm_stats.cpp.o.d"
+  "CMakeFiles/crpm_core.dir/heap.cpp.o"
+  "CMakeFiles/crpm_core.dir/heap.cpp.o.d"
+  "CMakeFiles/crpm_core.dir/layout.cpp.o"
+  "CMakeFiles/crpm_core.dir/layout.cpp.o.d"
+  "CMakeFiles/crpm_core.dir/registry.cpp.o"
+  "CMakeFiles/crpm_core.dir/registry.cpp.o.d"
+  "libcrpm_core.a"
+  "libcrpm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crpm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvm/cost_model.cpp" "src/nvm/CMakeFiles/crpm_nvm.dir/cost_model.cpp.o" "gcc" "src/nvm/CMakeFiles/crpm_nvm.dir/cost_model.cpp.o.d"
+  "/root/repo/src/nvm/crash_sim.cpp" "src/nvm/CMakeFiles/crpm_nvm.dir/crash_sim.cpp.o" "gcc" "src/nvm/CMakeFiles/crpm_nvm.dir/crash_sim.cpp.o.d"
+  "/root/repo/src/nvm/device.cpp" "src/nvm/CMakeFiles/crpm_nvm.dir/device.cpp.o" "gcc" "src/nvm/CMakeFiles/crpm_nvm.dir/device.cpp.o.d"
+  "/root/repo/src/nvm/stats.cpp" "src/nvm/CMakeFiles/crpm_nvm.dir/stats.cpp.o" "gcc" "src/nvm/CMakeFiles/crpm_nvm.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/crpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crpm_nvm.dir/cost_model.cpp.o"
+  "CMakeFiles/crpm_nvm.dir/cost_model.cpp.o.d"
+  "CMakeFiles/crpm_nvm.dir/crash_sim.cpp.o"
+  "CMakeFiles/crpm_nvm.dir/crash_sim.cpp.o.d"
+  "CMakeFiles/crpm_nvm.dir/device.cpp.o"
+  "CMakeFiles/crpm_nvm.dir/device.cpp.o.d"
+  "CMakeFiles/crpm_nvm.dir/stats.cpp.o"
+  "CMakeFiles/crpm_nvm.dir/stats.cpp.o.d"
+  "libcrpm_nvm.a"
+  "libcrpm_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crpm_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crpm_trace.dir/page_tracer.cpp.o"
+  "CMakeFiles/crpm_trace.dir/page_tracer.cpp.o.d"
+  "libcrpm_trace.a"
+  "libcrpm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crpm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

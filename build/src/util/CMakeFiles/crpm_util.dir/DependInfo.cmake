@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bitmap.cpp" "src/util/CMakeFiles/crpm_util.dir/bitmap.cpp.o" "gcc" "src/util/CMakeFiles/crpm_util.dir/bitmap.cpp.o.d"
+  "/root/repo/src/util/env.cpp" "src/util/CMakeFiles/crpm_util.dir/env.cpp.o" "gcc" "src/util/CMakeFiles/crpm_util.dir/env.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/util/CMakeFiles/crpm_util.dir/logging.cpp.o" "gcc" "src/util/CMakeFiles/crpm_util.dir/logging.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/crpm_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/crpm_util.dir/table.cpp.o.d"
+  "/root/repo/src/util/zipfian.cpp" "src/util/CMakeFiles/crpm_util.dir/zipfian.cpp.o" "gcc" "src/util/CMakeFiles/crpm_util.dir/zipfian.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crpm_util.dir/bitmap.cpp.o"
+  "CMakeFiles/crpm_util.dir/bitmap.cpp.o.d"
+  "CMakeFiles/crpm_util.dir/env.cpp.o"
+  "CMakeFiles/crpm_util.dir/env.cpp.o.d"
+  "CMakeFiles/crpm_util.dir/logging.cpp.o"
+  "CMakeFiles/crpm_util.dir/logging.cpp.o.d"
+  "CMakeFiles/crpm_util.dir/table.cpp.o"
+  "CMakeFiles/crpm_util.dir/table.cpp.o.d"
+  "CMakeFiles/crpm_util.dir/zipfian.cpp.o"
+  "CMakeFiles/crpm_util.dir/zipfian.cpp.o.d"
+  "libcrpm_util.a"
+  "libcrpm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crpm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crpm_workload.dir/kv.cpp.o"
+  "CMakeFiles/crpm_workload.dir/kv.cpp.o.d"
+  "CMakeFiles/crpm_workload.dir/runner.cpp.o"
+  "CMakeFiles/crpm_workload.dir/runner.cpp.o.d"
+  "libcrpm_workload.a"
+  "libcrpm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crpm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

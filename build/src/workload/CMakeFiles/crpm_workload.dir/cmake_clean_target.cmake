@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrpm_workload.a"
+)

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/nvm_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/containers_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/comm_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_crash_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
+include("/root/repo/build/tests/e2e_crash_test[1]_include.cmake")
+include("/root/repo/build/tests/tools_test[1]_include.cmake")

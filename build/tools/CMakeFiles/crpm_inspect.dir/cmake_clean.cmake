@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crpm_inspect.dir/crpm_inspect.cpp.o"
+  "CMakeFiles/crpm_inspect.dir/crpm_inspect.cpp.o.d"
+  "crpm_inspect"
+  "crpm_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crpm_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
