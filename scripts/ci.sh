@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 build + full test suite, then an ASan/UBSan configuration
+# of the concurrency-heavy suites (snapshot + core + crash injection), which
+# carry the `san` CTest label — `ctest -L san` selects exactly those.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+# Parallel ctest oversubscribes small machines and flakes timing-sensitive
+# tests; default to serial unless the caller opts in via CTEST_JOBS.
+CTEST_JOBS="${CTEST_JOBS:-1}"
+
+echo "== tier-1: RelWithDebInfo build + full ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$CTEST_JOBS"
+
+echo "== sanitizers: ASan/UBSan build + san-labeled suites =="
+cmake -B build-san -S . -DCRPM_SANITIZE=ON -DCRPM_BUILD_BENCH=OFF \
+  -DCRPM_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-san -j "$JOBS"
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+  ctest --test-dir build-san -L san --output-on-failure -j "$CTEST_JOBS"
+
+echo "ci.sh: all green"

@@ -213,6 +213,21 @@ void Container::stage_roots_for_commit() {
   dev_->flush(dst, 8 * kNumRoots);
 }
 
+void Container::notify_epoch_sink(uint64_t epoch, const uint8_t* data,
+                                  std::vector<uint64_t> blocks) {
+  if (epoch_sink_ == nullptr) return;
+  Stopwatch sw;
+  EpochDelta d;
+  d.epoch = epoch;
+  d.block_size = geo_.block_size();
+  d.region_size = geo_.main_region_size();
+  d.data = data;
+  d.blocks = std::move(blocks);
+  d.roots = roots_work_;
+  epoch_sink_->on_epoch_commit(std::move(d));
+  stats_.add_archive_capture_ns(sw.elapsed_ns());
+}
+
 uint64_t Container::dram_bytes() const { return tracker_->bitmap_bytes(); }
 
 
@@ -341,6 +356,22 @@ void DefaultContainer::checkpoint() {
       uint64_t dirty_bytes = tracker_->dirty_bytes_in_dirty_segments();
       ckpt_use_wbinvd_ = dirty_bytes > opt_.wbinvd_threshold;
     }
+    // Export the epoch's delta now, while its values are stable (all
+    // threads are stopped in this checkpoint): the sink's background
+    // thread copies the payload concurrently with the flush phase below,
+    // and the leader synchronizes in wait_captured() before the threads
+    // resume. The captured set (dirty blocks of this epoch's dirty
+    // segments) is a superset of the blocks written this epoch.
+    if (!ckpt_skip_ && epoch_sink_ != nullptr) {
+      std::vector<uint64_t> blocks;
+      for (uint64_t s : ckpt_segs_) {
+        tracker_->dirty_blocks().for_each_set(
+            geo_.first_block_of_segment(s), geo_.blocks_per_segment(),
+            [&](size_t blk) { blocks.push_back(blk); });
+      }
+      notify_epoch_sink(committed_epoch() + 1, layout_.main_base(),
+                        std::move(blocks));
+    }
   }
   barrier_->arrive_and_wait();
 
@@ -409,6 +440,17 @@ void DefaultContainer::checkpoint() {
     }
 
     tracker_->dirty_segments().clear_all();
+
+    // Release the epoch sink's claim on the working state before the
+    // application threads resume and mutate it. With a spare core the sink
+    // staged its copy during the flush phase above and this returns
+    // immediately; the wait is charged as capture time.
+    if (epoch_sink_ != nullptr) {
+      Stopwatch ws;
+      epoch_sink_->wait_captured();
+      stats_.add_archive_capture_ns(ws.elapsed_ns());
+    }
+
     stats_.add_epoch();
     stats_.add_checkpoint_ns(sw.elapsed_ns());
   }
@@ -544,6 +586,17 @@ void BufferedContainer::checkpoint() {
     if (flipped) dev_->fence();
     ckpt_skip_ = ckpt_segs_.empty() && !roots_dirty_;
     ckpt_cursor_.store(0, std::memory_order_relaxed);
+    // Export the epoch's delta now, while all threads are stopped in this
+    // checkpoint: cur_dirty_ is exactly the set of blocks modified during
+    // the committing epoch, and the DRAM buffer holds their final values.
+    // The sink's background thread copies the payload concurrently with
+    // the replication phase below; wait_captured() synchronizes before
+    // the threads resume.
+    if (!ckpt_skip_ && epoch_sink_ != nullptr) {
+      std::vector<uint64_t> blocks;
+      cur_dirty_.for_each_set([&](size_t blk) { blocks.push_back(blk); });
+      notify_epoch_sink(e, buf_, std::move(blocks));
+    }
   }
   barrier_->arrive_and_wait();
 
@@ -603,6 +656,15 @@ void BufferedContainer::checkpoint() {
     // must also be replicated at the next checkpoint (into the other
     // region).
     prev_dirty_.assign_and_clear(cur_dirty_);
+
+    // Release the epoch sink's claim on the DRAM working buffer before the
+    // application threads resume and mutate it (see DefaultContainer).
+    if (epoch_sink_ != nullptr) {
+      Stopwatch ws;
+      epoch_sink_->wait_captured();
+      stats_.add_archive_capture_ns(ws.elapsed_ns());
+    }
+
     stats_.add_epoch();
     stats_.add_checkpoint_ns(sw.elapsed_ns());
   }

@@ -27,6 +27,7 @@
 
 #include "core/crpm_stats.h"
 #include "core/dirty_tracker.h"
+#include "core/epoch_sink.h"
 #include "core/layout.h"
 #include "core/options.h"
 #include "nvm/device.h"
@@ -127,6 +128,13 @@ class Container {
     return opt_.eager_cow_segments == 0;
   }
 
+  // Installs (or clears, with nullptr) the post-commit delta observer. The
+  // sink is borrowed, not owned; it must outlive the container or be
+  // detached before destruction. Called between epochs (not concurrently
+  // with checkpoint()).
+  void set_epoch_sink(EpochSink* sink) { epoch_sink_ = sink; }
+  EpochSink* epoch_sink() const { return epoch_sink_; }
+
   const Geometry& geometry() const { return geo_; }
   const CrpmOptions& options() const { return opt_; }
   NvmDevice* device() { return dev_; }
@@ -173,6 +181,19 @@ class Container {
   // inside the checkpoint.
   void stage_roots_for_commit();
 
+  // Delivers the delta of the epoch being committed to the attached sink
+  // (no-op without one). Leader-only, inside the stop-the-world checkpoint
+  // once the epoch's dirty set and values are final — deliberately *before*
+  // the flush phase and commit point, so the payload copy reads cache-warm
+  // data and the background writer overlaps the remaining checkpoint work.
+  // If a crash hits between staging and the commit point the archive ends
+  // one epoch ahead of the container; ArchiveWriter reconciles (truncates)
+  // such never-committed frames when it attaches. `epoch` is the epoch
+  // being committed, `data` the base of its working state, `blocks` the
+  // modified block indices.
+  void notify_epoch_sink(uint64_t epoch, const uint8_t* data,
+                         std::vector<uint64_t> blocks);
+
   NvmDevice* dev_;
   std::unique_ptr<NvmDevice> owned_dev_;
   CrpmOptions opt_;
@@ -195,6 +216,8 @@ class Container {
   // Working copy of the root array; committed with the epoch.
   std::array<uint64_t, kNumRoots> roots_work_{};
   bool roots_dirty_ = false;
+
+  EpochSink* epoch_sink_ = nullptr;
 };
 
 // Section 3.4: working state in NVM, segment-level copy-on-write.

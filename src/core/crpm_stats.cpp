@@ -16,6 +16,12 @@ CrpmStatsSnapshot CrpmStatsSnapshot::operator-(
   d.trace_ns = trace_ns - rhs.trace_ns;
   d.checkpoint_ns = checkpoint_ns - rhs.checkpoint_ns;
   d.backup_steals = backup_steals - rhs.backup_steals;
+  d.archive_epochs = archive_epochs - rhs.archive_epochs;
+  d.archive_bytes = archive_bytes - rhs.archive_bytes;
+  d.archive_queue_hwm = archive_queue_hwm;  // high-water mark, not a delta
+  d.archive_stall_ns = archive_stall_ns - rhs.archive_stall_ns;
+  d.archive_capture_ns = archive_capture_ns - rhs.archive_capture_ns;
+  d.archive_compactions = archive_compactions - rhs.archive_compactions;
   return d;
 }
 
@@ -25,6 +31,13 @@ std::string CrpmStatsSnapshot::to_string() const {
      << " cow_full=" << cow_full_copies << " blocks=" << cow_blocks_copied
      << " ckpt_bytes=" << checkpoint_bytes
      << " eager=" << eager_cow_segments << " steals=" << backup_steals;
+  if (archive_epochs != 0 || archive_bytes != 0) {
+    os << " arch_epochs=" << archive_epochs
+       << " arch_bytes=" << archive_bytes
+       << " arch_qhwm=" << archive_queue_hwm
+       << " arch_stall_ns=" << archive_stall_ns
+       << " arch_compactions=" << archive_compactions;
+  }
   return os.str();
 }
 
@@ -40,6 +53,14 @@ CrpmStatsSnapshot CrpmStats::snapshot() const {
   s.trace_ns = trace_ns_.load(std::memory_order_relaxed);
   s.checkpoint_ns = checkpoint_ns_.load(std::memory_order_relaxed);
   s.backup_steals = backup_steals_.load(std::memory_order_relaxed);
+  s.archive_epochs = archive_epochs_.load(std::memory_order_relaxed);
+  s.archive_bytes = archive_bytes_.load(std::memory_order_relaxed);
+  s.archive_queue_hwm = archive_queue_hwm_.load(std::memory_order_relaxed);
+  s.archive_stall_ns = archive_stall_ns_.load(std::memory_order_relaxed);
+  s.archive_capture_ns =
+      archive_capture_ns_.load(std::memory_order_relaxed);
+  s.archive_compactions =
+      archive_compactions_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -20,6 +20,15 @@ struct CrpmStatsSnapshot {
   uint64_t checkpoint_ns = 0;       // time inside crpm_checkpoint
   uint64_t backup_steals = 0;       // backup segments recycled
 
+  // Snapshot-archive observability (src/snapshot), populated when an
+  // ArchiveWriter is attached to the container.
+  uint64_t archive_epochs = 0;        // epoch frames durably appended
+  uint64_t archive_bytes = 0;         // archive bytes appended
+  uint64_t archive_queue_hwm = 0;     // writer queue high-water mark
+  uint64_t archive_stall_ns = 0;      // commit-path time blocked on the queue
+  uint64_t archive_capture_ns = 0;    // commit-path time staging deltas
+  uint64_t archive_compactions = 0;   // chain folds into a base snapshot
+
   CrpmStatsSnapshot operator-(const CrpmStatsSnapshot& rhs) const;
   std::string to_string() const;
 };
@@ -48,6 +57,26 @@ class CrpmStats {
   void add_backup_steal() {
     backup_steals_.fetch_add(1, std::memory_order_relaxed);
   }
+  void add_archive_epoch(uint64_t bytes) {
+    archive_epochs_.fetch_add(1, std::memory_order_relaxed);
+    archive_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void note_archive_queue_depth(uint64_t depth) {
+    uint64_t prev = archive_queue_hwm_.load(std::memory_order_relaxed);
+    while (depth > prev &&
+           !archive_queue_hwm_.compare_exchange_weak(
+               prev, depth, std::memory_order_relaxed)) {
+    }
+  }
+  void add_archive_stall_ns(uint64_t ns) {
+    archive_stall_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  void add_archive_capture_ns(uint64_t ns) {
+    archive_capture_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  void add_archive_compaction() {
+    archive_compactions_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   CrpmStatsSnapshot snapshot() const;
 
@@ -61,6 +90,12 @@ class CrpmStats {
   std::atomic<uint64_t> trace_ns_{0};
   std::atomic<uint64_t> checkpoint_ns_{0};
   std::atomic<uint64_t> backup_steals_{0};
+  std::atomic<uint64_t> archive_epochs_{0};
+  std::atomic<uint64_t> archive_bytes_{0};
+  std::atomic<uint64_t> archive_queue_hwm_{0};
+  std::atomic<uint64_t> archive_stall_ns_{0};
+  std::atomic<uint64_t> archive_capture_ns_{0};
+  std::atomic<uint64_t> archive_compactions_{0};
 };
 
 }  // namespace crpm

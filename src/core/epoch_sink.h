@@ -1,0 +1,68 @@
+// Per-epoch delta export from the checkpoint protocol.
+//
+// The checkpoint protocol already computes, per epoch, exactly which 256 B
+// blocks of the working state changed (the DRAM dirty-block bitmap of
+// Section 3.4.1). Beyond driving the differential copy, that bitmap is a
+// ready-made delta stream: an observer that receives (block index, payload)
+// for every committed epoch can rebuild the working state of any epoch by
+// replaying deltas in order. The snapshot subsystem (src/snapshot) consumes
+// this to keep a multi-epoch archive off-device; the container itself
+// retains at most one epoch of history (retains_previous_epoch()).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/layout.h"
+
+namespace crpm {
+
+// One committed epoch's delta. `blocks` lists the indices (ascending) of
+// every block modified during the epoch; the payload of block b starts at
+// data + b * block_size and holds the block's committed value. `data`
+// references the container's live working state: it is stable from
+// on_epoch_commit() until the container calls wait_captured() at the end
+// of the same checkpoint, and sinks must have copied everything they keep
+// by the time wait_captured() returns.
+//
+// Completeness invariant: replaying, onto an all-zero image, the blocks of
+// every delta from the container's first commit through epoch e reproduces
+// the working state at epoch e byte for byte. (Deltas may be supersets of
+// the blocks actually written in an epoch; extra blocks carry their current
+// committed value, which replay makes idempotent.)
+struct EpochDelta {
+  uint64_t epoch = 0;        // the epoch being committed
+  uint64_t block_size = 0;
+  uint64_t region_size = 0;  // bytes of working state (main region)
+  const uint8_t* data = nullptr;
+  std::vector<uint64_t> blocks;
+  std::array<uint64_t, kNumRoots> roots{};  // committed root array
+};
+
+class EpochSink {
+ public:
+  virtual ~EpochSink() = default;
+
+  // Invoked by the committing leader inside crpm_checkpoint(), once the
+  // epoch's dirty set and values are final (all collective threads are
+  // stopped in the checkpoint, none mutating the working state). The call
+  // lands *before* the flush phase and commit point, so a background
+  // consumer can copy the still-stable payload concurrently with the rest
+  // of the checkpoint; the leader synchronizes with wait_captured() before
+  // releasing the application threads. The flip side: if the process dies
+  // between this call and the commit point, the epoch was exported but
+  // never committed — durable consumers must reconcile against the
+  // container's committed epoch when they re-attach (ArchiveWriter
+  // truncates such frames). Runs on the stop-the-world path: do nothing
+  // here beyond recording the delta and waking a background consumer.
+  virtual void on_epoch_commit(EpochDelta&& delta) = 0;
+
+  // Invoked by the committing leader at the end of the same checkpoint,
+  // just before the application threads resume (and may mutate the working
+  // state the delta points into). Blocks until every pointer handed to
+  // on_epoch_commit() is no longer needed.
+  virtual void wait_captured() {}
+};
+
+}  // namespace crpm

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace crpm {
 
@@ -48,6 +49,27 @@ struct CrpmOptions {
   // Buffered mode (Section 3.5): the working state lives in DRAM and is
   // replicated differentially into NVM at each checkpoint.
   bool buffered = false;
+
+  // --- multi-epoch snapshot archive (src/snapshot) ---------------------
+  // The core library only carries these; snapshot::attach_if_configured()
+  // reads them to start a background archive writer for the container.
+
+  // Append-only archive file receiving every committed epoch's delta.
+  // Empty disables archiving.
+  std::string archive_path;
+
+  // Fold the delta chain into a full base snapshot (and truncate the
+  // archive) after this many delta frames. 0 disables compaction, keeping
+  // every epoch since the archive began restorable.
+  uint32_t archive_compact_every = 0;
+
+  // Committed-but-unarchived epochs buffered in DRAM before the committing
+  // thread blocks on the background writer (backpressure).
+  uint32_t archive_queue_depth = 8;
+
+  // fdatasync the archive after each appended epoch. Off, durability of
+  // archived epochs lags the OS page cache.
+  bool archive_fsync = true;
 
   // Returns a copy with sizes validated and rounded; aborts on nonsensical
   // combinations (block > segment, non-power-of-two sizes, ...).

@@ -30,6 +30,12 @@ struct CostModel {
   double wbinvd_ns = 2.0e6;             // whole-LLC flush
   double media_read_ns_per_line = 0.0;  // loads are not intercepted
 
+  // Snapshot-archive appends (src/snapshot) target ordinary block storage,
+  // not the DIMM; charge them at NVMe-SSD-class write bandwidth (~3 GB/s
+  // => ~330 ns per KiB). Paid by the background writer thread, never on
+  // the checkpoint stop-the-world path.
+  double archive_write_ns_per_kb = 330.0;
+
   // eADR platform (the paper's footnote 2): the CPU cache is inside the
   // persistence domain, so clwb is unnecessary (flush() costs nothing and
   // issues no instruction) and sfence only orders (no write-pending-queue

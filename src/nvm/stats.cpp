@@ -14,6 +14,8 @@ PersistStatsSnapshot PersistStatsSnapshot::operator-(
   d.flushed_bytes = flushed_bytes - rhs.flushed_bytes;
   d.media_write_bytes = media_write_bytes - rhs.media_write_bytes;
   d.msync = msync - rhs.msync;
+  d.archive_write_bytes = archive_write_bytes - rhs.archive_write_bytes;
+  d.archive_fsync = archive_fsync - rhs.archive_fsync;
   return d;
 }
 
@@ -22,6 +24,10 @@ std::string PersistStatsSnapshot::to_string() const {
   os << "clwb=" << clwb << " sfence=" << sfence << " wbinvd=" << wbinvd
      << " nt_stores=" << nt_stores << " flushed_bytes=" << flushed_bytes
      << " media_write_bytes=" << media_write_bytes << " msync=" << msync;
+  if (archive_write_bytes != 0 || archive_fsync != 0) {
+    os << " archive_write_bytes=" << archive_write_bytes
+       << " archive_fsync=" << archive_fsync;
+  }
   return os.str();
 }
 
@@ -34,6 +40,9 @@ PersistStatsSnapshot PersistStats::snapshot() const {
   s.flushed_bytes = flushed_bytes_.load(std::memory_order_relaxed);
   s.media_write_bytes = media_write_bytes_.load(std::memory_order_relaxed);
   s.msync = msync_.load(std::memory_order_relaxed);
+  s.archive_write_bytes =
+      archive_write_bytes_.load(std::memory_order_relaxed);
+  s.archive_fsync = archive_fsync_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -45,6 +54,8 @@ void PersistStats::reset() {
   flushed_bytes_.store(0, std::memory_order_relaxed);
   media_write_bytes_.store(0, std::memory_order_relaxed);
   msync_.store(0, std::memory_order_relaxed);
+  archive_write_bytes_.store(0, std::memory_order_relaxed);
+  archive_fsync_.store(0, std::memory_order_relaxed);
 }
 
 uint64_t media_bytes_for_range(uintptr_t addr, uint64_t bytes) {

@@ -29,6 +29,8 @@ struct PersistStatsSnapshot {
   uint64_t flushed_bytes = 0;   // bytes covered by clwb (64B granularity)
   uint64_t media_write_bytes = 0;  // bytes charged at 256B media granularity
   uint64_t msync = 0;           // msync calls (file-backed devices only)
+  uint64_t archive_write_bytes = 0;  // snapshot-archive bytes appended
+  uint64_t archive_fsync = 0;        // snapshot-archive fdatasync calls
 
   PersistStatsSnapshot operator-(const PersistStatsSnapshot& rhs) const;
   std::string to_string() const;
@@ -52,6 +54,15 @@ class PersistStats {
     media_write_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   }
   void add_msync() { msync_.fetch_add(1, std::memory_order_relaxed); }
+  // Snapshot-archive I/O: charged by an attached snapshot::ArchiveWriter so
+  // a device's stats block accounts for *all* persistence traffic the
+  // container generates, on-device and off.
+  void add_archive_write(uint64_t bytes) {
+    archive_write_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void add_archive_fsync() {
+    archive_fsync_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   uint64_t sfence_count() const {
     return sfence_.load(std::memory_order_relaxed);
@@ -71,6 +82,8 @@ class PersistStats {
   std::atomic<uint64_t> flushed_bytes_{0};
   std::atomic<uint64_t> media_write_bytes_{0};
   std::atomic<uint64_t> msync_{0};
+  std::atomic<uint64_t> archive_write_bytes_{0};
+  std::atomic<uint64_t> archive_fsync_{0};
 };
 
 // Charges `bytes` starting at media-line-aligned accounting: the number of

@@ -1,0 +1,247 @@
+#include "snapshot/archive.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace crpm::snapshot {
+
+namespace {
+
+bool pread_exact(int fd, void* buf, size_t len, uint64_t off) {
+  auto* p = static_cast<uint8_t*>(buf);
+  while (len > 0) {
+    ssize_t n = ::pread(fd, p, len, static_cast<off_t>(off));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    off += static_cast<uint64_t>(n);
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string warnf(const char* fmt, unsigned long long a,
+                  unsigned long long b) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), fmt, a, b);
+  return buf;
+}
+
+}  // namespace
+
+ArchiveReader::ArchiveReader(const std::string& path) { run_scan(path); }
+
+ArchiveReader::~ArchiveReader() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ArchiveReader::run_scan(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) {
+    scan_.warnings.push_back("cannot open archive: " +
+                             std::string(std::strerror(errno)));
+    return;
+  }
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) return;
+  const auto file_size = static_cast<uint64_t>(st.st_size);
+  if (file_size < sizeof(ArchiveHeader)) {
+    scan_.warnings.push_back("file too small to be a snapshot archive");
+    return;
+  }
+  ArchiveHeader h;
+  if (!pread_exact(fd_, &h, sizeof(h), 0) || !header_valid(h)) {
+    scan_.warnings.push_back("archive header corrupt or not an archive");
+    return;
+  }
+  scan_.valid = true;
+  scan_.header = h;
+
+  const uint64_t nr_blocks = h.region_size / h.block_size;
+  uint64_t off = sizeof(ArchiveHeader);
+  uint64_t prev_epoch = 0;
+  while (off + sizeof(FrameHeader) <= file_size) {
+    FrameHeader fh;
+    if (!pread_exact(fd_, &fh, sizeof(fh), off)) break;
+    if (fh.marker != kFrameMarker ||
+        fh.header_crc != crc32(&fh, offsetof(FrameHeader, header_crc))) {
+      scan_.warnings.push_back(warnf(
+          "unparseable frame header at offset %llu: dropping %llu tail "
+          "bytes (torn append)",
+          off, file_size - off));
+      break;
+    }
+    if ((fh.kind != kDeltaFrame && fh.kind != kBaseFrame) ||
+        fh.block_count > nr_blocks || fh.epoch <= prev_epoch) {
+      scan_.warnings.push_back(warnf(
+          "implausible frame at offset %llu (epoch %llu): stopping scan",
+          off, fh.epoch));
+      break;
+    }
+    const uint64_t total = frame_bytes(fh.block_count, h.block_size);
+    if (off + total > file_size) {
+      scan_.warnings.push_back(warnf(
+          "frame for epoch %llu truncated mid-append: dropping %llu tail "
+          "bytes",
+          fh.epoch, file_size - off));
+      break;
+    }
+
+    EpochInfo info;
+    info.epoch = fh.epoch;
+    info.kind = fh.kind;
+    info.file_offset = off;
+    info.block_count = fh.block_count;
+    info.frame_bytes = total;
+
+    // Verify records and footer.
+    bool intact = true;
+    const uint64_t rec = record_bytes(h.block_size);
+    std::vector<uint8_t> buf(total - sizeof(FrameHeader));
+    if (!pread_exact(fd_, buf.data(), buf.size(), off + sizeof(FrameHeader))) {
+      break;
+    }
+    uint32_t payload_crc = 0;
+    const uint8_t* p = buf.data();
+    for (uint64_t i = 0; i < fh.block_count && intact; ++i, p += rec) {
+      uint32_t stored = 0;
+      std::memcpy(&stored, p + rec - 4, 4);
+      uint64_t idx = 0;
+      std::memcpy(&idx, p, 8);
+      if (stored != crc32(p, rec - 4) || idx >= nr_blocks) intact = false;
+      payload_crc = crc32(&stored, 4, payload_crc);
+    }
+    FrameFooter ff;
+    std::memcpy(&ff, buf.data() + buf.size() - sizeof(ff), sizeof(ff));
+    if (ff.marker != kFooterMarker || ff.epoch != fh.epoch ||
+        ff.frame_bytes != total || ff.payload_crc != payload_crc ||
+        ff.footer_crc != crc32(&ff, offsetof(FrameFooter, footer_crc))) {
+      intact = false;
+    }
+    info.intact = intact;
+    if (!intact) {
+      scan_.warnings.push_back(warnf(
+          "epoch %llu at offset %llu failed CRC verification: skipping "
+          "corrupt frame",
+          fh.epoch, off));
+    }
+    scan_.epochs.push_back(info);
+    prev_epoch = fh.epoch;
+    off += total;
+  }
+  scan_.scan_end = off;
+  scan_.truncated_bytes = file_size - off;
+  for (const auto& w : scan_.warnings) {
+    CRPM_LOG_WARN("archive %s: %s", path.c_str(), w.c_str());
+  }
+}
+
+int ArchiveReader::index_of(uint64_t epoch) const {
+  for (size_t i = 0; i < scan_.epochs.size(); ++i) {
+    if (scan_.epochs[i].epoch == epoch) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int ArchiveReader::chain_start(uint64_t epoch) const {
+  int i = index_of(epoch);
+  if (i < 0 || !scan_.epochs[i].intact) return -1;
+  for (int j = i; j >= 0; --j) {
+    const EpochInfo& f = scan_.epochs[j];
+    if (!f.intact) return -1;
+    if (f.kind == kBaseFrame) return j;
+    if (j == 0) {
+      // A delta chain at the head of the file starts from the implicit
+      // all-zero image only if it begins at the container's first epoch.
+      return f.epoch == 1 ? 0 : -1;
+    }
+    // The chain needs the immediately preceding epoch's delta.
+    if (scan_.epochs[j - 1].epoch != f.epoch - 1) return -1;
+  }
+  return -1;
+}
+
+bool ArchiveReader::restorable(uint64_t epoch) const {
+  return scan_.valid && chain_start(epoch) >= 0;
+}
+
+bool ArchiveReader::latest_restorable(uint64_t* epoch) const {
+  if (!scan_.valid) return false;
+  for (auto it = scan_.epochs.rbegin(); it != scan_.epochs.rend(); ++it) {
+    if (chain_start(it->epoch) >= 0) {
+      *epoch = it->epoch;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ArchiveReader::apply_frame(const EpochInfo& info,
+                                std::vector<uint8_t>* image,
+                                std::string* err) const {
+  const uint64_t bs = scan_.header.block_size;
+  const uint64_t rec = record_bytes(bs);
+  std::vector<uint8_t> buf(info.block_count * rec);
+  if (!pread_exact(fd_, buf.data(), buf.size(),
+                   info.file_offset + sizeof(FrameHeader))) {
+    if (err) *err = "archive read failed while applying epoch frame";
+    return false;
+  }
+  const uint8_t* p = buf.data();
+  for (uint64_t i = 0; i < info.block_count; ++i, p += rec) {
+    uint64_t idx = 0;
+    std::memcpy(&idx, p, 8);
+    uint32_t stored = 0;
+    std::memcpy(&stored, p + rec - 4, 4);
+    if (stored != crc32(p, rec - 4) ||
+        (idx + 1) * bs > image->size()) {
+      if (err) *err = "record CRC mismatch while applying epoch frame";
+      return false;
+    }
+    std::memcpy(image->data() + idx * bs, p + 8, bs);
+  }
+  return true;
+}
+
+bool ArchiveReader::state_at(uint64_t epoch, std::vector<uint8_t>* image,
+                             std::array<uint64_t, kNumRoots>* roots,
+                             std::string* err) const {
+  if (!scan_.valid) {
+    if (err) *err = "not a valid snapshot archive";
+    return false;
+  }
+  int start = chain_start(epoch);
+  if (start < 0) {
+    if (err) {
+      *err = "epoch " + std::to_string(epoch) +
+             " is not restorable from this archive (missing, corrupt, or "
+             "its delta chain is broken)";
+    }
+    return false;
+  }
+  image->assign(scan_.header.region_size, 0);
+  int target = index_of(epoch);
+  for (int j = start; j <= target; ++j) {
+    if (!apply_frame(scan_.epochs[j], image, err)) return false;
+  }
+  if (roots != nullptr) {
+    FrameHeader fh;
+    if (!pread_exact(fd_, &fh, sizeof(fh),
+                     scan_.epochs[target].file_offset)) {
+      if (err) *err = "archive read failed while loading roots";
+      return false;
+    }
+    std::memcpy(roots->data(), fh.roots, sizeof(fh.roots));
+  }
+  return true;
+}
+
+}  // namespace crpm::snapshot

@@ -1,0 +1,85 @@
+// Archive read path: scanning, CRC verification, truncated-tail and
+// corrupt-epoch handling, and state reconstruction.
+//
+// Robustness policy (ISSUE: crash mid-append, bit rot):
+//   * A frame whose header never made it to disk intact ends the scan —
+//     everything from there on is an unparseable tail (the normal shape of
+//     a crash mid-append) and is reported as truncated bytes.
+//   * A frame with an intact header but a failing record/footer CRC is
+//     *skipped with a warning*: its length is known, so later epochs are
+//     still enumerated. Epochs whose delta chain passes through the corrupt
+//     frame are simply not restorable; later epochs become restorable again
+//     at the next base frame.
+//   * restorable()/latest_restorable() expose exactly which epochs can be
+//     reconstructed; state_at() refuses anything else.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "snapshot/format.h"
+
+namespace crpm::snapshot {
+
+struct EpochInfo {
+  uint64_t epoch = 0;
+  uint32_t kind = kDeltaFrame;
+  uint64_t file_offset = 0;  // of the FrameHeader
+  uint64_t block_count = 0;
+  uint64_t frame_bytes = 0;
+  bool intact = false;  // every CRC (header, records, footer) verified
+};
+
+struct ScanResult {
+  bool valid = false;  // file exists and the archive header verifies
+  ArchiveHeader header{};
+  std::vector<EpochInfo> epochs;  // in file order; epochs strictly ascend
+  uint64_t scan_end = 0;          // offset past the last parseable frame
+  uint64_t truncated_bytes = 0;   // unparseable tail dropped by the scan
+  std::vector<std::string> warnings;
+};
+
+class ArchiveReader {
+ public:
+  explicit ArchiveReader(const std::string& path);
+  ~ArchiveReader();
+
+  ArchiveReader(const ArchiveReader&) = delete;
+  ArchiveReader& operator=(const ArchiveReader&) = delete;
+
+  // True if the file opened and its header verified.
+  bool ok() const { return scan_.valid; }
+  const ScanResult& scan() const { return scan_; }
+
+  // True if `epoch` is archived, intact, and its whole chain back to a base
+  // frame (or the implicit all-zero base before epoch 1) is intact.
+  bool restorable(uint64_t epoch) const;
+
+  // Newest restorable epoch; false if the archive holds none.
+  bool latest_restorable(uint64_t* epoch) const;
+
+  // Reconstructs the working state at `epoch` into `image` (resized to the
+  // archive's region size) and the committed roots into `roots` (may be
+  // null). Returns false with `err` set if the epoch is not restorable or
+  // re-reading the frames hits an I/O error.
+  bool state_at(uint64_t epoch, std::vector<uint8_t>* image,
+                std::array<uint64_t, kNumRoots>* roots,
+                std::string* err) const;
+
+ private:
+  void run_scan(const std::string& path);
+  // Index into scan_.epochs of the chain start for `epoch`, or -1.
+  int chain_start(uint64_t epoch) const;
+  int index_of(uint64_t epoch) const;
+  // Applies the records of frame `info` to `image`; returns false on CRC or
+  // I/O failure (the scan may have raced a concurrent writer's truncation).
+  bool apply_frame(const EpochInfo& info, std::vector<uint8_t>* image,
+                   std::string* err) const;
+
+  int fd_ = -1;
+  ScanResult scan_;
+};
+
+}  // namespace crpm::snapshot

@@ -1,0 +1,97 @@
+#include "snapshot/format.h"
+
+#include <cstring>
+
+namespace crpm::snapshot {
+
+namespace {
+
+struct Crc32Table {
+  uint32_t t[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+  }
+};
+
+const Crc32Table& table() {
+  static const Crc32Table tbl;
+  return tbl;
+}
+
+}  // namespace
+
+uint32_t crc32(const void* data, size_t len, uint32_t seed) {
+  const auto& t = table().t;
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    c = t[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+ArchiveHeader make_header(uint64_t block_size, uint64_t region_size,
+                          uint64_t segment_size) {
+  ArchiveHeader h;
+  h.block_size = block_size;
+  h.region_size = region_size;
+  h.segment_size = segment_size;
+  h.header_crc = crc32(&h, offsetof(ArchiveHeader, header_crc));
+  return h;
+}
+
+bool header_valid(const ArchiveHeader& h) {
+  if (h.magic != kArchiveMagic || h.version != kArchiveVersion) return false;
+  if (h.header_crc != crc32(&h, offsetof(ArchiveHeader, header_crc))) {
+    return false;
+  }
+  if (h.block_size == 0 || (h.block_size & (h.block_size - 1)) != 0) {
+    return false;
+  }
+  return h.region_size != 0 && h.region_size % h.block_size == 0;
+}
+
+void serialize_frame(uint32_t kind, uint64_t epoch,
+                     const std::array<uint64_t, kNumRoots>& roots,
+                     const std::vector<uint64_t>& blocks,
+                     const uint8_t* payload, uint64_t block_size,
+                     std::vector<uint8_t>* out) {
+  const uint64_t total = frame_bytes(blocks.size(), block_size);
+  out->resize(total);
+  uint8_t* p = out->data();
+
+  FrameHeader fh;
+  fh.kind = kind;
+  fh.epoch = epoch;
+  fh.block_count = blocks.size();
+  std::memcpy(fh.roots, roots.data(), sizeof(fh.roots));
+  fh.header_crc = crc32(&fh, offsetof(FrameHeader, header_crc));
+  std::memcpy(p, &fh, sizeof(fh));
+  p += sizeof(fh);
+
+  uint32_t payload_crc = 0;
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    uint64_t idx = blocks[i];
+    std::memcpy(p, &idx, 8);
+    std::memcpy(p + 8, payload + i * block_size, block_size);
+    uint32_t rec_crc = crc32(p, 8 + block_size);
+    std::memcpy(p + 8 + block_size, &rec_crc, 4);
+    payload_crc = crc32(&rec_crc, 4, payload_crc);
+    p += record_bytes(block_size);
+  }
+
+  FrameFooter ff;
+  ff.epoch = epoch;
+  ff.frame_bytes = total;
+  ff.payload_crc = payload_crc;
+  ff.footer_crc = crc32(&ff, offsetof(FrameFooter, footer_crc));
+  std::memcpy(p, &ff, sizeof(ff));
+}
+
+}  // namespace crpm::snapshot

@@ -1,0 +1,115 @@
+// On-disk format of the multi-epoch snapshot archive.
+//
+// An archive is an append-only file:
+//
+//   [ ArchiveHeader ]                         48 B, CRC32-protected
+//   [ frame ]*                                one frame per archived epoch
+//
+// and each frame is
+//
+//   [ FrameHeader   ]  marker, kind, epoch, block count, roots, CRC32
+//   [ record ]*        block index (8 B) + payload (block_size B) + CRC32
+//   [ FrameFooter   ]  marker, epoch, frame byte count, payload CRC, CRC32
+//
+// Two frame kinds:
+//   * kDeltaFrame — the blocks modified during exactly one epoch. A delta
+//     chain beginning at epoch 1 implicitly starts from the all-zero image
+//     of a freshly formatted container.
+//   * kBaseFrame — a full snapshot: every non-zero block of the working
+//     state at that epoch. Written when the writer attaches mid-history and
+//     by compaction; restore starts from the newest base at or below the
+//     target epoch.
+//
+// Crash-safety argument (see DESIGN.md): frames are appended with a single
+// buffered write followed by fdatasync, and nothing before the append point
+// is ever modified in place (compaction writes a fresh file and renames it
+// over the archive atomically). A crash mid-append therefore leaves either
+// a missing footer or a torn header/record region strictly at the tail;
+// readers validate CRCs front to back and drop the torn tail, falling back
+// to the newest intact epoch.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/layout.h"
+
+namespace crpm::snapshot {
+
+inline constexpr uint64_t kArchiveMagic = 0x6372706d2d617263ull;  // "crpm-arc"
+inline constexpr uint32_t kArchiveVersion = 1;
+inline constexpr uint32_t kFrameMarker = 0xF0A3C0DEu;
+inline constexpr uint32_t kFooterMarker = 0xF007E4Du;
+
+enum FrameKind : uint32_t {
+  kDeltaFrame = 1,
+  kBaseFrame = 2,
+};
+
+// All structs are written to disk verbatim; every field group is naturally
+// aligned and padding bytes are zero (value-initialized), so the CRC over
+// the raw bytes is deterministic.
+struct ArchiveHeader {
+  uint64_t magic = kArchiveMagic;
+  uint32_t version = kArchiveVersion;
+  uint32_t reserved = 0;
+  uint64_t block_size = 0;
+  uint64_t region_size = 0;    // container main-region bytes
+  uint64_t segment_size = 0;   // informational (0 if unknown)
+  uint32_t header_crc = 0;     // CRC32 of the preceding bytes
+  uint32_t pad = 0;
+};
+static_assert(sizeof(ArchiveHeader) == 48);
+
+struct FrameHeader {
+  uint32_t marker = kFrameMarker;
+  uint32_t kind = kDeltaFrame;
+  uint64_t epoch = 0;
+  uint64_t block_count = 0;
+  uint64_t roots[kNumRoots] = {};  // committed root array at `epoch`
+  uint32_t header_crc = 0;         // CRC32 of the preceding bytes
+  uint32_t pad = 0;
+};
+static_assert(sizeof(FrameHeader) == 160);
+
+struct FrameFooter {
+  uint32_t marker = kFooterMarker;
+  uint32_t pad = 0;
+  uint64_t epoch = 0;
+  uint64_t frame_bytes = 0;  // header + records + footer
+  uint32_t payload_crc = 0;  // running CRC32 over every record's CRC
+  uint32_t footer_crc = 0;   // CRC32 of the preceding bytes
+};
+static_assert(sizeof(FrameFooter) == 32);
+
+// Bytes of one record for a given block size.
+inline constexpr uint64_t record_bytes(uint64_t block_size) {
+  return 8 + block_size + 4;
+}
+
+// Total frame bytes for `blocks` records of `block_size`.
+inline constexpr uint64_t frame_bytes(uint64_t blocks, uint64_t block_size) {
+  return sizeof(FrameHeader) + blocks * record_bytes(block_size) +
+         sizeof(FrameFooter);
+}
+
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), seedable for running CRCs.
+uint32_t crc32(const void* data, size_t len, uint32_t seed = 0);
+
+// Serializes one complete frame (header, records, footer) into `out`.
+// `blocks[i]`'s payload is payload + i * block_size. `out` is overwritten.
+void serialize_frame(uint32_t kind, uint64_t epoch,
+                     const std::array<uint64_t, kNumRoots>& roots,
+                     const std::vector<uint64_t>& blocks,
+                     const uint8_t* payload, uint64_t block_size,
+                     std::vector<uint8_t>* out);
+
+// Serializes the archive file header.
+ArchiveHeader make_header(uint64_t block_size, uint64_t region_size,
+                          uint64_t segment_size);
+
+// Validates a header read from disk (magic, version, CRC, sane geometry).
+bool header_valid(const ArchiveHeader& h);
+
+}  // namespace crpm::snapshot

@@ -1,0 +1,119 @@
+#include "snapshot/restore.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "snapshot/archive.h"
+#include "util/logging.h"
+
+namespace crpm::snapshot {
+
+namespace {
+
+RestoreResult restore_impl(const std::string& archive_path, uint64_t epoch,
+                           NvmDevice* dev,
+                           std::unique_ptr<NvmDevice> owned_dev,
+                           const CrpmOptions& opt) {
+  RestoreResult r;
+  ArchiveReader reader(archive_path);
+  if (!reader.ok()) {
+    r.error = "not a valid snapshot archive: " + archive_path;
+    r.warnings = reader.scan().warnings;
+    return r;
+  }
+  r.warnings = reader.scan().warnings;
+
+  uint64_t target = epoch;
+  if (target == Container::kLatestEpoch) {
+    if (!reader.latest_restorable(&target)) {
+      r.error = "archive holds no restorable epoch";
+      return r;
+    }
+    const auto& epochs = reader.scan().epochs;
+    if (!epochs.empty() && epochs.back().epoch != target) {
+      r.warnings.push_back(
+          "newest archived epoch " + std::to_string(epochs.back().epoch) +
+          " is not restorable; falling back to epoch " +
+          std::to_string(target));
+    }
+  }
+
+  std::vector<uint8_t> image;
+  std::array<uint64_t, kNumRoots> roots{};
+  std::string err;
+  if (!reader.state_at(target, &image, &roots, &err)) {
+    r.error = err;
+    return r;
+  }
+
+  CrpmOptions ropt = opt;
+  ropt.thread_count = 1;       // restore is single-threaded
+  ropt.archive_path.clear();   // never re-archive the replay itself
+  if (Geometry(ropt).main_region_size() != image.size()) {
+    r.error = "container options describe a " +
+              std::to_string(Geometry(ropt).main_region_size()) +
+              "-byte main region but the archive holds " +
+              std::to_string(image.size()) + " bytes";
+    return r;
+  }
+
+  std::unique_ptr<Container> c =
+      owned_dev != nullptr ? Container::open(std::move(owned_dev), ropt)
+                           : Container::open(dev, ropt);
+  if (!c->was_fresh()) {
+    r.error = "restore target device is not pristine";
+    return r;
+  }
+  // The whole image is one annotated store: every non-zero byte of the
+  // archived state lands in the working state, then one checkpoint commits
+  // it as the restored container's first epoch.
+  c->annotate(c->data(), image.size());
+  std::memcpy(c->data(), image.data(), image.size());
+  for (uint32_t s = 0; s < kNumRoots; ++s) c->set_root(s, roots[s]);
+  c->checkpoint();
+
+  r.container = std::move(c);
+  r.epoch = target;
+  return r;
+}
+
+}  // namespace
+
+RestoreResult restore(const std::string& archive_path, uint64_t epoch,
+                      NvmDevice* dev, const CrpmOptions& opt) {
+  return restore_impl(archive_path, epoch, dev, nullptr, opt);
+}
+
+RestoreResult restore(const std::string& archive_path, uint64_t epoch,
+                      std::unique_ptr<NvmDevice> dev,
+                      const CrpmOptions& opt) {
+  return restore_impl(archive_path, epoch, nullptr, std::move(dev), opt);
+}
+
+RestoreResult restore_file(const std::string& archive_path, uint64_t epoch,
+                           const std::string& container_path,
+                           const CrpmOptions& opt) {
+  std::remove(container_path.c_str());
+  auto dev = std::make_unique<FileNvmDevice>(
+      container_path, Container::required_device_size(opt));
+  return restore(archive_path, epoch, std::move(dev), opt);
+}
+
+bool read_state(const std::string& archive_path, uint64_t epoch,
+                std::vector<uint8_t>* image,
+                std::array<uint64_t, kNumRoots>* roots, std::string* err) {
+  ArchiveReader reader(archive_path);
+  if (!reader.ok()) {
+    if (err) *err = "not a valid snapshot archive: " + archive_path;
+    return false;
+  }
+  uint64_t target = epoch;
+  if (target == Container::kLatestEpoch &&
+      !reader.latest_restorable(&target)) {
+    if (err) *err = "archive holds no restorable epoch";
+    return false;
+  }
+  return reader.state_at(target, image, roots, err);
+}
+
+}  // namespace crpm::snapshot

@@ -1,0 +1,53 @@
+// Restore-to-any-epoch: materialize an archived epoch into a fresh
+// container device.
+//
+// The container itself retains at most one epoch of history on-device
+// (Container::retains_previous_epoch()); the archive extends that to every
+// epoch since the last compaction fold. restore() rebuilds the byte image
+// of the requested epoch from the archive (base frame + delta chain),
+// formats a fresh container on the supplied device, copies the image in as
+// annotated working state, re-installs the epoch's committed roots, and
+// commits one checkpoint — yielding a container whose working state is
+// bit-identical to the archived epoch's.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/container.h"
+
+namespace crpm::snapshot {
+
+struct RestoreResult {
+  std::unique_ptr<Container> container;  // null on failure
+  uint64_t epoch = 0;                    // the epoch actually restored
+  std::string error;                     // set when container is null
+  std::vector<std::string> warnings;     // skipped corrupt epochs etc.
+};
+
+// Restores `epoch` (or the newest restorable epoch, for
+// Container::kLatestEpoch — falling back past corrupt tail epochs with a
+// warning) from the archive at `archive_path` onto `dev`. The device must
+// be pristine: restore formats a fresh container on it. `opt` must describe
+// a geometry whose main region matches the archived region size; its
+// thread_count and archive settings are ignored for the restored container.
+RestoreResult restore(const std::string& archive_path, uint64_t epoch,
+                      NvmDevice* dev, const CrpmOptions& opt);
+RestoreResult restore(const std::string& archive_path, uint64_t epoch,
+                      std::unique_ptr<NvmDevice> dev, const CrpmOptions& opt);
+
+// Convenience: file-backed restored container at `container_path` (any
+// existing file is replaced).
+RestoreResult restore_file(const std::string& archive_path, uint64_t epoch,
+                           const std::string& container_path,
+                           const CrpmOptions& opt);
+
+// Low-level: reconstruct only the byte image and roots of `epoch`.
+bool read_state(const std::string& archive_path, uint64_t epoch,
+                std::vector<uint8_t>* image,
+                std::array<uint64_t, kNumRoots>* roots, std::string* err);
+
+}  // namespace crpm::snapshot

@@ -1,0 +1,496 @@
+#include "snapshot/writer.h"
+
+#include <fcntl.h>
+#include <pthread.h>
+#include <sched.h>
+#include <sys/resource.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "snapshot/archive.h"
+#include "snapshot/compactor.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+#include <emmintrin.h>
+
+namespace crpm::snapshot {
+
+namespace {
+
+// Staging copy with non-temporal stores: the payload buffer is written
+// once, so pulling it through the cache hierarchy would only evict the
+// application's working set (and the RFO reads cost bandwidth).
+// `dst` is 16-byte aligned and `len` a multiple of the block size.
+void stream_copy(uint8_t* dst, const uint8_t* src, size_t len) {
+  for (size_t i = 0; i < len; i += 16) {
+    __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_stream_si128(reinterpret_cast<__m128i*>(dst + i), v);
+  }
+}
+
+}  // namespace
+
+ArchiveWriter::ArchiveWriter(std::string path, SnapshotOptions sopt)
+    : path_(std::move(path)), sopt_(sopt) {
+  if (sopt_.queue_depth == 0) sopt_.queue_depth = 1;
+  thread_ = std::thread([this] { worker(); });
+  stage_thread_ = std::thread([this] { stager(); });
+}
+
+ArchiveWriter::~ArchiveWriter() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  cv_stage_work_.notify_all();
+  stage_thread_.join();
+  thread_.join();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ArchiveWriter::attach(Container& c) {
+  init_file(c.geometry().block_size(), c.geometry().main_region_size(),
+            c.geometry().segment_size(), c.committed_epoch());
+  crpm_stats_ = &c.stats();
+  dev_ = c.device();
+  c.set_epoch_sink(this);
+}
+
+std::unique_ptr<ArchiveWriter> ArchiveWriter::attach_if_configured(
+    Container& c) {
+  const CrpmOptions& o = c.options();
+  if (o.archive_path.empty()) return nullptr;
+  SnapshotOptions s;
+  s.compact_every = o.archive_compact_every;
+  s.queue_depth = o.archive_queue_depth;
+  s.fsync_each_epoch = o.archive_fsync;
+  auto w = std::make_unique<ArchiveWriter>(o.archive_path, s);
+  w->attach(c);
+  return w;
+}
+
+void ArchiveWriter::init_file(uint64_t block_size, uint64_t region_size,
+                              uint64_t segment_size, uint64_t max_epoch) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (inited_) {
+    CRPM_CHECK(block_size == block_size_ && region_size == region_size_,
+               "archive %s already bound to a different geometry",
+               path_.c_str());
+    return;
+  }
+  block_size_ = block_size;
+  region_size_ = region_size;
+  segment_size_ = segment_size;
+
+  // Scan whatever is on disk: adopt an intact archive (continuing its
+  // epoch sequence), truncate a torn tail, or start fresh.
+  uint64_t resume_epoch = 0;
+  uint64_t truncate_to = 0;
+  bool reuse = false;
+  {
+    ArchiveReader reader(path_);
+    if (reader.ok()) {
+      const ArchiveHeader& h = reader.scan().header;
+      CRPM_CHECK(h.block_size == block_size && h.region_size == region_size,
+                 "archive %s geometry mismatch: has %llu B blocks / %llu B "
+                 "region",
+                 path_.c_str(), (unsigned long long)h.block_size,
+                 (unsigned long long)h.region_size);
+      if (segment_size_ == 0) segment_size_ = h.segment_size;
+      reuse = true;
+      truncate_to = reader.scan().scan_end;
+      const auto& epochs = reader.scan().epochs;
+      size_t keep = epochs.size();
+      // Reconcile against the container's committed timeline: deltas are
+      // staged before the commit point, so a crash in between (or a
+      // rollback recovery) leaves frames here that the container never
+      // committed. Drop them.
+      while (keep > 0 && epochs[keep - 1].epoch > max_epoch) --keep;
+      if (keep < epochs.size()) {
+        CRPM_LOG_WARN(
+            "archive %s: dropping %zu frame(s) beyond committed epoch %llu",
+            path_.c_str(), epochs.size() - keep,
+            (unsigned long long)max_epoch);
+        truncate_to = epochs[keep].file_offset;
+      }
+      if (keep > 0) resume_epoch = epochs[keep - 1].epoch;
+      if (sopt_.compact_every != 0 && resume_epoch > 0 &&
+          reader.restorable(resume_epoch)) {
+        // Rebuild the running shadow image so post-restart compaction folds
+        // the full history, not just frames appended since the restart.
+        std::string err;
+        if (!reader.state_at(resume_epoch, &shadow_, nullptr, &err)) {
+          shadow_.clear();
+        }
+      }
+    }
+  }
+
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+  CRPM_CHECK(fd_ >= 0, "open(%s) failed: %s", path_.c_str(),
+             std::strerror(errno));
+  if (reuse) {
+    if (truncate_to > 0) {
+      CRPM_CHECK(::ftruncate(fd_, static_cast<off_t>(truncate_to)) == 0,
+                 "ftruncate(%s) failed: %s", path_.c_str(),
+                 std::strerror(errno));
+    }
+    CRPM_CHECK(::lseek(fd_, 0, SEEK_END) >= 0, "lseek failed: %s",
+               std::strerror(errno));
+  } else {
+    CRPM_CHECK(::ftruncate(fd_, 0) == 0, "ftruncate(%s) failed: %s",
+               path_.c_str(), std::strerror(errno));
+    ArchiveHeader h = make_header(block_size, region_size, segment_size);
+    CRPM_CHECK(::write(fd_, &h, sizeof(h)) == ssize_t(sizeof(h)),
+               "writing archive header to %s failed", path_.c_str());
+    if (sopt_.fsync_each_epoch) ::fdatasync(fd_);
+  }
+  if (sopt_.compact_every != 0 && shadow_.empty()) {
+    shadow_.assign(region_size_, 0);
+  }
+  last_epoch_.store(resume_epoch, std::memory_order_release);
+  inited_ = true;
+}
+
+void ArchiveWriter::on_epoch_commit(EpochDelta&& d) {
+  if (!inited_) {
+    init_file(d.block_size, d.region_size, 0,
+              d.epoch > 0 ? d.epoch - 1 : 0);
+  }
+  if (dead_.load(std::memory_order_acquire)) {
+    st_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  const uint64_t last = last_epoch_.load(std::memory_order_acquire);
+  PendingFrame f;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!pool_.empty()) {
+      f = std::move(pool_.back());
+      pool_.pop_back();
+    }
+  }
+  f.epoch = d.epoch;
+  f.roots = d.roots;
+  f.state = PendingFrame::kUnstaged;
+  f.src = d.data;  // stable until wait_captured(); staging copies from it
+  if (d.epoch == last + 1 || (last == 0 && d.epoch == 1)) {
+    // Contiguous: a delta frame of this epoch's dirty blocks. The payload
+    // copy happens on the writer thread (stage()), overlapped with the
+    // checkpoint's flush phase — only the block list changes hands here.
+    f.kind = kDeltaFrame;
+    f.blocks = std::move(d.blocks);
+    f.payload.clear();
+  } else if (d.epoch > last) {
+    // Gap (writer attached mid-history): archive a full base snapshot so
+    // the chain restarts here. The writer gathers the region's non-zero
+    // blocks during staging.
+    f.kind = kBaseFrame;
+    f.blocks.clear();
+    f.payload.clear();
+  } else {
+    // Epoch regression: the container's timeline diverged from the archive
+    // (e.g. rollback recovery). Appending would corrupt history; refuse.
+    if (!warned_divergence_) {
+      warned_divergence_ = true;
+      CRPM_LOG_WARN(
+          "archive %s: committed epoch %llu not after archived epoch %llu; "
+          "dropping divergent epochs (restore from a fresh archive instead)",
+          path_.c_str(), (unsigned long long)d.epoch,
+          (unsigned long long)last);
+    }
+    st_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  // Enqueue with backpressure.
+  std::unique_lock<std::mutex> lk(mu_);
+  if (queue_.size() >= sopt_.queue_depth) {
+    Stopwatch sw;
+    cv_space_.wait(lk, [&] {
+      return queue_.size() < sopt_.queue_depth ||
+             dead_.load(std::memory_order_acquire);
+    });
+    uint64_t ns = sw.elapsed_ns();
+    st_stall_ns_.fetch_add(ns, std::memory_order_relaxed);
+    if (crpm_stats_ != nullptr) crpm_stats_->add_archive_stall_ns(ns);
+  }
+  if (dead_.load(std::memory_order_acquire)) {
+    st_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  queue_.push_back(std::move(f));
+  ++unstaged_;
+  uint64_t depth = queue_.size();
+  uint64_t prev = st_qhwm_.load(std::memory_order_relaxed);
+  while (depth > prev && !st_qhwm_.compare_exchange_weak(
+                             prev, depth, std::memory_order_relaxed)) {
+  }
+  if (crpm_stats_ != nullptr) crpm_stats_->note_archive_queue_depth(depth);
+  last_epoch_.store(d.epoch, std::memory_order_release);
+  lk.unlock();
+  cv_stage_work_.notify_one();
+}
+
+void ArchiveWriter::worker() {
+  // Archive I/O is background work: run the writer as SCHED_IDLE so waking
+  // it at the end of a commit can never preempt the committing thread — on
+  // few-core machines a freshly woken default-policy thread would steal the
+  // rest of the stop-the-world window. Best effort; fall back to a nice
+  // penalty where the policy isn't available.
+  sched_param sp{};
+  if (::pthread_setschedparam(::pthread_self(), SCHED_IDLE, &sp) != 0) {
+    ::setpriority(PRIO_PROCESS, static_cast<id_t>(::syscall(SYS_gettid)), 10);
+  }
+  for (;;) {
+    PendingFrame f;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      // Only staged frames are writable; the stager notifies cv_work_ as
+      // frames become staged, so a stop with frames still staging parks
+      // here instead of spinning.
+      cv_work_.wait(lk, [&] {
+        return (stop_ && queue_.empty()) ||
+               (!queue_.empty() &&
+                queue_.front().state == PendingFrame::kStaged);
+      });
+      if (queue_.empty()) return;  // stop
+      f = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    cv_space_.notify_one();
+    write_frame(f);
+    bool compact_now = false;
+    if (!dead_.load(std::memory_order_acquire) && sopt_.compact_every != 0) {
+      // Maintain the running image and fold when the chain grows long.
+      if (f.kind == kBaseFrame) {
+        std::fill(shadow_.begin(), shadow_.end(), 0);
+        deltas_since_base_ = 0;
+      }
+      for (size_t i = 0; i < f.blocks.size(); ++i) {
+        std::memcpy(shadow_.data() + f.blocks[i] * block_size_,
+                    f.payload.data() + i * block_size_, block_size_);
+      }
+      if (f.kind == kDeltaFrame &&
+          ++deltas_since_base_ >= sopt_.compact_every) {
+        compact_now = true;
+      }
+    }
+    if (compact_now) compact(f.epoch, f.roots);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      busy_ = false;
+      if (pool_.size() <= sopt_.queue_depth) pool_.push_back(std::move(f));
+    }
+    cv_idle_.notify_all();
+  }
+}
+
+void ArchiveWriter::stage(PendingFrame& f) {
+  if (f.kind == kDeltaFrame) {
+    // resize over a recycled frame reuses its capacity; the copies below
+    // overwrite every byte.
+    f.payload.resize(f.blocks.size() * block_size_);
+    // One copy per run of consecutive dirty blocks (block indices arrive
+    // sorted): applications dirty objects, not isolated blocks, so runs are
+    // common and sequential copies beat a per-block gather.
+    for (size_t i = 0; i < f.blocks.size();) {
+      size_t j = i + 1;
+      while (j < f.blocks.size() && f.blocks[j] == f.blocks[j - 1] + 1) ++j;
+      stream_copy(f.payload.data() + i * block_size_,
+                  f.src + f.blocks[i] * block_size_, (j - i) * block_size_);
+      i = j;
+    }
+    _mm_sfence();  // staged payload visible before cv_staged_ releases f.src
+  } else {
+    // Base frame: gather every non-zero block of the region.
+    f.blocks.clear();
+    f.payload.clear();
+    const uint64_t nr = region_size_ / block_size_;
+    for (uint64_t b = 0; b < nr; ++b) {
+      const uint8_t* p = f.src + b * block_size_;
+      bool zero = p[0] == 0 && std::memcmp(p, p + 1, block_size_ - 1) == 0;
+      if (zero) continue;
+      f.blocks.push_back(b);
+      f.payload.insert(f.payload.end(), p, p + block_size_);
+    }
+  }
+  f.src = nullptr;
+}
+
+ArchiveWriter::PendingFrame* ArchiveWriter::find_unstaged() {
+  for (PendingFrame& q : queue_) {
+    if (q.state == PendingFrame::kUnstaged) return &q;
+  }
+  return nullptr;
+}
+
+void ArchiveWriter::stager() {
+  // Unlike the writer, the stager keeps the default scheduling policy: its
+  // work is one bounded copy per epoch that the committing leader may be
+  // sleeping on in wait_captured(), so it must win the CPU from the
+  // (SCHED_IDLE) writer.
+  for (;;) {
+    PendingFrame* uf = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_stage_work_.wait(
+          lk, [&] { return stop_ || find_unstaged() != nullptr; });
+      uf = find_unstaged();
+      if (uf == nullptr) return;  // stop, and nothing left to stage
+      uf->state = PendingFrame::kStaging;
+    }
+    // Copy with mu_ released: the claim (kStaging) keeps this frame ours,
+    // and deque references survive the producer's push_back / the worker's
+    // pop_front of other (staged) frames.
+    stage(*uf);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      uf->state = PendingFrame::kStaged;
+      --unstaged_;
+    }
+    cv_staged_.notify_all();  // wait_captured()
+    cv_idle_.notify_all();    // drain()
+    cv_work_.notify_one();    // the front may have become writable
+  }
+}
+
+void ArchiveWriter::wait_captured() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_staged_.wait(lk, [&] { return unstaged_ == 0; });
+}
+
+bool ArchiveWriter::raw_write(int fd, const void* buf, size_t len) {
+  uint64_t budget = write_budget_.load(std::memory_order_acquire);
+  size_t allowed = len;
+  if (budget < len) allowed = static_cast<size_t>(budget);
+  const auto* p = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < allowed) {
+    ssize_t n = ::write(fd, p + done, allowed - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      CRPM_LOG_WARN("archive %s: write failed: %s — archiving disabled",
+                    path_.c_str(), std::strerror(errno));
+      dead_.store(true, std::memory_order_release);
+      cv_space_.notify_all();
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (budget != ~uint64_t{0}) {
+    write_budget_.store(budget - allowed, std::memory_order_release);
+  }
+  if (allowed < len) {
+    // Simulated kill mid-append: the file now ends in a torn frame.
+    dead_.store(true, std::memory_order_release);
+    cv_space_.notify_all();
+    return false;
+  }
+  return true;
+}
+
+void ArchiveWriter::charge_io(uint64_t bytes, bool fsynced) {
+  st_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (fsynced) st_fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  if (dev_ != nullptr) {
+    dev_->stats().add_archive_write(bytes);
+    if (fsynced) dev_->stats().add_archive_fsync();
+    const CostModel& m = dev_->cost_model();
+    if (m.enabled && m.archive_write_ns_per_kb > 0.0) {
+      spin_for_ns(m.archive_write_ns_per_kb * double(bytes) / 1024.0);
+    }
+  }
+}
+
+void ArchiveWriter::write_frame(const PendingFrame& f) {
+  if (dead_.load(std::memory_order_acquire)) {
+    st_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::vector<uint8_t> buf;
+  serialize_frame(f.kind, f.epoch, f.roots, f.blocks, f.payload.data(),
+                  block_size_, &buf);
+  if (!raw_write(fd_, buf.data(), buf.size())) {
+    st_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  bool fsynced = false;
+  if (sopt_.fsync_each_epoch) {
+    ::fdatasync(fd_);
+    fsynced = true;
+  }
+  st_epochs_.fetch_add(1, std::memory_order_relaxed);
+  if (f.kind == kBaseFrame) {
+    st_bases_.fetch_add(1, std::memory_order_relaxed);
+  }
+  st_blocks_.fetch_add(f.blocks.size(), std::memory_order_relaxed);
+  charge_io(buf.size(), fsynced);
+  if (crpm_stats_ != nullptr) crpm_stats_->add_archive_epoch(buf.size());
+}
+
+void ArchiveWriter::compact(uint64_t epoch,
+                            const std::array<uint64_t, kNumRoots>& roots) {
+  CompactionResult r = fold_to_base(
+      path_, make_header(block_size_, region_size_, segment_size_), epoch,
+      roots,
+      shadow_, block_size_,
+      [this](int fd, const void* buf, size_t len) {
+        return raw_write(fd, buf, len);
+      });
+  if (!r.ok) {
+    CRPM_LOG_WARN("archive %s: compaction failed (%s); keeping delta chain",
+                  path_.c_str(), r.error.c_str());
+    return;
+  }
+  // Switch appends over to the compacted file.
+  ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_RDWR | O_APPEND, 0644);
+  CRPM_CHECK(fd_ >= 0, "reopen(%s) after compaction failed: %s",
+             path_.c_str(), std::strerror(errno));
+  deltas_since_base_ = 0;
+  st_compactions_.fetch_add(1, std::memory_order_relaxed);
+  charge_io(r.bytes_written, true);
+  if (crpm_stats_ != nullptr) crpm_stats_->add_archive_compaction();
+}
+
+void ArchiveWriter::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  // Even when dead (writes are dropped), wait out staging: unstaged frames
+  // still point into the container's working state.
+  cv_idle_.wait(lk, [&] {
+    return unstaged_ == 0 &&
+           ((queue_.empty() && !busy_) ||
+            dead_.load(std::memory_order_acquire));
+  });
+}
+
+void ArchiveWriter::kill_after_bytes(uint64_t budget) {
+  write_budget_.store(budget, std::memory_order_release);
+}
+
+ArchiveWriterStats ArchiveWriter::writer_stats() const {
+  ArchiveWriterStats s;
+  s.epochs_appended = st_epochs_.load(std::memory_order_relaxed);
+  s.base_frames = st_bases_.load(std::memory_order_relaxed);
+  s.bytes_appended = st_bytes_.load(std::memory_order_relaxed);
+  s.blocks_appended = st_blocks_.load(std::memory_order_relaxed);
+  s.queue_hwm = st_qhwm_.load(std::memory_order_relaxed);
+  s.stall_ns = st_stall_ns_.load(std::memory_order_relaxed);
+  s.fsyncs = st_fsyncs_.load(std::memory_order_relaxed);
+  s.compactions = st_compactions_.load(std::memory_order_relaxed);
+  s.dropped_epochs = st_dropped_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace crpm::snapshot

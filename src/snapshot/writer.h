@@ -1,0 +1,193 @@
+// Background archive writer: EpochSink implementation.
+//
+// The committing leader hands each epoch's delta to on_epoch_commit() at
+// the start of the checkpoint, which only records the delta (block list +
+// a pointer into the container's working state — no copy) on a bounded
+// queue. A dedicated *stager* thread copies the block payloads into DRAM
+// concurrently with the checkpoint's flush phase; the leader blocks in
+// wait_captured() just before releasing the application threads, so on a
+// machine with a spare core the staging copy is fully hidden inside the
+// stop-the-world window the checkpoint already pays. A second, writer
+// thread serializes staged frames, appends them to the archive file and
+// makes them durable, overlapped with the application's next compute
+// phase — staging and file I/O are separate threads so an fsync or a
+// compaction in progress never delays the next epoch's capture. When the
+// queue is full the committing thread blocks (backpressure) and the stall
+// is accounted in CrpmStats.
+//
+// Compaction: after `compact_every` delta frames the writer folds its
+// running shadow image into a full base snapshot, written to a fresh file
+// that atomically replaces the archive (write + fsync + rename), and the
+// delta chain restarts from that base.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/container.h"
+#include "core/epoch_sink.h"
+#include "snapshot/format.h"
+
+namespace crpm::snapshot {
+
+struct SnapshotOptions {
+  // Fold the chain into a base frame after this many deltas (0 = never).
+  uint32_t compact_every = 0;
+  // Staged epochs buffered before on_epoch_commit() blocks.
+  uint32_t queue_depth = 8;
+  // fdatasync after each appended frame.
+  bool fsync_each_epoch = true;
+};
+
+struct ArchiveWriterStats {
+  uint64_t epochs_appended = 0;  // frames durably written (delta + base)
+  uint64_t base_frames = 0;
+  uint64_t bytes_appended = 0;
+  uint64_t blocks_appended = 0;
+  uint64_t queue_hwm = 0;
+  uint64_t stall_ns = 0;     // producer time blocked on a full queue
+  uint64_t fsyncs = 0;
+  uint64_t compactions = 0;
+  uint64_t dropped_epochs = 0;  // divergent/failed epochs not archived
+};
+
+class ArchiveWriter final : public EpochSink {
+ public:
+  explicit ArchiveWriter(std::string path, SnapshotOptions sopt = {});
+  ~ArchiveWriter() override;  // drains the queue, then stops the thread
+
+  // Registers this writer as the container's epoch sink and binds the
+  // container's CrpmStats / device stats / cost model for accounting. Must
+  // be called between epochs. The writer must be detached
+  // (container.set_epoch_sink(nullptr)) or outlive the container.
+  void attach(Container& c);
+
+  // Convenience: builds a writer from the container's archive_* options.
+  // Returns nullptr when options().archive_path is empty.
+  static std::unique_ptr<ArchiveWriter> attach_if_configured(Container& c);
+
+  void on_epoch_commit(EpochDelta&& delta) override;
+  void wait_captured() override;
+
+  // Blocks until every staged epoch is on disk (and fsynced, if enabled).
+  void drain();
+
+  uint64_t last_epoch() const {
+    return last_epoch_.load(std::memory_order_acquire);
+  }
+  bool failed() const { return dead_.load(std::memory_order_acquire); }
+  const std::string& path() const { return path_; }
+  ArchiveWriterStats writer_stats() const;
+
+  // Test hook (crash simulation): allow only `budget` more bytes to reach
+  // the file, then stop writing mid-stream — as a process kill during an
+  // append would. Subsequent epochs are dropped and counted.
+  void kill_after_bytes(uint64_t budget);
+
+ private:
+  struct PendingFrame {
+    // Staging lifecycle, guarded by mu_: enqueued kUnstaged, claimed
+    // (kStaging) by the stager thread while it copies the payload with mu_
+    // released, then kStaged and eligible for writing.
+    enum State : uint8_t { kUnstaged, kStaging, kStaged };
+    State state = kStaged;
+    uint32_t kind = kDeltaFrame;
+    uint64_t epoch = 0;
+    std::array<uint64_t, kNumRoots> roots{};
+    // Working-state pointer the payload is staged from; non-null until the
+    // frame is staged. Valid until wait_captured() returns.
+    const uint8_t* src = nullptr;
+    std::vector<uint64_t> blocks;  // delta: set at enqueue; base: at staging
+    std::vector<uint8_t> payload;  // blocks.size() * block_size bytes
+  };
+
+  // Opens/validates/truncates the archive file; sets last_epoch_ from the
+  // newest intact on-disk epoch. Frames with epochs beyond `max_epoch` are
+  // truncated — deltas are staged before the commit point, so a crash in
+  // between (or a rollback recovery) can leave the archive ahead of the
+  // container's committed timeline; pass ~0 for no reconciliation.
+  // Idempotent; runs on first use.
+  void init_file(uint64_t block_size, uint64_t region_size,
+                 uint64_t segment_size, uint64_t max_epoch);
+
+  void worker();
+  // Stager thread: claims enqueued frames oldest-first and stages them.
+  // Dedicated so staging latency is wakeup + copy, never queued behind the
+  // writer's file I/O (an fsync or a region-proportional compaction would
+  // otherwise stretch the committing leader's wait_captured()).
+  void stager();
+  // Copies a frame's payload out of the container's working state (delta),
+  // or gathers the non-zero blocks of the whole region (base). Runs on the
+  // stager thread, overlapped with the checkpoint's flush phase.
+  void stage(PendingFrame& f);
+  // Oldest frame still kUnstaged, nullptr if none; mu_ must be held.
+  PendingFrame* find_unstaged();
+  void write_frame(const PendingFrame& f);
+  void compact(uint64_t epoch, const std::array<uint64_t, kNumRoots>& roots);
+  // write() honoring the kill_after_bytes budget; flips dead_ on short
+  // writes or I/O errors.
+  bool raw_write(int fd, const void* buf, size_t len);
+  void charge_io(uint64_t bytes, bool fsynced);
+
+  std::string path_;
+  SnapshotOptions sopt_;
+  int fd_ = -1;
+  bool inited_ = false;
+  uint64_t block_size_ = 0;
+  uint64_t region_size_ = 0;
+  uint64_t segment_size_ = 0;  // informational, preserved across compaction
+
+  // Bound accounting targets (optional).
+  CrpmStats* crpm_stats_ = nullptr;
+  NvmDevice* dev_ = nullptr;
+
+  // Producer/consumer state.
+  mutable std::mutex mu_;
+  std::condition_variable cv_space_;       // producer waits: queue full
+  std::condition_variable cv_work_;        // worker waits: nothing to write
+  std::condition_variable cv_stage_work_;  // stager waits: nothing to stage
+  std::condition_variable cv_staged_;  // wait_captured(): frames unstaged
+  std::condition_variable cv_idle_;    // drain() waits: all written
+  // Appended at the back by the producer, popped from the front for
+  // writing once staged. Staging mutates a frame in place with mu_
+  // released; deque references stay valid across the producer's push_back
+  // and the worker's pop_front of other elements.
+  std::deque<PendingFrame> queue_;
+  size_t unstaged_ = 0;  // frames not yet kStaged
+  // Retired frames recycled to the producer: staging reuses their buffer
+  // capacity, keeping allocation and page faults off the commit path.
+  std::vector<PendingFrame> pool_;
+  bool busy_ = false;  // worker holds a popped frame
+  bool stop_ = false;
+  std::thread thread_;
+  std::thread stage_thread_;
+
+  std::atomic<uint64_t> last_epoch_{0};
+  std::atomic<bool> dead_{false};
+  std::atomic<uint64_t> write_budget_{~uint64_t{0}};
+  bool warned_divergence_ = false;
+
+  // Compaction state (worker thread only).
+  std::vector<uint8_t> shadow_;  // running image; empty unless compacting
+  uint32_t deltas_since_base_ = 0;
+
+  // Stats (atomics: producer and worker both update).
+  std::atomic<uint64_t> st_epochs_{0};
+  std::atomic<uint64_t> st_bases_{0};
+  std::atomic<uint64_t> st_bytes_{0};
+  std::atomic<uint64_t> st_blocks_{0};
+  std::atomic<uint64_t> st_qhwm_{0};
+  std::atomic<uint64_t> st_stall_ns_{0};
+  std::atomic<uint64_t> st_fsyncs_{0};
+  std::atomic<uint64_t> st_compactions_{0};
+  std::atomic<uint64_t> st_dropped_{0};
+};
+
+}  // namespace crpm::snapshot

@@ -1,0 +1,160 @@
+// Epoch rollback vs. archive restore: two independent recovery paths must
+// agree. A container reopened at committed_epoch - 1 (simulated power
+// cycle, Section 3.6 coordinated rollback) uses its on-device retained
+// history; snapshot::restore() of the same epoch replays the archive's
+// delta chain onto a fresh device. The working state and roots must be
+// bit-identical either way — and after the rollback, a re-attached writer
+// must truncate the rolled-back epoch's frame so the archive follows the
+// surviving timeline.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/container.h"
+#include "nvm/crash_sim.h"
+#include "nvm/device.h"
+#include "snapshot/restore.h"
+#include "snapshot/writer.h"
+#include "util/rng.h"
+
+namespace crpm {
+namespace {
+
+struct RollbackParam {
+  bool buffered;
+};
+
+std::string param_name(const ::testing::TestParamInfo<RollbackParam>& info) {
+  return info.param.buffered ? "Buffered" : "Default";
+}
+
+class EpochRollbackTest : public ::testing::TestWithParam<RollbackParam> {};
+
+TEST_P(EpochRollbackTest, RollbackMatchesArchiveRestoreBitForBit) {
+  CrpmOptions opt;
+  opt.segment_size = 1024;
+  opt.block_size = 128;
+  opt.main_region_size = 64 * 1024;
+  opt.buffered = GetParam().buffered;
+  // Default containers retain the previous epoch only without eager CoW.
+  opt.eager_cow_segments = 0;
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       (std::string("crpm_rollback_") +
+        (opt.buffered ? "buffered" : "default") + ".crpmsnap"))
+          .string();
+  std::filesystem::remove(path);
+
+  CrashSimDevice dev(Container::required_device_size(opt));
+  Xoshiro256 rng(211);
+  const uint64_t region = opt.main_region_size;
+
+  struct Rec {
+    std::vector<uint8_t> image;
+    std::array<uint64_t, kNumRoots> roots{};
+  };
+  std::vector<Rec> recs;  // index e-1 holds the model of epoch e
+
+  auto c = Container::open(&dev, opt);
+  auto writer = std::make_unique<snapshot::ArchiveWriter>(path);
+  writer->attach(*c);
+
+  auto commit_one = [&] {
+    const uint64_t epoch = c->committed_epoch() + 1;
+    for (int r = 0; r < 6; ++r) {
+      uint64_t len = 64 + rng.next_below(512);
+      uint64_t off = rng.next_below(region - len);
+      c->annotate(c->data() + off, len);
+      for (uint64_t i = 0; i < len; ++i) {
+        c->data()[off + i] = static_cast<uint8_t>(rng.next());
+      }
+    }
+    c->set_root(0, epoch * 10 + 1);
+    c->checkpoint();
+    Rec rec;
+    rec.image.assign(c->data(), c->data() + region);
+    for (uint32_t s = 0; s < kNumRoots; ++s) rec.roots[s] = c->get_root(s);
+    recs.push_back(std::move(rec));
+  };
+
+  for (int i = 0; i < 4; ++i) commit_one();
+
+  for (int round = 0; round < 3; ++round) {
+    // Clean power-off: detach the archive, drop the container object,
+    // cycle the simulated machine.
+    writer->drain();
+    c->set_epoch_sink(nullptr);
+    writer.reset();
+    const uint64_t e = c->committed_epoch();
+    c.reset();
+    dev.crash_and_restart(CrashPolicy::kDropPending, rng);
+
+    // Recovery path 1: the container's own one-epoch history.
+    c = Container::open(&dev, opt, /*target_epoch=*/e - 1);
+    ASSERT_EQ(c->committed_epoch(), e - 1);
+    const Rec& want = recs[e - 2];
+    ASSERT_EQ(std::memcmp(c->data(), want.image.data(), region), 0)
+        << "rolled-back state diverges from the model (round " << round
+        << ")";
+    for (uint32_t s = 0; s < kNumRoots; ++s) {
+      ASSERT_EQ(c->get_root(s), want.roots[s]) << "slot " << s;
+    }
+
+    // Recovery path 2: restore the same epoch from the archive onto a
+    // fresh device. Must be bit-identical to the rolled-back container.
+    auto rdev = std::make_unique<HeapNvmDevice>(
+        Container::required_device_size(opt));
+    snapshot::RestoreResult rr =
+        snapshot::restore(path, e - 1, std::move(rdev), opt);
+    ASSERT_NE(rr.container, nullptr)
+        << "round " << round << ": " << rr.error;
+    EXPECT_EQ(rr.epoch, e - 1);
+    ASSERT_EQ(std::memcmp(rr.container->data(), c->data(), region), 0)
+        << "archive restore and epoch rollback disagree (round " << round
+        << ")";
+    for (uint32_t s = 0; s < kNumRoots; ++s) {
+      ASSERT_EQ(rr.container->get_root(s), c->get_root(s)) << "slot " << s;
+    }
+
+    // The archive still holds the rolled-back epoch e; re-attaching must
+    // truncate it so the chain follows this timeline.
+    recs.resize(e - 1);
+    writer = std::make_unique<snapshot::ArchiveWriter>(path);
+    writer->attach(*c);
+    ASSERT_EQ(writer->last_epoch(), e - 1);
+
+    // Keep going on the surviving timeline.
+    commit_one();
+    commit_one();
+  }
+
+  // Every epoch of the final timeline restores exactly.
+  writer->drain();
+  c->set_epoch_sink(nullptr);
+  writer.reset();
+  for (uint64_t e = 1; e <= c->committed_epoch(); ++e) {
+    std::vector<uint8_t> image;
+    std::array<uint64_t, kNumRoots> roots{};
+    std::string err;
+    ASSERT_TRUE(snapshot::read_state(path, e, &image, &roots, &err))
+        << "epoch " << e << ": " << err;
+    EXPECT_EQ(std::memcmp(image.data(), recs[e - 1].image.data(), region), 0)
+        << "epoch " << e;
+    EXPECT_EQ(roots, recs[e - 1].roots) << "epoch " << e;
+  }
+  std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, EpochRollbackTest,
+                         ::testing::Values(RollbackParam{false},
+                                           RollbackParam{true}),
+                         param_name);
+
+}  // namespace
+}  // namespace crpm

@@ -1,28 +1,39 @@
-// crpm_inspect: offline container inspection and consistency checking.
+// crpm_inspect: offline container and archive inspection.
 //
 //   crpm_inspect <container-file>
+//   crpm_inspect archive list <archive-file>
+//   crpm_inspect archive verify <archive-file>
+//   crpm_inspect archive dump <archive-file> <epoch> <out-file>
 //
-// Prints the persistent metadata (header, committed epoch, segment-state
-// histogram, backup pairings, roots, heap usage) and verifies the
-// structural invariants that recovery depends on:
+// Container form: prints the persistent metadata (header, committed epoch,
+// segment-state histogram, backup pairings, roots, heap usage) and verifies
+// the structural invariants that recovery depends on:
 //
 //   * magic/version/initialized flags
 //   * geometry arithmetic consistent with the device size
 //   * every pairing in range and no two backups paired to the same main
 //   * segment states within the enum; SS_Backup only with a pairing
 //
-// Read-only: opens the file without running recovery, so it can be used on
-// a crashed container before restarting the application.
+// Archive form: scans a snapshot archive (src/snapshot), listing every
+// framed epoch with its CRC verdict and restorability, or dumps one epoch's
+// reconstructed byte image to a file.
+//
+// Read-only: opens files without running recovery, so it can be used on a
+// crashed container or a torn archive before restarting the application.
 #include <fcntl.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/layout.h"
+#include "snapshot/archive.h"
+#include "snapshot/restore.h"
 #include "util/table.h"
 
 using namespace crpm;
@@ -183,12 +194,123 @@ int inspect(const char* path) {
   return errors == 0 ? 0 : 2;
 }
 
+// --- archive subcommands --------------------------------------------------
+
+int archive_list(const char* path, bool verify_only) {
+  snapshot::ArchiveReader reader(path);
+  const auto& scan = reader.scan();
+  for (const auto& w : scan.warnings)
+    std::fprintf(stderr, "warning: %s\n", w.c_str());
+  if (!scan.valid) {
+    std::fprintf(stderr, "%s: not a valid snapshot archive\n", path);
+    return 1;
+  }
+  const auto& h = scan.header;
+  std::printf("archive:           %s\n", path);
+  std::printf("geometry:          %s region, %s blocks, %s segments\n",
+              format_bytes(h.region_size).c_str(),
+              format_bytes(h.block_size).c_str(),
+              format_bytes(h.segment_size).c_str());
+  std::printf("epochs:            %zu framed", scan.epochs.size());
+  if (scan.truncated_bytes != 0)
+    std::printf("  (+%llu truncated tail bytes dropped)",
+                (unsigned long long)scan.truncated_bytes);
+  std::printf("\n");
+
+  uint64_t corrupt = 0, unrestorable = 0;
+  if (!verify_only) {
+    TablePrinter t({"epoch", "kind", "blocks", "bytes", "crc", "restorable"});
+    for (const auto& e : scan.epochs) {
+      bool r = reader.restorable(e.epoch);
+      if (!e.intact) ++corrupt;
+      if (!r) ++unrestorable;
+      t.row()
+          .cell(e.epoch)
+          .cell(e.kind == snapshot::kBaseFrame ? "base" : "delta")
+          .cell(e.block_count)
+          .cell(format_bytes(e.frame_bytes))
+          .cell(e.intact ? "ok" : "CORRUPT")
+          .cell(r ? "yes" : "NO");
+    }
+    t.print();
+  } else {
+    for (const auto& e : scan.epochs) {
+      if (!e.intact) {
+        ++corrupt;
+        std::printf("epoch %llu: CORRUPT (CRC mismatch)\n",
+                    (unsigned long long)e.epoch);
+      }
+      if (!reader.restorable(e.epoch)) ++unrestorable;
+    }
+  }
+
+  uint64_t latest = 0;
+  if (reader.latest_restorable(&latest))
+    std::printf("latest restorable: epoch %llu\n", (unsigned long long)latest);
+  else
+    std::printf("latest restorable: NONE\n");
+
+  bool bad = corrupt != 0 || scan.truncated_bytes != 0;
+  std::printf("%s (%llu corrupt, %llu unrestorable of %zu)\n",
+              bad ? "ARCHIVE HAS DAMAGE" : "archive is fully intact",
+              (unsigned long long)corrupt, (unsigned long long)unrestorable,
+              scan.epochs.size());
+  return bad ? 2 : 0;
+}
+
+int archive_dump(const char* path, const char* epoch_str, const char* out) {
+  char* end = nullptr;
+  uint64_t epoch = std::strtoull(epoch_str, &end, 10);
+  if (end == epoch_str || *end != '\0') {
+    std::fprintf(stderr, "bad epoch '%s'\n", epoch_str);
+    return 64;
+  }
+  std::vector<uint8_t> image;
+  std::array<uint64_t, kNumRoots> roots{};
+  std::string err;
+  if (!snapshot::read_state(path, epoch, &image, &roots, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 2;
+  }
+  std::FILE* f = std::fopen(out, "wb");
+  if (f == nullptr || std::fwrite(image.data(), 1, image.size(), f) !=
+                          image.size()) {
+    std::perror("write");
+    if (f) std::fclose(f);
+    return 1;
+  }
+  std::fclose(f);
+  std::printf("epoch %llu: %s written to %s\n", (unsigned long long)epoch,
+              format_bytes(image.size()).c_str(), out);
+  for (uint32_t r = 0; r < kNumRoots; ++r)
+    if (roots[r] != 0)
+      std::printf("root[%u]:           offset %llu\n", r,
+                  (unsigned long long)roots[r]);
+  return 0;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <container-file>\n"
+               "       %s archive list <archive-file>\n"
+               "       %s archive verify <archive-file>\n"
+               "       %s archive dump <archive-file> <epoch> <out-file>\n",
+               argv0, argv0, argv0, argv0);
+  return 64;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <container-file>\n", argv[0]);
-    return 64;
+  if (argc >= 2 && std::strcmp(argv[1], "archive") == 0) {
+    if (argc == 4 && std::strcmp(argv[2], "list") == 0)
+      return archive_list(argv[3], false);
+    if (argc == 4 && std::strcmp(argv[2], "verify") == 0)
+      return archive_list(argv[3], true);
+    if (argc == 6 && std::strcmp(argv[2], "dump") == 0)
+      return archive_dump(argv[3], argv[4], argv[5]);
+    return usage(argv[0]);
   }
+  if (argc != 2) return usage(argv[0]);
   return inspect(argv[1]);
 }
