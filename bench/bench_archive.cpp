@@ -31,6 +31,7 @@
 // Knobs: CRPM_ARCH_EPOCHS (default 24), CRPM_ARCH_DIRTY_KB dirtied per
 // epoch (default 2048), CRPM_ARCH_MB region size (default 64),
 // CRPM_ARCH_INTERVAL_MS compute per epoch (default 8), CRPM_COST.
+// Pass --json <path> to also write the results as JSON (bench_common.h).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -41,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/container.h"
 #include "nvm/cost_model.h"
 #include "nvm/device.h"
@@ -150,12 +152,19 @@ Result run_mode(const std::string& mode, uint64_t epochs, uint64_t dirty_kb,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const uint64_t epochs = env_u64("CRPM_ARCH_EPOCHS", 24);
   const uint64_t dirty_kb = env_u64("CRPM_ARCH_DIRTY_KB", 2048);
   const uint64_t region_mb = env_u64("CRPM_ARCH_MB", 64);
   const double interval_ms = env_double("CRPM_ARCH_INTERVAL_MS", 8.0);
   const bool cost = env_bool("CRPM_COST", true);
+
+  bench::JsonReport json(bench::json_out_path(argc, argv), "bench_archive");
+  json.meta("epochs", epochs)
+      .meta("dirty_kb", dirty_kb)
+      .meta("region_mb", region_mb)
+      .meta("interval_ms", interval_ms)
+      .meta("cost_model", cost);
 
   std::printf("== bench_archive ==\n");
   std::printf(
@@ -172,17 +181,29 @@ int main() {
        {"off", "archive", "arch+nosync", "arch+compact"}) {
     Result r = run_mode(mode, epochs, dirty_kb, region_mb, interval_ms, cost);
     if (std::string(mode) == "off") off_cpu = r.mean_ckpt_cpu_ms;
+    const double vs_off = off_cpu > 0 ? r.mean_ckpt_cpu_ms / off_cpu : 1.0;
     t.row()
         .cell(mode)
         .cell(r.mean_ckpt_ms, 3)
         .cell(r.max_ckpt_ms, 3)
         .cell(r.mean_ckpt_cpu_ms, 3)
-        .cell(off_cpu > 0 ? r.mean_ckpt_cpu_ms / off_cpu : 1.0, 3)
+        .cell(vs_off, 3)
         .cell(r.arch.epochs_appended)
         .cell(format_bytes(r.arch.bytes_appended))
         .cell(r.arch.queue_hwm)
         .cell(static_cast<double>(r.arch.stall_ns) / 1e6, 3)
         .cell(static_cast<double>(r.capture_ns) / 1e6, 3);
+    json.row()
+        .col("mode", mode)
+        .col("wall_mean_ms", r.mean_ckpt_ms)
+        .col("wall_max_ms", r.max_ckpt_ms)
+        .col("cpu_mean_ms", r.mean_ckpt_cpu_ms)
+        .col("cpu_vs_off", vs_off)
+        .col("epochs_appended", r.arch.epochs_appended)
+        .col("bytes_appended", r.arch.bytes_appended)
+        .col("queue_hwm", r.arch.queue_hwm)
+        .col("stall_ms", static_cast<double>(r.arch.stall_ns) / 1e6)
+        .col("capture_ms", static_cast<double>(r.capture_ns) / 1e6);
   }
   t.print();
   std::printf(
@@ -196,5 +217,5 @@ int main() {
       "absorbs. Expect 'vs off' within ~1.10; stall ms > 0 means the "
       "writer can't keep up (raise queue depth or disable per-epoch "
       "fsync).\n");
-  return 0;
+  return json.write() ? 0 : 1;
 }

@@ -18,6 +18,8 @@
 // records both).
 #pragma once
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -78,5 +80,162 @@ inline std::vector<SystemKind> kv_systems() {
           SystemKind::kDali,        SystemKind::kNvmNp,
           SystemKind::kCrpmDefault, SystemKind::kCrpmBuffered};
 }
+
+// --- machine-readable results --------------------------------------------
+//
+// Benches accept `--json <path>` and mirror their tables into
+//
+//   {"bench": "...", "scale": {...}, "results": [{...}, ...]}
+//
+// so scripts and CI can track numbers without scraping stdout:
+//
+//   bench_archive --json BENCH_archive.json
+//
+// JsonReport always accumulates (the calls are cheap) and only touches the
+// filesystem when constructed with a non-empty path, so benches can feed it
+// unconditionally next to their TablePrinter rows.
+
+inline std::string json_out_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return std::string();
+}
+
+class JsonReport {
+ public:
+  JsonReport(std::string path, std::string bench)
+      : path_(std::move(path)), bench_(std::move(bench)) {}
+  ~JsonReport() { write(); }
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  // Scale/configuration fields — rendered as the "scale" object.
+  JsonReport& meta(const std::string& k, const std::string& v) {
+    return put(scale_, k, quote(v));
+  }
+  JsonReport& meta(const std::string& k, const char* v) {
+    return put(scale_, k, quote(v));
+  }
+  JsonReport& meta(const std::string& k, double v) {
+    return put(scale_, k, num(v));
+  }
+  JsonReport& meta(const std::string& k, uint64_t v) {
+    return put(scale_, k, num(v));
+  }
+  JsonReport& meta(const std::string& k, int v) {
+    return put(scale_, k, std::to_string(v));
+  }
+  JsonReport& meta(const std::string& k, bool v) {
+    return put(scale_, k, v ? "true" : "false");
+  }
+
+  // Starts the next object in the "results" array.
+  JsonReport& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+  JsonReport& col(const std::string& k, const std::string& v) {
+    return put(rows_.back(), k, quote(v));
+  }
+  JsonReport& col(const std::string& k, const char* v) {
+    return put(rows_.back(), k, quote(v));
+  }
+  JsonReport& col(const std::string& k, double v) {
+    return put(rows_.back(), k, num(v));
+  }
+  JsonReport& col(const std::string& k, uint64_t v) {
+    return put(rows_.back(), k, num(v));
+  }
+  JsonReport& col(const std::string& k, int v) {
+    return put(rows_.back(), k, std::to_string(v));
+  }
+  JsonReport& col(const std::string& k, bool v) {
+    return put(rows_.back(), k, v ? "true" : "false");
+  }
+
+  // Writes the document (idempotent; the destructor also calls it).
+  // Returns false if the file could not be written.
+  bool write() {
+    if (path_.empty() || written_) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": %s,\n  \"scale\": {",
+                 quote(bench_).c_str());
+    print_fields(f, scale_, "");
+    std::fprintf(f, "},\n  \"results\": [");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s\n    {", i == 0 ? "" : ",");
+      print_fields(f, rows_[i], "");
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "%s]\n}\n", rows_.empty() ? "" : "\n  ");
+    const bool ok = std::fclose(f) == 0;
+    written_ = true;
+    std::printf("json results written to %s\n", path_.c_str());
+    return ok;
+  }
+
+ private:
+  struct Field {
+    std::string key, lit;  // lit is a pre-rendered JSON literal
+  };
+  using Fields = std::vector<Field>;
+
+  JsonReport& put(Fields& fs, const std::string& k, std::string lit) {
+    fs.push_back({k, std::move(lit)});
+    return *this;
+  }
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  static std::string num(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+  }
+  static std::string num(uint64_t v) {
+    return std::to_string(v);
+  }
+
+  static void print_fields(std::FILE* f, const Fields& fs,
+                           const char* indent) {
+    for (size_t i = 0; i < fs.size(); ++i) {
+      std::fprintf(f, "%s%s%s: %s", i == 0 ? "" : ", ", indent,
+                   quote(fs[i].key).c_str(), fs[i].lit.c_str());
+    }
+  }
+
+  std::string path_, bench_;
+  Fields scale_;
+  std::vector<Fields> rows_;
+  bool written_ = false;
+};
 
 }  // namespace crpm::bench

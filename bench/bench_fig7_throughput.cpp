@@ -12,12 +12,21 @@
 using namespace crpm;
 using namespace crpm::bench;
 
-int main() {
+int main(int argc, char** argv) {
   BenchScale scale;
   scale.print("Figure 7: KV throughput (Mops/s; relative to NVM-NP)");
 
+  JsonReport json(json_out_path(argc, argv), "bench_fig7_throughput");
+  json.meta("keys", scale.keys)
+      .meta("insert_ops", scale.insert_ops)
+      .meta("interval_ms", scale.interval_ms)
+      .meta("epochs", scale.epochs)
+      .meta("cost_model", scale.cost);
+
   const OpMix mixes[] = {OpMix::kInsertOnly, OpMix::kBalanced,
                          OpMix::kReadHeavy, OpMix::kReadOnly};
+  const char* mix_names[] = {"insert_only_mops", "balanced_mops",
+                             "read_heavy_mops", "read_only_mops"};
   for (StructureKind st : {StructureKind::kUnorderedMap, StructureKind::kMap}) {
     std::printf("--- %s ---\n", structure_name(st));
     TablePrinter t({"system", "insert-only", "balanced", "read-heavy",
@@ -31,8 +40,12 @@ int main() {
       }
     }
     for (SystemKind sys : kv_systems()) {
+      json.row()
+          .col("structure", structure_name(st))
+          .col("system", system_name(sys));
       if (!system_supported(sys, st)) {
         t.row().cell(std::string(system_name(sys)) + " (skipped)");
+        json.col("skipped", true);
         continue;
       }
       t.row().cell(system_name(sys));
@@ -48,10 +61,13 @@ int main() {
         std::snprintf(buf, sizeof(buf), "%.3f (%.2fx)", mops,
                       np[size_t(m)] > 0 ? mops / np[size_t(m)] : 0.0);
         t.cell(buf);
+        json.col(mix_names[m], mops)
+            .col(std::string(mix_names[m]) + "_vs_np",
+                 np[size_t(m)] > 0 ? mops / np[size_t(m)] : 0.0);
       }
     }
     t.print();
     std::printf("\n");
   }
-  return 0;
+  return json.write() ? 0 : 1;
 }

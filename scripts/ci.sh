@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 build + full test suite, then an ASan/UBSan configuration
 # of the concurrency-heavy suites (snapshot + core + crash injection), which
-# carry the `san` CTest label — `ctest -L san` selects exactly those.
+# carry the `san` CTest label — `ctest -L san` selects exactly those — and
+# finally a ThreadSanitizer configuration of the communication/replication
+# suites (`tsan` label), where the races would live: SimComm collectives,
+# the fault-injecting Channel, and ReplNode's sender/service threads.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,5 +25,12 @@ cmake --build build-san -j "$JOBS"
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
   ctest --test-dir build-san -L san --output-on-failure -j "$CTEST_JOBS"
+
+echo "== sanitizers: TSan build + tsan-labeled suites =="
+cmake -B build-tsan -S . -DCRPM_SANITIZE_THREAD=ON -DCRPM_BUILD_BENCH=OFF \
+  -DCRPM_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-tsan -j "$JOBS"
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}" \
+  ctest --test-dir build-tsan -L tsan --output-on-failure -j "$CTEST_JOBS"
 
 echo "ci.sh: all green"

@@ -1,0 +1,136 @@
+#include "comm/channel.h"
+
+#include <chrono>
+
+namespace crpm {
+
+Channel::Channel(int nranks, FaultSpec faults)
+    : nranks_(nranks), faults_(faults) {
+  inboxes_.reserve(static_cast<size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    auto box = std::make_unique<Inbox>();
+    // Independent deterministic stream per inbox: all faults for messages
+    // into rank r come from this PRNG, under r's inbox lock.
+    box->rng = Xoshiro256(faults_.seed * 0x9e3779b97f4a7c15ULL +
+                          static_cast<uint64_t>(r) + 1);
+    inboxes_.push_back(std::move(box));
+  }
+}
+
+uint64_t Channel::now_us() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool Channel::send(int src, int dst, uint64_t tag, const void* data,
+                   size_t len) {
+  if (closed_.load(std::memory_order_acquire)) return false;
+  if (dst < 0 || dst >= nranks_) return false;
+  st_sent_.fetch_add(1, std::memory_order_relaxed);
+  st_bytes_.fetch_add(len, std::memory_order_relaxed);
+
+  Inbox& box = *inboxes_[static_cast<size_t>(dst)];
+  int copies = 1;
+  {
+    std::lock_guard<std::mutex> lk(box.mu);
+    if (faults_.drop_prob > 0 && box.rng.next_double() < faults_.drop_prob) {
+      st_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return true;  // indistinguishable from a lost packet
+    }
+    if (faults_.dup_prob > 0 && box.rng.next_double() < faults_.dup_prob) {
+      copies = 2;
+      st_duplicated_.fetch_add(1, std::memory_order_relaxed);
+    }
+    for (int c = 0; c < copies; ++c) {
+      Slot s;
+      s.msg.src = src;
+      s.msg.tag = tag;
+      s.msg.payload.assign(static_cast<const uint8_t*>(data),
+                           static_cast<const uint8_t*>(data) + len);
+      if (faults_.delay_max_us > 0) {
+        uint64_t d = box.rng.next_below(faults_.delay_max_us + 1);
+        if (d > 0) {
+          s.visible_at_us = now_us() + d;
+          st_delayed_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (faults_.reorder_prob > 0 && !box.q.empty() &&
+          box.rng.next_double() < faults_.reorder_prob) {
+        size_t pos = box.rng.next_below(box.q.size() + 1);
+        box.q.insert(box.q.begin() + static_cast<ptrdiff_t>(pos),
+                     std::move(s));
+        st_reordered_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        box.q.push_back(std::move(s));
+      }
+    }
+  }
+  box.cv.notify_all();
+  return true;
+}
+
+bool Channel::recv(int dst, Message* out, uint64_t timeout_us) {
+  if (dst < 0 || dst >= nranks_) return false;
+  Inbox& box = *inboxes_[static_cast<size_t>(dst)];
+  const uint64_t deadline = now_us() + timeout_us;
+  std::unique_lock<std::mutex> lk(box.mu);
+  for (;;) {
+    // First slot already visible wins; delayed slots are skipped, which is
+    // itself a reordering — deliberate.
+    uint64_t next_visible = ~uint64_t{0};
+    const uint64_t now = now_us();
+    for (auto it = box.q.begin(); it != box.q.end(); ++it) {
+      if (it->visible_at_us <= now) {
+        *out = std::move(it->msg);
+        box.q.erase(it);
+        st_delivered_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      if (it->visible_at_us < next_visible) next_visible = it->visible_at_us;
+    }
+    if (closed_.load(std::memory_order_acquire) && box.q.empty()) return false;
+    uint64_t wake = deadline;
+    if (next_visible < wake) wake = next_visible;
+    if (now >= wake && now >= deadline) return false;
+    box.cv.wait_for(lk, std::chrono::microseconds(
+                            wake > now ? wake - now : 1));
+    if (now_us() >= deadline) {
+      // One last sweep so a message that became visible exactly at the
+      // deadline is not missed.
+      const uint64_t n2 = now_us();
+      for (auto it = box.q.begin(); it != box.q.end(); ++it) {
+        if (it->visible_at_us <= n2) {
+          *out = std::move(it->msg);
+          box.q.erase(it);
+          st_delivered_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+      }
+      return false;
+    }
+  }
+}
+
+void Channel::close() {
+  closed_.store(true, std::memory_order_release);
+  for (auto& box : inboxes_) {
+    std::lock_guard<std::mutex> lk(box->mu);
+    box->cv.notify_all();
+  }
+}
+
+ChannelStats Channel::stats() const {
+  ChannelStats s;
+  s.sent = st_sent_.load(std::memory_order_relaxed);
+  s.delivered = st_delivered_.load(std::memory_order_relaxed);
+  s.dropped = st_dropped_.load(std::memory_order_relaxed);
+  s.duplicated = st_duplicated_.load(std::memory_order_relaxed);
+  s.reordered = st_reordered_.load(std::memory_order_relaxed);
+  s.delayed = st_delayed_.load(std::memory_order_relaxed);
+  s.bytes_sent = st_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace crpm

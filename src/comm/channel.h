@@ -1,0 +1,133 @@
+// Tagged point-to-point messaging between ranks-as-threads, with
+// configurable fault injection.
+//
+// SimComm provides the collectives the coordinated checkpoint protocol
+// needs (barrier, allreduce); Channel adds what replication needs: an
+// unreliable, unordered datagram service. One Channel instance is shared
+// by all rank threads; each rank owns an inbox that any rank may send
+// into. Faults are injected at send time under the destination inbox lock
+// with a per-inbox deterministic PRNG, so a given (seed, send sequence)
+// reproduces the same drops/duplicates/reorderings run after run:
+//
+//   drop      the message silently never arrives (send still returns true
+//             — the sender cannot tell, exactly like a lost packet)
+//   duplicate the message is delivered twice
+//   reorder   the message is inserted at a random position in the inbox
+//             instead of the back
+//   delay     the message becomes visible to recv() only after a uniform
+//             random hold-off, which also reorders it past faster peers
+//
+// The replication layer (src/repl) must mask all four with CRCs, acks,
+// retries and idempotent receive — the fault injector is how its tests
+// prove that.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace crpm {
+
+struct FaultSpec {
+  double drop_prob = 0.0;     // P(message never delivered)
+  double dup_prob = 0.0;      // P(message delivered twice)
+  double reorder_prob = 0.0;  // P(message inserted at a random queue slot)
+  uint64_t delay_max_us = 0;  // visibility delay uniform in [0, max] µs
+  uint64_t seed = 1;          // PRNG seed (per-inbox streams derive from it)
+
+  bool any() const {
+    return drop_prob > 0 || dup_prob > 0 || reorder_prob > 0 ||
+           delay_max_us > 0;
+  }
+  // Convenience preset used by tests: a lossy, jittery, reordering link.
+  static FaultSpec lossy(uint64_t seed) {
+    FaultSpec f;
+    f.drop_prob = 0.2;
+    f.dup_prob = 0.1;
+    f.reorder_prob = 0.3;
+    f.delay_max_us = 300;
+    f.seed = seed;
+    return f;
+  }
+};
+
+struct Message {
+  int src = -1;
+  uint64_t tag = 0;
+  std::vector<uint8_t> payload;
+};
+
+struct ChannelStats {
+  uint64_t sent = 0;        // send() calls accepted
+  uint64_t delivered = 0;   // messages handed to recv()
+  uint64_t dropped = 0;     // eaten by fault injection
+  uint64_t duplicated = 0;  // extra copies enqueued
+  uint64_t reordered = 0;   // inserted out of order
+  uint64_t delayed = 0;     // given a visibility delay
+  uint64_t bytes_sent = 0;
+};
+
+class Channel {
+ public:
+  explicit Channel(int nranks, FaultSpec faults = {});
+
+  int nranks() const { return nranks_; }
+  const FaultSpec& faults() const { return faults_; }
+
+  // Copies `len` bytes into dst's inbox, applying fault injection. Returns
+  // false only if the channel is closed or dst is out of range; a dropped
+  // message still returns true (the sender cannot observe loss).
+  bool send(int src, int dst, uint64_t tag, const void* data, size_t len);
+  bool send(int src, int dst, uint64_t tag, const std::vector<uint8_t>& p) {
+    return send(src, dst, tag, p.data(), p.size());
+  }
+
+  // Waits up to `timeout_us` for a visible message addressed to `dst`.
+  // Returns false on timeout or close-with-empty-inbox. Messages under a
+  // fault-injected visibility delay are skipped until their deadline, so
+  // recv order is not send order even without reordering faults.
+  bool recv(int dst, Message* out, uint64_t timeout_us);
+  bool try_recv(int dst, Message* out) { return recv(dst, out, 0); }
+
+  // Wakes every blocked recv(); subsequent sends are refused. Pending
+  // visible messages may still be drained with recv()/try_recv().
+  void close();
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  ChannelStats stats() const;
+
+ private:
+  struct Slot {
+    uint64_t visible_at_us = 0;  // steady-clock µs; 0 = immediately
+    Message msg;
+  };
+  struct Inbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Slot> q;
+    Xoshiro256 rng{1};
+  };
+
+  uint64_t now_us() const;
+
+  int nranks_;
+  FaultSpec faults_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  std::atomic<bool> closed_{false};
+
+  std::atomic<uint64_t> st_sent_{0};
+  std::atomic<uint64_t> st_delivered_{0};
+  std::atomic<uint64_t> st_dropped_{0};
+  std::atomic<uint64_t> st_duplicated_{0};
+  std::atomic<uint64_t> st_reordered_{0};
+  std::atomic<uint64_t> st_delayed_{0};
+  std::atomic<uint64_t> st_bytes_{0};
+};
+
+}  // namespace crpm

@@ -63,6 +63,21 @@ void Container::open_or_format() {
   roots_dirty_ = false;
 }
 
+void Container::renumber_epoch(uint64_t epoch) {
+  MetaHeader* h = layout_.header();
+  CRPM_CHECK(epoch >= h->committed_epoch,
+             "renumber_epoch(%llu) would move epoch %llu backwards",
+             (unsigned long long)epoch,
+             (unsigned long long)h->committed_epoch);
+  CRPM_CHECK(((epoch ^ h->committed_epoch) & 1) == 0,
+             "renumber_epoch(%llu) flips parity of epoch %llu",
+             (unsigned long long)epoch,
+             (unsigned long long)h->committed_epoch);
+  if (epoch == h->committed_epoch) return;
+  h->committed_epoch = epoch;
+  dev_->persist(&h->committed_epoch, sizeof(uint64_t));
+}
+
 uint64_t Container::peek_committed_epoch(NvmDevice* dev) {
   if (dev->size() < sizeof(MetaHeader)) return kLatestEpoch;
   const auto* h = reinterpret_cast<const MetaHeader*>(dev->base());

@@ -119,6 +119,16 @@ class Container {
   // True if open() formatted a fresh container (no prior state existed).
   bool was_fresh() const { return fresh_; }
 
+  // Relabels the committed epoch without touching any data — used after a
+  // peer-pull recovery, where snapshot::restore() rebuilds the state into a
+  // fresh container whose epoch counter restarts while the surviving ranks
+  // continue from the globally agreed epoch. The new number must not move
+  // backwards and must preserve parity: active_index() (which persistent
+  // roots/seg_state copy is live) is committed_epoch & 1, so an
+  // odd-distance jump would silently switch to the stale copy. Call
+  // between epochs only.
+  void renumber_epoch(uint64_t epoch);
+
   // True if the container still holds epoch e-1 right after committing
   // epoch e, i.e. rollback_one_epoch() is usable for coordinated recovery.
   // Buffered containers always do; default containers only with eager

@@ -22,6 +22,14 @@ CrpmStatsSnapshot CrpmStatsSnapshot::operator-(
   d.archive_stall_ns = archive_stall_ns - rhs.archive_stall_ns;
   d.archive_capture_ns = archive_capture_ns - rhs.archive_capture_ns;
   d.archive_compactions = archive_compactions - rhs.archive_compactions;
+  d.repl_frames_sent = repl_frames_sent - rhs.repl_frames_sent;
+  d.repl_bytes_sent = repl_bytes_sent - rhs.repl_bytes_sent;
+  d.repl_frames_acked = repl_frames_acked - rhs.repl_frames_acked;
+  d.repl_retries = repl_retries - rhs.repl_retries;
+  d.repl_frames_dropped = repl_frames_dropped - rhs.repl_frames_dropped;
+  d.repl_frames_stored = repl_frames_stored - rhs.repl_frames_stored;
+  d.repl_stall_ns = repl_stall_ns - rhs.repl_stall_ns;
+  d.recovery_source = recovery_source;  // a state, not a counter
   return d;
 }
 
@@ -37,6 +45,20 @@ std::string CrpmStatsSnapshot::to_string() const {
        << " arch_qhwm=" << archive_queue_hwm
        << " arch_stall_ns=" << archive_stall_ns
        << " arch_compactions=" << archive_compactions;
+  }
+  if (repl_frames_sent != 0 || repl_frames_stored != 0 ||
+      recovery_source != kRecoveryNone) {
+    os << " repl_sent=" << repl_frames_sent
+       << " repl_bytes=" << repl_bytes_sent
+       << " repl_acked=" << repl_frames_acked
+       << " repl_retries=" << repl_retries
+       << " repl_dropped=" << repl_frames_dropped
+       << " repl_stored=" << repl_frames_stored
+       << " repl_stall_ns=" << repl_stall_ns
+       << " recovery_source="
+       << (recovery_source == kRecoveryPeer
+               ? "peer"
+               : recovery_source == kRecoveryLocal ? "local" : "none");
   }
   return os.str();
 }
@@ -61,6 +83,16 @@ CrpmStatsSnapshot CrpmStats::snapshot() const {
       archive_capture_ns_.load(std::memory_order_relaxed);
   s.archive_compactions =
       archive_compactions_.load(std::memory_order_relaxed);
+  s.repl_frames_sent = repl_frames_sent_.load(std::memory_order_relaxed);
+  s.repl_bytes_sent = repl_bytes_sent_.load(std::memory_order_relaxed);
+  s.repl_frames_acked = repl_frames_acked_.load(std::memory_order_relaxed);
+  s.repl_retries = repl_retries_.load(std::memory_order_relaxed);
+  s.repl_frames_dropped =
+      repl_frames_dropped_.load(std::memory_order_relaxed);
+  s.repl_frames_stored =
+      repl_frames_stored_.load(std::memory_order_relaxed);
+  s.repl_stall_ns = repl_stall_ns_.load(std::memory_order_relaxed);
+  s.recovery_source = recovery_source_.load(std::memory_order_relaxed);
   return s;
 }
 

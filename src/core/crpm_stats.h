@@ -29,6 +29,23 @@ struct CrpmStatsSnapshot {
   uint64_t archive_capture_ns = 0;    // commit-path time staging deltas
   uint64_t archive_compactions = 0;   // chain folds into a base snapshot
 
+  // Peer replication observability (src/repl), populated when a ReplNode
+  // is attached to the container's archive writer.
+  uint64_t repl_frames_sent = 0;    // datagrams sent (first sends + retries)
+  uint64_t repl_bytes_sent = 0;
+  uint64_t repl_frames_acked = 0;   // (frame, partner) pairs acked durable
+  uint64_t repl_retries = 0;        // retransmissions after ack timeout
+  uint64_t repl_frames_dropped = 0; // (frame, partner) pairs given up
+  uint64_t repl_frames_stored = 0;  // partner frames persisted locally
+  uint64_t repl_stall_ns = 0;       // writer-thread time on a full queue
+  // Where the last recovery got its state from.
+  enum RecoverySource : uint64_t {
+    kRecoveryNone = 0,
+    kRecoveryLocal = 1,
+    kRecoveryPeer = 2
+  };
+  uint64_t recovery_source = kRecoveryNone;
+
   CrpmStatsSnapshot operator-(const CrpmStatsSnapshot& rhs) const;
   std::string to_string() const;
 };
@@ -77,6 +94,28 @@ class CrpmStats {
   void add_archive_compaction() {
     archive_compactions_.fetch_add(1, std::memory_order_relaxed);
   }
+  void add_repl_frame_sent(uint64_t bytes) {
+    repl_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    repl_bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void add_repl_frame_acked() {
+    repl_frames_acked_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_repl_retry() {
+    repl_retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_repl_frame_dropped() {
+    repl_frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_repl_frame_stored() {
+    repl_frames_stored_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_repl_stall_ns(uint64_t ns) {
+    repl_stall_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  void note_recovery_source(uint64_t src) {
+    recovery_source_.store(src, std::memory_order_relaxed);
+  }
 
   CrpmStatsSnapshot snapshot() const;
 
@@ -96,6 +135,14 @@ class CrpmStats {
   std::atomic<uint64_t> archive_stall_ns_{0};
   std::atomic<uint64_t> archive_capture_ns_{0};
   std::atomic<uint64_t> archive_compactions_{0};
+  std::atomic<uint64_t> repl_frames_sent_{0};
+  std::atomic<uint64_t> repl_bytes_sent_{0};
+  std::atomic<uint64_t> repl_frames_acked_{0};
+  std::atomic<uint64_t> repl_retries_{0};
+  std::atomic<uint64_t> repl_frames_dropped_{0};
+  std::atomic<uint64_t> repl_frames_stored_{0};
+  std::atomic<uint64_t> repl_stall_ns_{0};
+  std::atomic<uint64_t> recovery_source_{0};
 };
 
 }  // namespace crpm

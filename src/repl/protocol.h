@@ -1,0 +1,106 @@
+// Wire protocol of the peer checkpoint replication subsystem.
+//
+// Every message is one Channel datagram: a fixed ReplMsgHeader followed by
+// an optional body. Frame-carrying messages (kFrame, kPullFrame) reuse the
+// snapshot archive's on-disk frame encoding verbatim as the body — the
+// same CRC framing protects the bytes in flight and at rest, and a replica
+// can append a received frame to its store without re-serializing.
+//
+// Message types:
+//   kFrame       sender → partner: one committed epoch's archive frame of
+//                rank `origin`. Acked per frame; retransmitted until acked.
+//   kAck         partner → sender: frame (origin, epoch) is durably stored
+//                (or was already stored — acks are idempotent).
+//   kQueryNewest recovery: "what is the newest epoch of rank `origin` you
+//                can serve?" `flags` carries a request nonce.
+//   kNewestResp  answer; `aux` = newest servable epoch (0 = none).
+//   kPull        recovery: "send every frame of rank `origin` needed to
+//                restore `epoch`". Idempotent: a retry resends all frames.
+//   kPullFrame   one frame of a pull response; `aux` = frame index,
+//                `aux2` = total frames (0 = cannot serve).
+//
+// The transport may drop, duplicate, delay and reorder arbitrarily
+// (comm/channel.h). Every handler is therefore idempotent, every request
+// carries a nonce its responses echo, and the header plus body are CRC32-
+// protected so a future lossy byte-level transport slots in unchanged.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "snapshot/format.h"
+
+namespace crpm::repl {
+
+inline constexpr uint32_t kReplMagic = 0x6372706Cu;  // "crpl"
+
+enum MsgType : uint32_t {
+  kFrame = 1,
+  kAck = 2,
+  kQueryNewest = 3,
+  kNewestResp = 4,
+  kPull = 5,
+  kPullFrame = 6,
+};
+
+// Fixed-size, naturally aligned, zero-padded — CRC over the raw bytes is
+// deterministic, mirroring the archive structs in snapshot/format.h.
+struct ReplMsgHeader {
+  uint32_t magic = kReplMagic;
+  uint32_t type = 0;
+  uint32_t origin = 0;  // rank whose container state this concerns
+  uint32_t flags = 0;   // request nonce (query/pull and their responses)
+  uint64_t epoch = 0;
+  uint64_t block_size = 0;    // frame geometry (kFrame / kPullFrame)
+  uint64_t region_size = 0;
+  uint64_t segment_size = 0;
+  uint64_t aux = 0;           // newest epoch / pull frame index
+  uint64_t aux2 = 0;          // pull frame total
+  uint32_t body_crc = 0;      // CRC32 of the body bytes
+  uint32_t header_crc = 0;    // CRC32 of the preceding header bytes
+};
+static_assert(sizeof(ReplMsgHeader) == 72);
+
+// Serializes header + body into one datagram, filling both CRCs.
+inline std::vector<uint8_t> encode(ReplMsgHeader h, const uint8_t* body,
+                                   size_t body_len) {
+  h.body_crc = body_len == 0 ? 0 : snapshot::crc32(body, body_len);
+  h.header_crc =
+      snapshot::crc32(&h, offsetof(ReplMsgHeader, header_crc));
+  std::vector<uint8_t> out(sizeof(h) + body_len);
+  std::memcpy(out.data(), &h, sizeof(h));
+  if (body_len != 0) std::memcpy(out.data() + sizeof(h), body, body_len);
+  return out;
+}
+
+// Validates magic and both CRCs; on success points *body into `payload`.
+// A corrupt datagram is simply ignored by receivers (the sender retries).
+inline bool decode(const std::vector<uint8_t>& payload, ReplMsgHeader* h,
+                   const uint8_t** body, size_t* body_len) {
+  if (payload.size() < sizeof(ReplMsgHeader)) return false;
+  std::memcpy(h, payload.data(), sizeof(ReplMsgHeader));
+  if (h->magic != kReplMagic) return false;
+  if (h->header_crc !=
+      snapshot::crc32(h, offsetof(ReplMsgHeader, header_crc))) {
+    return false;
+  }
+  const uint8_t* b = payload.data() + sizeof(ReplMsgHeader);
+  size_t blen = payload.size() - sizeof(ReplMsgHeader);
+  uint32_t crc = blen == 0 ? 0 : snapshot::crc32(b, blen);
+  if (crc != h->body_crc) return false;
+  *body = blen == 0 ? nullptr : b;
+  *body_len = blen;
+  return true;
+}
+
+// Partner map: rank r replicates its frames to the R ranks after it.
+inline std::vector<int> partners_of(int rank, int nranks, int replicas) {
+  std::vector<int> p;
+  for (int i = 1; i <= replicas && i < nranks; ++i) {
+    p.push_back((rank + i) % nranks);
+  }
+  return p;
+}
+
+}  // namespace crpm::repl

@@ -1,0 +1,226 @@
+#include "repl/replica_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "snapshot/archive.h"
+#include "snapshot/format.h"
+#include "util/logging.h"
+
+namespace crpm::repl {
+
+using snapshot::ArchiveReader;
+using snapshot::FrameFooter;
+using snapshot::FrameHeader;
+
+bool parse_frame(const uint8_t* frame, size_t len, uint64_t block_size,
+                 uint32_t* kind, uint64_t* epoch) {
+  if (len < sizeof(FrameHeader) + sizeof(FrameFooter)) return false;
+  FrameHeader fh;
+  std::memcpy(&fh, frame, sizeof(fh));
+  if (fh.marker != snapshot::kFrameMarker) return false;
+  if (fh.header_crc !=
+      snapshot::crc32(&fh, offsetof(FrameHeader, header_crc))) {
+    return false;
+  }
+  const uint64_t want = snapshot::frame_bytes(fh.block_count, block_size);
+  if (want != len) return false;
+  const uint64_t rec = snapshot::record_bytes(block_size);
+  const uint8_t* p = frame + sizeof(FrameHeader);
+  uint32_t payload_crc = 0;
+  for (uint64_t i = 0; i < fh.block_count; ++i, p += rec) {
+    uint32_t stored;
+    std::memcpy(&stored, p + 8 + block_size, 4);
+    if (stored != snapshot::crc32(p, 8 + block_size)) return false;
+    payload_crc = snapshot::crc32(&stored, 4, payload_crc);
+  }
+  FrameFooter ff;
+  std::memcpy(&ff, p, sizeof(ff));
+  if (ff.marker != snapshot::kFooterMarker || ff.epoch != fh.epoch ||
+      ff.frame_bytes != len || ff.payload_crc != payload_crc ||
+      ff.footer_crc !=
+          snapshot::crc32(&ff, offsetof(FrameFooter, footer_crc))) {
+    return false;
+  }
+  *kind = fh.kind;
+  *epoch = fh.epoch;
+  return true;
+}
+
+ReplicaStore::ReplicaStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  // Adopt peer files left by a previous run so newest_epoch() answers
+  // before any new frame arrives (recovery queries hit exactly this).
+  for (const auto& e : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("peer_", 0) != 0) continue;
+    const size_t dot = name.find(".crpmsnap");
+    if (dot == std::string::npos) continue;
+    char* end = nullptr;
+    long r = std::strtol(name.c_str() + 5, &end, 10);
+    if (end == nullptr || std::string(end) != ".crpmsnap") continue;
+    std::lock_guard<std::mutex> lk(mu_);
+    ArchiveReader reader(e.path().string());
+    if (!reader.ok()) continue;
+    open_peer(static_cast<int>(r), reader.scan().header.block_size,
+              reader.scan().header.region_size,
+              reader.scan().header.segment_size);
+  }
+}
+
+ReplicaStore::~ReplicaStore() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [rank, pf] : peers_) {
+    (void)rank;
+    if (pf.fd >= 0) ::close(pf.fd);
+  }
+}
+
+std::string ReplicaStore::peer_path(const std::string& dir, int origin) {
+  return dir + "/peer_" + std::to_string(origin) + ".crpmsnap";
+}
+
+ReplicaStore::PeerFile* ReplicaStore::open_peer(int origin,
+                                                uint64_t block_size,
+                                                uint64_t region_size,
+                                                uint64_t segment_size) {
+  auto it = peers_.find(origin);
+  if (it != peers_.end()) {
+    PeerFile& pf = it->second;
+    if (pf.block_size != block_size || pf.region_size != region_size) {
+      CRPM_LOG_WARN("replica store %s: peer %d geometry mismatch",
+                    dir_.c_str(), origin);
+      return nullptr;
+    }
+    return &pf;
+  }
+
+  const std::string path = peer_path(origin);
+  uint64_t newest = 0;
+  uint64_t truncate_to = 0;
+  bool reuse = false;
+  {
+    ArchiveReader reader(path);
+    if (reader.ok()) {
+      const auto& h = reader.scan().header;
+      if (h.block_size != block_size || h.region_size != region_size) {
+        CRPM_LOG_WARN("replica store %s: peer %d file has foreign geometry",
+                      dir_.c_str(), origin);
+        return nullptr;
+      }
+      reuse = true;
+      truncate_to = reader.scan().scan_end;
+      // Drop any corrupt tail epochs so `newest` only counts frames a
+      // restore can actually use; the chain below them stays servable.
+      const auto& epochs = reader.scan().epochs;
+      size_t keep = epochs.size();
+      while (keep > 0 && !reader.restorable(epochs[keep - 1].epoch)) --keep;
+      if (keep < epochs.size()) truncate_to = epochs[keep].file_offset;
+      if (keep > 0) newest = epochs[keep - 1].epoch;
+    }
+  }
+
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    CRPM_LOG_WARN("replica store %s: open(%s) failed: %s", dir_.c_str(),
+                  path.c_str(), std::strerror(errno));
+    return nullptr;
+  }
+  if (reuse) {
+    if (::ftruncate(fd, static_cast<off_t>(truncate_to)) != 0 ||
+        ::lseek(fd, 0, SEEK_END) < 0) {
+      ::close(fd);
+      return nullptr;
+    }
+  } else {
+    snapshot::ArchiveHeader h =
+        snapshot::make_header(block_size, region_size, segment_size);
+    if (::ftruncate(fd, 0) != 0 ||
+        ::write(fd, &h, sizeof(h)) != ssize_t(sizeof(h))) {
+      ::close(fd);
+      return nullptr;
+    }
+  }
+
+  PeerFile pf;
+  pf.fd = fd;
+  pf.newest = newest;
+  pf.block_size = block_size;
+  pf.region_size = region_size;
+  return &peers_.emplace(origin, pf).first->second;
+}
+
+AppendVerdict ReplicaStore::append(int origin, uint64_t epoch,
+                                   uint64_t block_size, uint64_t region_size,
+                                   uint64_t segment_size,
+                                   const uint8_t* frame, size_t len,
+                                   bool fsync) {
+  uint32_t kind = 0;
+  uint64_t frame_epoch = 0;
+  if (!parse_frame(frame, len, block_size, &kind, &frame_epoch) ||
+      frame_epoch != epoch) {
+    return AppendVerdict::kInvalid;
+  }
+
+  std::lock_guard<std::mutex> lk(mu_);
+  PeerFile* pf = open_peer(origin, block_size, region_size, segment_size);
+  if (pf == nullptr) return AppendVerdict::kError;
+  if (epoch <= pf->newest) return AppendVerdict::kStale;
+  if (kind == snapshot::kDeltaFrame && epoch != pf->newest + 1) {
+    // An earlier delta is still in flight; storing this one would leave an
+    // unrestorable gap the archive format cannot express.
+    return AppendVerdict::kGap;
+  }
+
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::write(pf->fd, frame + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      CRPM_LOG_WARN("replica store %s: write for peer %d failed: %s",
+                    dir_.c_str(), origin, std::strerror(errno));
+      return AppendVerdict::kError;
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (fsync) ::fdatasync(pf->fd);
+  pf->newest = epoch;
+  ++frames_stored_;
+  bytes_stored_ += len;
+  return AppendVerdict::kStored;
+}
+
+uint64_t ReplicaStore::newest_epoch(int origin) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = peers_.find(origin);
+  return it == peers_.end() ? 0 : it->second.newest;
+}
+
+std::vector<int> ReplicaStore::peers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<int> out;
+  out.reserve(peers_.size());
+  for (const auto& [rank, pf] : peers_) {
+    (void)pf;
+    out.push_back(rank);
+  }
+  return out;
+}
+
+uint64_t ReplicaStore::frames_stored() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return frames_stored_;
+}
+
+uint64_t ReplicaStore::bytes_stored() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return bytes_stored_;
+}
+
+}  // namespace crpm::repl

@@ -437,6 +437,17 @@ void ArchiveWriter::write_frame(const PendingFrame& f) {
   st_blocks_.fetch_add(f.blocks.size(), std::memory_order_relaxed);
   charge_io(buf.size(), fsynced);
   if (crpm_stats_ != nullptr) crpm_stats_->add_archive_epoch(buf.size());
+  FrameObserver obs;
+  {
+    std::lock_guard<std::mutex> lk(obs_mu_);
+    obs = observer_;
+  }
+  if (obs) obs(f.epoch, f.kind, buf.data(), buf.size());
+}
+
+void ArchiveWriter::set_frame_observer(FrameObserver obs) {
+  std::lock_guard<std::mutex> lk(obs_mu_);
+  observer_ = std::move(obs);
 }
 
 void ArchiveWriter::compact(uint64_t epoch,

@@ -25,6 +25,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -90,6 +91,16 @@ class ArchiveWriter final : public EpochSink {
   // the file, then stop writing mid-stream — as a process kill during an
   // append would. Subsequent epochs are dropped and counted.
   void kill_after_bytes(uint64_t budget);
+
+  // Invoked on the writer thread after each epoch frame is durably
+  // appended, with the exact serialized frame bytes — the replication
+  // feed (a replicated frame is never ahead of local durability).
+  // Compaction rewrites are not observed: they fold already-observed
+  // epochs. Set before frames flow (or between epochs); clear with {}
+  // before destroying the observer's owner.
+  using FrameObserver = std::function<void(
+      uint64_t epoch, uint32_t kind, const uint8_t* frame, size_t len)>;
+  void set_frame_observer(FrameObserver obs);
 
  private:
   struct PendingFrame {
@@ -168,6 +179,10 @@ class ArchiveWriter final : public EpochSink {
   bool stop_ = false;
   std::thread thread_;
   std::thread stage_thread_;
+
+  // Guarded by obs_mu_ (writer thread reads, any thread sets).
+  std::mutex obs_mu_;
+  FrameObserver observer_;
 
   std::atomic<uint64_t> last_epoch_{0};
   std::atomic<bool> dead_{false};

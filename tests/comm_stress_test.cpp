@@ -1,0 +1,104 @@
+// SimComm / SpinBarrier stress, built to run under ThreadSanitizer
+// (ctest -L tsan; scripts/ci.sh builds with CRPM_SANITIZE_THREAD=ON).
+//
+// The collectives rely on SpinBarrier's release/acquire edges to order the
+// scratch-array writes of one round against the reads and re-writes of the
+// next; TSan verifies those edges hold with many ranks racing through
+// back-to-back rounds of mixed-type reductions and peer-pointer exchanges.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/channel.h"
+#include "comm/sim_comm.h"
+
+namespace crpm {
+namespace {
+
+TEST(CommStress, BackToBackMixedAllreduceRounds) {
+  // Modest sizes: SpinBarrier never yields, so on an oversubscribed host
+  // each barrier round costs scheduler quanta, not nanoseconds.
+  constexpr int kRanks = 4;
+  constexpr uint64_t kRounds = 50;
+  SimComm comm(kRanks);
+  std::vector<uint64_t> checks(kRanks, 0);
+  comm.run([&](int rank) {
+    uint64_t acc = 0;
+    for (uint64_t round = 0; round < kRounds; ++round) {
+      // No barrier between collectives: each must be self-synchronizing.
+      const uint64_t mn =
+          comm.allreduce_min(rank, round + uint64_t(rank));
+      const uint64_t mx =
+          comm.allreduce_max(rank, round + uint64_t(rank));
+      const uint64_t sm = comm.allreduce_sum(rank, uint64_t(rank) + 1);
+      const double ds = comm.allreduce_sum(rank, double(rank) * 0.25);
+      acc += mn + mx + sm + uint64_t(ds * 4.0);
+    }
+    checks[size_t(rank)] = acc;
+  });
+  // Every rank must compute the identical reduction results.
+  for (int r = 1; r < kRanks; ++r) {
+    EXPECT_EQ(checks[size_t(r)], checks[0]) << "rank " << r;
+  }
+  // And the scalar parts are exactly predictable: per round,
+  // min = round, max = round + kRanks - 1, so sums differ from rank 0's
+  // only if a round's scratch was read before every rank wrote it.
+  uint64_t want = 0;
+  for (uint64_t round = 0; round < kRounds; ++round) {
+    want += round + (round + kRanks - 1) +
+            uint64_t(kRanks) * (kRanks + 1) / 2 +
+            uint64_t(double(kRanks) * double(kRanks - 1) / 2.0 * 0.25 * 4.0);
+  }
+  EXPECT_EQ(checks[0], want);
+}
+
+TEST(CommStress, PublishedPointersVisibleAfterBarrier) {
+  constexpr int kRanks = 4;
+  constexpr int kRounds = 30;
+  SimComm comm(kRanks);
+  std::vector<std::vector<uint64_t>> slots(
+      kRanks, std::vector<uint64_t>(1, 0));
+  comm.run([&](int rank) {
+    for (int round = 0; round < kRounds; ++round) {
+      slots[size_t(rank)][0] = uint64_t(rank * 1000 + round);
+      comm.publish(rank, slots[size_t(rank)].data());
+      comm.barrier();
+      // Read every peer's published value; the barrier's release/acquire
+      // chain must make the writes above visible.
+      for (int p = 0; p < kRanks; ++p) {
+        auto* v = static_cast<uint64_t*>(comm.peer(p));
+        EXPECT_EQ(*v, uint64_t(p * 1000 + round));
+      }
+      comm.barrier();  // nobody overwrites a slot a peer is still reading
+    }
+  });
+}
+
+TEST(CommStress, ChannelManyToOneUnderFaults) {
+  constexpr int kSenders = 7;
+  constexpr uint64_t kPerSender = 200;
+  Channel ch(kSenders + 1, FaultSpec::lossy(5));
+  SimComm comm(kSenders + 1);
+  std::vector<uint64_t> recv_count(1, 0);
+  comm.run([&](int rank) {
+    if (rank < kSenders) {
+      for (uint64_t i = 0; i < kPerSender; ++i) {
+        uint64_t payload = uint64_t(rank) << 32 | i;
+        ch.send(rank, kSenders, i, &payload, sizeof(payload));
+      }
+      comm.barrier();  // all sends done before the receiver gives up
+    } else {
+      comm.barrier();
+      Message m;
+      while (ch.recv(kSenders, &m, 3000)) ++recv_count[0];
+    }
+  });
+  const ChannelStats s = ch.stats();
+  EXPECT_EQ(s.sent, kSenders * kPerSender);
+  EXPECT_EQ(recv_count[0], s.sent - s.dropped + s.duplicated);
+  EXPECT_GT(s.dropped, 0u);
+}
+
+}  // namespace
+}  // namespace crpm

@@ -5,12 +5,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
 
 #include "core/container.h"
 #include "core/heap.h"
+#include "snapshot/format.h"
+#include "snapshot/writer.h"
 
 #ifndef CRPM_INSPECT_BINARY
 #define CRPM_INSPECT_BINARY "crpm_inspect"
@@ -105,6 +108,101 @@ TEST(InspectTool, RejectsNonContainerFile) {
   run_inspect(path, &rc);
   EXPECT_NE(rc, 0);
   std::filesystem::remove(path);
+}
+
+// --- archive and replication subcommands ---------------------------------
+
+std::string run_tool(const std::string& args, int* exit_code) {
+  std::string out_file =
+      (std::filesystem::temp_directory_path() / "crpm_tool_out").string();
+  std::string cmd = std::string(CRPM_INSPECT_BINARY) + " " + args + " > " +
+                    out_file + " 2>&1";
+  int rc = std::system(cmd.c_str());
+  *exit_code = rc == -1 ? -1 : WEXITSTATUS(rc);
+  std::ifstream in(out_file);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  std::filesystem::remove(out_file);
+  return content;
+}
+
+// Builds a small archive with two committed epochs at `snap`.
+void build_archive(const std::string& ctr, const std::string& snap) {
+  CrpmOptions o;
+  o.segment_size = 4096;
+  o.block_size = 256;
+  o.main_region_size = 256 * 1024;
+  auto c = Container::open_file(ctr, o);
+  snapshot::ArchiveWriter writer(snap);
+  writer.attach(*c);
+  for (int e = 0; e < 2; ++e) {
+    c->annotate(c->data() + e * 512, 8);
+    std::memset(c->data() + e * 512, 0x40 + e, 8);
+    c->checkpoint();
+  }
+  writer.drain();
+}
+
+void flip_byte(const std::string& path, std::streamoff off) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekg(off);
+  char b = 0;
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0x1);
+  f.seekp(off);
+  f.write(&b, 1);
+}
+
+TEST(InspectTool, ArchiveVerifyExitsNonZeroOnCorruption) {
+  auto dir = std::filesystem::temp_directory_path() / "crpm_tool_archive";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string snap = (dir / "a.snap").string();
+  build_archive((dir / "a.ctr").string(), snap);
+
+  int rc = -1;
+  std::string out = run_tool("archive verify " + snap, &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("fully intact"), std::string::npos) << out;
+
+  // One flipped bit inside the first frame's record payload: the record
+  // CRC fails, verify must report damage and exit non-zero.
+  flip_byte(snap, std::streamoff(sizeof(snapshot::ArchiveHeader) +
+                                 sizeof(snapshot::FrameHeader) + 16));
+  out = run_tool("archive verify " + snap, &rc);
+  EXPECT_EQ(rc, 2) << out;
+  EXPECT_NE(out.find("ARCHIVE HAS DAMAGE"), std::string::npos) << out;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(InspectTool, ReplStatusExitsNonZeroOnCorruption) {
+  auto dir = std::filesystem::temp_directory_path() / "crpm_tool_repl";
+  std::filesystem::remove_all(dir);
+  const auto store = dir / "store";
+  std::filesystem::create_directories(store);
+  const std::string snap = (dir / "a.snap").string();
+  build_archive((dir / "a.ctr").string(), snap);
+  // A replica store is one snapshot archive per peer rank.
+  std::filesystem::copy_file(snap, store / "peer_0.crpmsnap");
+  std::filesystem::copy_file(snap, store / "peer_3.crpmsnap");
+
+  int rc = -1;
+  std::string out = run_tool("repl status " + store.string(), &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("replica store is intact"), std::string::npos) << out;
+  EXPECT_NE(out.find("2 peer files"), std::string::npos) << out;
+
+  flip_byte((store / "peer_3.crpmsnap").string(),
+            std::streamoff(sizeof(snapshot::ArchiveHeader) +
+                           sizeof(snapshot::FrameHeader) + 16));
+  out = run_tool("repl status " + store.string(), &rc);
+  EXPECT_EQ(rc, 2) << out;
+  EXPECT_NE(out.find("REPLICA STORE HAS DAMAGE"), std::string::npos) << out;
+
+  out = run_tool("repl status " + (dir / "missing").string(), &rc);
+  EXPECT_EQ(rc, 1) << out;
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 //   crpm_inspect archive list <archive-file>
 //   crpm_inspect archive verify <archive-file>
 //   crpm_inspect archive dump <archive-file> <epoch> <out-file>
+//   crpm_inspect repl status <replica-store-dir>
 //
 // Container form: prints the persistent metadata (header, committed epoch,
 // segment-state histogram, backup pairings, roots, heap usage) and verifies
@@ -18,6 +19,10 @@
 // framed epoch with its CRC verdict and restorability, or dumps one epoch's
 // reconstructed byte image to a file.
 //
+// Repl form: audits a replication store (src/repl) — one snapshot archive
+// per peer rank — reporting each peer's newest restorable epoch and any
+// corruption. Exits non-zero if any peer file is damaged.
+//
 // Read-only: opens files without running recovery, so it can be used on a
 // crashed container or a torn archive before restarting the application.
 #include <fcntl.h>
@@ -25,9 +30,11 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -289,13 +296,72 @@ int archive_dump(const char* path, const char* epoch_str, const char* out) {
   return 0;
 }
 
+// --- replication store ----------------------------------------------------
+
+int repl_status(const char* dir) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    std::fprintf(stderr, "%s: not a directory\n", dir);
+    return 1;
+  }
+  std::printf("replica store:     %s\n", dir);
+
+  int damaged = 0;
+  size_t peers = 0;
+  TablePrinter t({"peer", "epochs", "newest", "bytes", "status"});
+  std::vector<std::filesystem::path> files;
+  for (const auto& e : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("peer_", 0) == 0 &&
+        name.find(".crpmsnap") != std::string::npos) {
+      files.push_back(e.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    ++peers;
+    const std::string name = path.filename().string();
+    const std::string peer =
+        name.substr(5, name.size() - 5 - std::strlen(".crpmsnap"));
+    snapshot::ArchiveReader reader(path.string());
+    const auto& scan = reader.scan();
+    if (!scan.valid) {
+      t.row().cell(peer).cell(0).cell("-").cell("-").cell("INVALID");
+      ++damaged;
+      continue;
+    }
+    uint64_t corrupt = 0, bytes = 0;
+    for (const auto& ep : scan.epochs) {
+      if (!ep.intact) ++corrupt;
+      bytes += ep.frame_bytes;
+    }
+    uint64_t newest = 0;
+    bool has = reader.latest_restorable(&newest);
+    bool bad = corrupt != 0 || scan.truncated_bytes != 0;
+    if (bad) ++damaged;
+    t.row()
+        .cell(peer)
+        .cell(scan.epochs.size())
+        .cell(has ? std::to_string(newest) : "-")
+        .cell(format_bytes(bytes))
+        .cell(bad ? "DAMAGED" : "ok");
+  }
+  t.print();
+  std::printf("%s (%zu peer file%s, %d damaged)\n",
+              damaged == 0 ? "replica store is intact"
+                           : "REPLICA STORE HAS DAMAGE",
+              peers, peers == 1 ? "" : "s", damaged);
+  return damaged == 0 ? 0 : 2;
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <container-file>\n"
                "       %s archive list <archive-file>\n"
                "       %s archive verify <archive-file>\n"
-               "       %s archive dump <archive-file> <epoch> <out-file>\n",
-               argv0, argv0, argv0, argv0);
+               "       %s archive dump <archive-file> <epoch> <out-file>\n"
+               "       %s repl status <replica-store-dir>\n",
+               argv0, argv0, argv0, argv0, argv0);
   return 64;
 }
 
@@ -309,6 +375,11 @@ int main(int argc, char** argv) {
       return archive_list(argv[3], true);
     if (argc == 6 && std::strcmp(argv[2], "dump") == 0)
       return archive_dump(argv[3], argv[4], argv[5]);
+    return usage(argv[0]);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "repl") == 0) {
+    if (argc == 4 && std::strcmp(argv[2], "status") == 0)
+      return repl_status(argv[3]);
     return usage(argv[0]);
   }
   if (argc != 2) return usage(argv[0]);
