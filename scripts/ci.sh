@@ -1,36 +1,111 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 build + full test suite, then an ASan/UBSan configuration
-# of the concurrency-heavy suites (snapshot + core + crash injection), which
-# carry the `san` CTest label — `ctest -L san` selects exactly those — and
-# finally a ThreadSanitizer configuration of the communication/replication
-# suites (`tsan` label), where the races would live: SimComm collectives,
-# the fault-injecting Channel, and ReplNode's sender/service threads.
+# CI gate, split into stages so .github/workflows/ci.yml can fan them out
+# across parallel jobs while local runs keep the single entry point:
+#
+#   scripts/ci.sh [stage]
+#
+#   tier1   RelWithDebInfo build + full ctest (the tier-1 gate)
+#   san     ASan/UBSan build + `ctest -L san` (concurrency-heavy suites)
+#   tsan    TSan build + `ctest -L tsan` (SimComm collectives, the
+#           fault-injecting Channel, ReplNode's sender/service threads)
+#   chaos   bounded crash-matrix smoke: `ctest -L chaos` (fixed seed,
+#           capped event budget per scenario; the exhaustive matrix runs
+#           as its own sharded CI job via tools/crpm_crashmatrix)
+#   bench   perf smoke: pinned-scale bench_fig7_throughput + bench_repl,
+#           3 runs each, gated by scripts/check_bench.py against
+#           bench/baseline.json (best-of-3 ratios, see the baseline's
+#           comment for the refresh procedure)
+#   all     every stage in sequence (default)
+#
+# If ccache is installed the builds route through it automatically
+# (CMAKE_CXX_COMPILER_LAUNCHER), so CI restores of the ccache directory
+# turn rebuilds into cache hits.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+STAGE="${1:-all}"
 JOBS="${JOBS:-$(nproc)}"
 # Parallel ctest oversubscribes small machines and flakes timing-sensitive
 # tests; default to serial unless the caller opts in via CTEST_JOBS.
 CTEST_JOBS="${CTEST_JOBS:-1}"
 
-echo "== tier-1: RelWithDebInfo build + full ctest =="
-cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS"
-ctest --test-dir build --output-on-failure -j "$CTEST_JOBS"
+LAUNCHER_ARGS=()
+if command -v ccache >/dev/null 2>&1; then
+  LAUNCHER_ARGS=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
 
-echo "== sanitizers: ASan/UBSan build + san-labeled suites =="
-cmake -B build-san -S . -DCRPM_SANITIZE=ON -DCRPM_BUILD_BENCH=OFF \
-  -DCRPM_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-san -j "$JOBS"
-ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
-UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
-  ctest --test-dir build-san -L san --output-on-failure -j "$CTEST_JOBS"
+configure_build() {  # <dir> [extra cmake args...]
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S . ${LAUNCHER_ARGS[@]+"${LAUNCHER_ARGS[@]}"} "$@" \
+    >/dev/null
+  cmake --build "$dir" -j "$JOBS"
+}
 
-echo "== sanitizers: TSan build + tsan-labeled suites =="
-cmake -B build-tsan -S . -DCRPM_SANITIZE_THREAD=ON -DCRPM_BUILD_BENCH=OFF \
-  -DCRPM_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-tsan -j "$JOBS"
-TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}" \
-  ctest --test-dir build-tsan -L tsan --output-on-failure -j "$CTEST_JOBS"
+stage_tier1() {
+  echo "== tier-1: RelWithDebInfo build + full ctest =="
+  configure_build build
+  ctest --test-dir build --output-on-failure -j "$CTEST_JOBS"
+}
 
-echo "ci.sh: all green"
+stage_san() {
+  echo "== sanitizers: ASan/UBSan build + san-labeled suites =="
+  configure_build build-san -DCRPM_SANITIZE=ON -DCRPM_BUILD_BENCH=OFF \
+    -DCRPM_BUILD_EXAMPLES=OFF
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+    ctest --test-dir build-san -L san --output-on-failure -j "$CTEST_JOBS"
+}
+
+stage_tsan() {
+  echo "== sanitizers: TSan build + tsan-labeled suites =="
+  configure_build build-tsan -DCRPM_SANITIZE_THREAD=ON \
+    -DCRPM_BUILD_BENCH=OFF -DCRPM_BUILD_EXAMPLES=OFF
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}" \
+    ctest --test-dir build-tsan -L tsan --output-on-failure -j "$CTEST_JOBS"
+}
+
+stage_chaos() {
+  echo "== chaos: bounded crash-matrix smoke (ctest -L chaos) =="
+  configure_build build
+  ctest --test-dir build -L chaos --output-on-failure -j "$CTEST_JOBS"
+}
+
+stage_bench() {
+  echo "== bench: perf smoke + regression gate =="
+  configure_build build
+  local out
+  out="$(mktemp -d)"
+  local results=()
+  for run in 1 2 3; do
+    CRPM_KEYS=60000 CRPM_INSERT_OPS=20000 CRPM_INTERVAL_MS=8 CRPM_EPOCHS=3 \
+      ./build/bench/bench_fig7_throughput --json "$out/fig7_$run.json" \
+      >/dev/null
+    CRPM_REPL_EPOCHS=10 CRPM_REPL_DIRTY_KB=256 CRPM_REPL_MB=8 \
+      ./build/bench/bench_repl --json "$out/repl_$run.json" >/dev/null
+    results+=("$out/fig7_$run.json" "$out/repl_$run.json")
+  done
+  python3 scripts/check_bench.py "${results[@]}"
+  rm -rf "$out"
+}
+
+case "$STAGE" in
+  tier1) stage_tier1 ;;
+  san) stage_san ;;
+  tsan) stage_tsan ;;
+  chaos) stage_chaos ;;
+  bench) stage_bench ;;
+  all)
+    stage_tier1
+    stage_san
+    stage_tsan
+    stage_chaos
+    stage_bench
+    ;;
+  *)
+    echo "unknown stage '$STAGE' (tier1|san|tsan|chaos|bench|all)" >&2
+    exit 64
+    ;;
+esac
+
+echo "ci.sh: stage '$STAGE' green"

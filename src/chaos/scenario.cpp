@@ -1,0 +1,692 @@
+// Crash-matrix scenarios: deterministic workloads + invariant oracles.
+//
+// Every scenario follows the same shape: a seeded multi-epoch write
+// workload whose committed images are precomputed into a golden model
+// (epoch e's ops are a pure function of (seed, e), so re-running epoch e
+// on a container holding golden[e-1] reproduces golden[e] — which is what
+// lets an injected run continue past recovery and re-verify the final
+// state). The crash axis is the flattened persistence-event enumeration:
+// device events (clwb / sfence / NT line / wbinvd, recorded by
+// CrashSimDevice with PersistSiteScope tags) first, then — for scenarios
+// with an archive — the writer's file operations (ArchiveWriter
+// FileOpHook sites), domain-major so an index maps to one deterministic
+// injection no matter how the writer thread interleaves in real time.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+
+#include "chaos/chaos.h"
+#include "comm/channel.h"
+#include "core/container.h"
+#include "repl/replica_store.h"
+#include "repl/replicator.h"
+#include "snapshot/archive.h"
+#include "snapshot/writer.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace crpm::chaos {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Small geometry: every persistence event of a multi-epoch run stays
+// enumerable in seconds, while CoW, eager CoW, wbinvd, parity detach and
+// backup pairing all still trigger (mirrors crash_injection_test).
+CrpmOptions scenario_opts(const MatrixConfig& cfg, bool buffered) {
+  CrpmOptions o;
+  o.segment_size = 1024;
+  o.block_size = 128;
+  o.main_region_size = 16 * 1024;
+  o.eager_cow_segments = 4;
+  o.wbinvd_threshold = 8 * 1024;
+  o.buffered = buffered;
+  o.test_fault_flip_before_copy = cfg.fault_flip_before_copy;
+  return o;
+}
+
+// Epoch e's write ops, replayable against any target through `write`.
+template <typename W>
+void apply_epoch(const MatrixConfig& cfg, uint64_t region_size,
+                 uint64_t epoch, W&& write) {
+  Xoshiro256 rng(cfg.seed * 0x9e3779b97f4a7c15ULL + epoch);
+  const uint64_t cells = region_size / 8;
+  for (uint64_t op = 0; op < cfg.ops_per_epoch; ++op) {
+    uint64_t cell = rng.next_below(cells);
+    uint64_t v = rng.next() | 1;  // never store 0: distinguishable from init
+    write(cell * 8, v);
+  }
+}
+
+struct Golden {
+  std::vector<std::vector<uint8_t>> at;  // at[e] = committed image of e
+};
+
+Golden make_golden(const MatrixConfig& cfg, uint64_t region_size,
+                   uint64_t max_epoch) {
+  Golden g;
+  g.at.resize(max_epoch + 1);
+  g.at[0].assign(region_size, 0);
+  for (uint64_t e = 1; e <= max_epoch; ++e) {
+    g.at[e] = g.at[e - 1];
+    apply_epoch(cfg, region_size, e, [&](uint64_t off, uint64_t v) {
+      std::memcpy(g.at[e].data() + off, &v, 8);
+    });
+  }
+  return g;
+}
+
+void apply_epoch_to_container(const MatrixConfig& cfg, Container& c,
+                              uint64_t epoch) {
+  apply_epoch(cfg, c.capacity(), epoch, [&](uint64_t off, uint64_t v) {
+    c.annotate(c.data() + off, 8);
+    std::memcpy(c.data() + off, &v, 8);
+  });
+  c.set_root(0, epoch);
+}
+
+bool image_matches(const uint8_t* have, const std::vector<uint8_t>& want,
+                   const char* what, uint64_t epoch, std::string* why) {
+  if (std::memcmp(have, want.data(), want.size()) == 0) return true;
+  uint64_t off = 0;
+  while (off < want.size() && have[off] == want[off]) ++off;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s diverges from golden epoch %llu at byte %llu "
+                "(have 0x%02x want 0x%02x)",
+                what, (unsigned long long)epoch, (unsigned long long)off,
+                have[off], want[off]);
+  *why = buf;
+  return false;
+}
+
+// Epoch + image + root oracle after a reopen. `last_committed` is the
+// newest epoch whose commit the pre-crash run observed; a crash inside
+// the next checkpoint may legally land one past it.
+bool check_recovered(Container& c, const Golden& g, uint64_t last_committed,
+                     std::string* why) {
+  uint64_t e = c.committed_epoch();
+  if (e != last_committed && e != last_committed + 1) {
+    *why = "recovered epoch " + std::to_string(e) +
+           " but last observed commit was " + std::to_string(last_committed);
+    return false;
+  }
+  if (e >= g.at.size()) {
+    *why = "recovered epoch " + std::to_string(e) + " beyond the run's " +
+           std::to_string(g.at.size() - 1) + " epochs";
+    return false;
+  }
+  if (!image_matches(c.data(), g.at[e], "main region", e, why)) return false;
+  if (c.get_root(0) != e) {
+    *why = "root slot 0 is " + std::to_string(c.get_root(0)) +
+           " after recovering epoch " + std::to_string(e);
+    return false;
+  }
+  return true;
+}
+
+// Archive / replica-chain oracle: every restorable epoch must be
+// bit-identical to its golden image (with its committed root), and no
+// archived epoch may exceed `max_epoch` (deltas are staged pre-commit, so
+// the newest may be one ahead of the container — callers pass
+// last_committed + 1).
+bool check_chain_prefix(const std::string& path, const Golden& g,
+                        uint64_t max_epoch, const char* what,
+                        std::string* why) {
+  if (!fs::exists(path)) return true;  // never written: an empty prefix
+  snapshot::ArchiveReader reader(path);
+  if (!reader.ok()) {
+    *why = std::string(what) + " " + path + ": header unreadable";
+    return false;
+  }
+  for (const auto& info : reader.scan().epochs) {
+    if (info.epoch > max_epoch) {
+      *why = std::string(what) + " holds epoch " +
+             std::to_string(info.epoch) + " beyond reachable epoch " +
+             std::to_string(max_epoch);
+      return false;
+    }
+  }
+  for (uint64_t e = 1; e <= max_epoch && e < g.at.size(); ++e) {
+    if (!reader.restorable(e)) continue;
+    std::vector<uint8_t> image;
+    std::array<uint64_t, kNumRoots> roots{};
+    std::string err;
+    if (!reader.state_at(e, &image, &roots, &err)) {
+      *why = std::string(what) + " epoch " + std::to_string(e) +
+             " restorable but unreadable: " + err;
+      return false;
+    }
+    if (!image_matches(image.data(), g.at[e], what, e, why)) return false;
+    if (roots[0] != e) {
+      *why = std::string(what) + " epoch " + std::to_string(e) +
+             " carries root " + std::to_string(roots[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+// Per-event RNG for the crash policy's pending-line coin flips.
+Xoshiro256 crash_rng(const MatrixConfig& cfg, uint64_t event) {
+  return Xoshiro256(cfg.seed ^ (event * 0x9e3779b97f4a7c15ULL) ^
+                    0xc4a5b3c0ull);
+}
+
+// ---------------------------------------------------------------------------
+// core / core-buffered: the bare commit protocol.
+// ---------------------------------------------------------------------------
+
+class CoreScenario final : public Scenario {
+ public:
+  explicit CoreScenario(bool buffered) : buffered_(buffered) {}
+
+  EventCensus enumerate(const MatrixConfig& cfg) override {
+    const CrpmOptions opt = scenario_opts(cfg, buffered_);
+    CrashSimDevice dev(Container::required_device_size(opt));
+    EventCensus census;
+    dev.set_event_recorder(&census.tags);
+    auto c = Container::open(&dev, opt);
+    for (uint64_t e = 1; e <= cfg.epochs; ++e) {
+      apply_epoch_to_container(cfg, *c, e);
+      c->checkpoint();
+    }
+    c.reset();
+    dev.set_event_recorder(nullptr);
+    return census;
+  }
+
+  RunOutcome run_crash_at(const MatrixConfig& cfg, uint64_t event) override {
+    const CrpmOptions opt = scenario_opts(cfg, buffered_);
+    const Golden g = make_golden(cfg, opt.main_region_size, cfg.epochs);
+    CrashSimDevice dev(Container::required_device_size(opt));
+    dev.arm_crash_at_event(event);
+
+    RunOutcome out;
+    uint64_t last_committed = 0;
+    std::unique_ptr<Container> c;
+    try {
+      c = Container::open(&dev, opt);
+      for (uint64_t e = 1; e <= cfg.epochs; ++e) {
+        apply_epoch_to_container(cfg, *c, e);
+        c->checkpoint();
+        last_committed = e;
+      }
+    } catch (const SimulatedCrash&) {
+      out.crash_fired = true;
+    }
+    if (!out.crash_fired) {
+      dev.disarm();
+      std::string why;
+      if (!image_matches(c->data(), g.at[cfg.epochs], "main region",
+                         cfg.epochs, &why)) {
+        out.violation = true;
+        out.detail = "clean run: " + why;
+      }
+      return out;
+    }
+
+    c.reset();
+    Xoshiro256 rng = crash_rng(cfg, event);
+    dev.crash_and_restart(cfg.policy, rng);
+    c = Container::open(&dev, opt);
+    std::string why;
+    if (!check_recovered(*c, g, last_committed, &why)) {
+      out.violation = true;
+      out.detail = why;
+      return out;
+    }
+
+    // Recovery must compose with forward progress: finish the run and
+    // land bit-identically on the final golden image.
+    for (uint64_t e = c->committed_epoch() + 1; e <= cfg.epochs; ++e) {
+      apply_epoch_to_container(cfg, *c, e);
+      c->checkpoint();
+    }
+    if (c->committed_epoch() != cfg.epochs) {
+      out.violation = true;
+      out.detail = "post-recovery run ended at epoch " +
+                   std::to_string(c->committed_epoch());
+    } else if (!image_matches(c->data(), g.at[cfg.epochs],
+                              "post-recovery main region", cfg.epochs,
+                              &why)) {
+      out.violation = true;
+      out.detail = why;
+    }
+    return out;
+  }
+
+ private:
+  bool buffered_;
+};
+
+// ---------------------------------------------------------------------------
+// archive: commit loop + background archive append + compaction. The
+// event axis is device events [0, D) then writer file ops [D, D+F).
+// ---------------------------------------------------------------------------
+
+class ArchiveScenario final : public Scenario {
+ public:
+  EventCensus enumerate(const MatrixConfig& cfg) override {
+    Paths p = make_paths();
+    const CrpmOptions opt = scenario_opts(cfg, false);
+    CrashSimDevice dev(Container::required_device_size(opt));
+    EventCensus census;
+    dev.set_event_recorder(&census.tags);
+    auto c = Container::open(&dev, opt);
+    auto w = make_writer(p);
+    w->attach(*c);
+    std::vector<const char*> file_tags;
+    w->set_file_op_hook([&](const char* site, uint64_t) {
+      file_tags.push_back(site);
+      return true;
+    });
+    for (uint64_t e = 1; e <= cfg.epochs; ++e) {
+      apply_epoch_to_container(cfg, *c, e);
+      c->checkpoint();
+      w->drain();
+    }
+    c->set_epoch_sink(nullptr);
+    w->set_file_op_hook({});
+    w.reset();
+    c.reset();
+    dev.set_event_recorder(nullptr);
+    device_events_ = census.tags.size();
+    census.tags.insert(census.tags.end(), file_tags.begin(),
+                       file_tags.end());
+    return census;
+  }
+
+  RunOutcome run_crash_at(const MatrixConfig& cfg, uint64_t event) override {
+    if (device_events_ == ~uint64_t{0}) enumerate(cfg);
+    return event < device_events_ ? device_crash(cfg, event)
+                                  : file_crash(cfg, event - device_events_);
+  }
+
+ private:
+  struct Paths {
+    fs::path dir;
+    std::string archive;
+  };
+
+  static Paths make_paths() {
+    Paths p;
+    p.dir = fs::temp_directory_path() /
+            ("crpm_chaos_archive_" + std::to_string(::getpid()));
+    fs::remove_all(p.dir);
+    fs::create_directories(p.dir);
+    p.archive = (p.dir / "a.crpmsnap").string();
+    return p;
+  }
+
+  static std::unique_ptr<snapshot::ArchiveWriter> make_writer(
+      const Paths& p) {
+    snapshot::SnapshotOptions s;
+    s.compact_every = 3;
+    s.queue_depth = 4;
+    s.fsync_each_epoch = true;
+    return std::make_unique<snapshot::ArchiveWriter>(p.archive, s);
+  }
+
+  // Crash the container at a device event; the archive daemon "dies with
+  // the process" (write budget 0 from the moment of the crash). Recovery
+  // reopens the container, requires the surviving archive prefix valid,
+  // reattaches a writer (truncating staged-ahead frames) and finishes the
+  // run plus one extra epoch, after which the archive must be caught up.
+  RunOutcome device_crash(const MatrixConfig& cfg, uint64_t event) {
+    Paths p = make_paths();
+    const CrpmOptions opt = scenario_opts(cfg, false);
+    const uint64_t final_epoch = cfg.epochs + 1;
+    const Golden g = make_golden(cfg, opt.main_region_size, final_epoch);
+    CrashSimDevice dev(Container::required_device_size(opt));
+    dev.arm_crash_at_event(event);
+
+    RunOutcome out;
+    uint64_t last_committed = 0;
+    std::unique_ptr<Container> c;
+    auto w = make_writer(p);
+    try {
+      c = Container::open(&dev, opt);
+      w->attach(*c);
+      for (uint64_t e = 1; e <= cfg.epochs; ++e) {
+        apply_epoch_to_container(cfg, *c, e);
+        c->checkpoint();
+        w->drain();
+        last_committed = e;
+      }
+    } catch (const SimulatedCrash&) {
+      out.crash_fired = true;
+    }
+    if (!out.crash_fired) {
+      dev.disarm();
+      finish(cfg, p, g, dev, opt, std::move(c), std::move(w), cfg.epochs,
+             &out);
+      return out;
+    }
+
+    // Process death: no further file bytes; wait out the stager (it may
+    // still be reading the torn working state), then tear down.
+    w->kill_after_bytes(0);
+    if (c != nullptr) c->set_epoch_sink(nullptr);
+    w->drain();
+    w.reset();
+    c.reset();
+    Xoshiro256 rng = crash_rng(cfg, event);
+    dev.crash_and_restart(cfg.policy, rng);
+
+    c = Container::open(&dev, opt);
+    std::string why;
+    if (!check_recovered(*c, g, last_committed, &why) ||
+        !check_chain_prefix(p.archive, g, last_committed + 1, "archive",
+                            &why)) {
+      out.violation = true;
+      out.detail = why;
+      return out;
+    }
+    auto w2 = make_writer(p);
+    w2->attach(*c);  // reconciles: drops frames beyond the recovered epoch
+    finish(cfg, p, g, dev, opt, std::move(c), std::move(w2),
+           c->committed_epoch(), &out);
+    return out;
+  }
+
+  // Kill the archive daemon at its `op`-th file operation (mid-write for
+  // writes — a torn frame — and just-before for fsyncs). The container is
+  // untouched; the oracle is the archive file: valid prefix, then a
+  // reattach must truncate the tear and catch back up.
+  RunOutcome file_crash(const MatrixConfig& cfg, uint64_t op) {
+    Paths p = make_paths();
+    const CrpmOptions opt = scenario_opts(cfg, false);
+    const uint64_t final_epoch = cfg.epochs + 1;
+    const Golden g = make_golden(cfg, opt.main_region_size, final_epoch);
+    CrashSimDevice dev(Container::required_device_size(opt));
+
+    RunOutcome out;
+    out.crash_fired = true;  // file-domain injection always lands
+    auto c = Container::open(&dev, opt);
+    auto w = make_writer(p);
+    w->attach(*c);
+    uint64_t seen = 0;
+    snapshot::ArchiveWriter* wp = w.get();
+    w->set_file_op_hook([&seen, op, wp](const char*, uint64_t bytes) {
+      uint64_t idx = seen++;
+      if (idx < op) return true;
+      if (idx > op || bytes == 0) return false;  // dead / crash pre-fsync
+      wp->kill_after_bytes(bytes / 2);  // tear this write mid-frame
+      return true;
+    });
+    for (uint64_t e = 1; e <= cfg.epochs; ++e) {
+      apply_epoch_to_container(cfg, *c, e);
+      c->checkpoint();
+      w->drain();
+    }
+    c->set_epoch_sink(nullptr);
+    w->set_file_op_hook({});
+    w.reset();
+
+    std::string why;
+    if (!image_matches(c->data(), g.at[cfg.epochs], "main region",
+                       cfg.epochs, &why) ||
+        !check_chain_prefix(p.archive, g, cfg.epochs, "archive", &why)) {
+      out.violation = true;
+      out.detail = why;
+      return out;
+    }
+    // Archive-daemon restart: scan + truncate the torn tail, then resume
+    // (a gap restarts the chain with a base frame).
+    auto w2 = make_writer(p);
+    w2->attach(*c);
+    finish(cfg, p, g, dev, opt, std::move(c), std::move(w2), cfg.epochs,
+           &out);
+    return out;
+  }
+
+  // Common tail: run epochs from+1 .. epochs+1, then require the
+  // container and the newest restorable archive epoch to match the final
+  // golden image.
+  void finish(const MatrixConfig& cfg, const Paths& p, const Golden& g,
+              CrashSimDevice& dev, const CrpmOptions& opt,
+              std::unique_ptr<Container> c,
+              std::unique_ptr<snapshot::ArchiveWriter> w, uint64_t from,
+              RunOutcome* out) {
+    (void)dev;
+    (void)opt;
+    const uint64_t final_epoch = cfg.epochs + 1;
+    for (uint64_t e = from + 1; e <= final_epoch; ++e) {
+      apply_epoch_to_container(cfg, *c, e);
+      c->checkpoint();
+      w->drain();
+    }
+    c->set_epoch_sink(nullptr);
+    w.reset();
+    std::string why;
+    uint64_t latest = 0;
+    snapshot::ArchiveReader reader(p.archive);
+    if (c->committed_epoch() != final_epoch) {
+      out->violation = true;
+      out->detail = "post-recovery run ended at epoch " +
+                    std::to_string(c->committed_epoch());
+    } else if (!image_matches(c->data(), g.at[final_epoch],
+                              "post-recovery main region", final_epoch,
+                              &why)) {
+      out->violation = true;
+      out->detail = why;
+    } else if (!reader.ok() || !reader.latest_restorable(&latest) ||
+               latest != final_epoch) {
+      out->violation = true;
+      out->detail = "archive did not catch up: newest restorable epoch " +
+                    std::to_string(latest) + " after committing " +
+                    std::to_string(final_epoch);
+    } else if (!check_chain_prefix(p.archive, g, final_epoch, "archive",
+                                   &why)) {
+      out->violation = true;
+      out->detail = why;
+    }
+  }
+
+  uint64_t device_events_ = ~uint64_t{0};
+};
+
+// ---------------------------------------------------------------------------
+// repl: replicated commit, rank 0 crashes, partner's replica chain must
+// stay a valid prefix of the golden history. The crash axis is rank 0's
+// device events.
+// ---------------------------------------------------------------------------
+
+class ReplScenario final : public Scenario {
+ public:
+  EventCensus enumerate(const MatrixConfig& cfg) override {
+    Paths p = make_paths();
+    const CrpmOptions opt = scenario_opts(cfg, false);
+    CrashSimDevice dev(Container::required_device_size(opt));
+    EventCensus census;
+    dev.set_event_recorder(&census.tags);
+    Cluster cl = make_cluster(p);
+    auto c = Container::open(&dev, opt);
+    cl.writer->attach(*c);
+    cl.node->attach(*c, *cl.writer);
+    for (uint64_t e = 1; e <= cfg.epochs; ++e) {
+      apply_epoch_to_container(cfg, *c, e);
+      c->checkpoint();
+      cl.writer->drain();
+    }
+    cl.node->flush();
+    teardown(*c, cl);
+    c.reset();
+    dev.set_event_recorder(nullptr);
+    return census;
+  }
+
+  RunOutcome run_crash_at(const MatrixConfig& cfg, uint64_t event) override {
+    Paths p = make_paths();
+    const CrpmOptions opt = scenario_opts(cfg, false);
+    const uint64_t final_epoch = cfg.epochs + 1;
+    const Golden g = make_golden(cfg, opt.main_region_size, final_epoch);
+    const std::string peer0 =
+        repl::ReplicaStore::peer_path(p.store1, /*origin=*/0);
+    CrashSimDevice dev(Container::required_device_size(opt));
+    dev.arm_crash_at_event(event);
+
+    RunOutcome out;
+    uint64_t last_committed = 0;
+    std::unique_ptr<Container> c;
+    Cluster cl = make_cluster(p);
+    try {
+      c = Container::open(&dev, opt);
+      cl.writer->attach(*c);
+      cl.node->attach(*c, *cl.writer);
+      for (uint64_t e = 1; e <= cfg.epochs; ++e) {
+        apply_epoch_to_container(cfg, *c, e);
+        c->checkpoint();
+        cl.writer->drain();
+        last_committed = e;
+      }
+    } catch (const SimulatedCrash&) {
+      out.crash_fired = true;
+    }
+    if (out.crash_fired) {
+      // Whole-node death: archive stops mid-air, both endpoints go down
+      // (the replica's peer file persists on disk).
+      cl.writer->kill_after_bytes(0);
+      if (c != nullptr) c->set_epoch_sink(nullptr);
+      cl.writer->drain();
+    } else {
+      dev.disarm();
+      cl.node->flush();
+      c->set_epoch_sink(nullptr);
+      cl.writer->drain();
+    }
+    destroy(cl);
+    std::string why;
+    uint64_t reach = out.crash_fired ? last_committed + 1 : cfg.epochs;
+    if (!check_chain_prefix(peer0, g, reach, "replica chain", &why)) {
+      out.violation = true;
+      out.detail = why;
+      return out;
+    }
+    if (out.crash_fired) {
+      c.reset();
+      Xoshiro256 rng = crash_rng(cfg, event);
+      dev.crash_and_restart(cfg.policy, rng);
+      c = Container::open(&dev, opt);
+      if (!check_recovered(*c, g, last_committed, &why)) {
+        out.violation = true;
+        out.detail = why;
+        return out;
+      }
+    }
+
+    // Cluster restart: fresh channel and nodes, the replica store adopts
+    // its persisted peer files; finish the run plus one epoch. The chain
+    // may legally stay behind (frames lost with the dead sender are only
+    // re-served by a future base frame), but must remain prefix-valid.
+    Cluster cl2 = make_cluster(p);
+    cl2.writer->attach(*c);
+    cl2.node->attach(*c, *cl2.writer);
+    for (uint64_t e = c->committed_epoch() + 1; e <= final_epoch; ++e) {
+      apply_epoch_to_container(cfg, *c, e);
+      c->checkpoint();
+      cl2.writer->drain();
+    }
+    cl2.node->flush();
+    teardown(*c, cl2);
+    if (c->committed_epoch() != final_epoch) {
+      out.violation = true;
+      out.detail = "post-recovery run ended at epoch " +
+                   std::to_string(c->committed_epoch());
+    } else if (!image_matches(c->data(), g.at[final_epoch],
+                              "post-recovery main region", final_epoch,
+                              &why)) {
+      out.violation = true;
+      out.detail = why;
+    } else if (!check_chain_prefix(peer0, g, final_epoch, "replica chain",
+                                   &why)) {
+      out.violation = true;
+      out.detail = why;
+    }
+    return out;
+  }
+
+ private:
+  struct Paths {
+    fs::path dir;
+    std::string archive;
+    std::string store0;
+    std::string store1;
+  };
+
+  struct Cluster {
+    std::unique_ptr<Channel> channel;
+    std::unique_ptr<snapshot::ArchiveWriter> writer;
+    std::unique_ptr<repl::ReplNode> node;      // rank 0, the origin
+    std::unique_ptr<repl::ReplNode> receiver;  // rank 1, the replica
+  };
+
+  static Paths make_paths() {
+    Paths p;
+    p.dir = fs::temp_directory_path() /
+            ("crpm_chaos_repl_" + std::to_string(::getpid()));
+    fs::remove_all(p.dir);
+    fs::create_directories(p.dir);
+    p.archive = (p.dir / "a0.crpmsnap").string();
+    p.store0 = (p.dir / "store0").string();
+    p.store1 = (p.dir / "store1").string();
+    return p;
+  }
+
+  static Cluster make_cluster(const Paths& p) {
+    Cluster cl;
+    cl.channel = std::make_unique<Channel>(2, FaultSpec());
+    snapshot::SnapshotOptions s;
+    s.compact_every = 3;
+    s.queue_depth = 4;
+    s.fsync_each_epoch = true;
+    cl.writer = std::make_unique<snapshot::ArchiveWriter>(p.archive, s);
+    repl::ReplConfig cfg0;
+    cfg0.replicas = 1;
+    cfg0.store_dir = p.store0;
+    cfg0.local_archive = p.archive;
+    cfg0.ack_timeout_us = 5000;
+    cfg0.max_attempts = 2;  // bounded: a post-restart gap never resolves
+    cl.node = std::make_unique<repl::ReplNode>(*cl.channel, 0, cfg0);
+    repl::ReplConfig cfg1;
+    cfg1.replicas = 1;
+    cfg1.store_dir = p.store1;
+    cfg1.ack_timeout_us = 5000;
+    cfg1.max_attempts = 2;
+    cl.receiver = std::make_unique<repl::ReplNode>(*cl.channel, 1, cfg1);
+    return cl;
+  }
+
+  static void teardown(Container& c, Cluster& cl) {
+    c.set_epoch_sink(nullptr);
+    destroy(cl);
+  }
+
+  static void destroy(Cluster& cl) {
+    cl.writer.reset();  // detaches the frame observer before the node dies
+    cl.node.reset();
+    cl.receiver.reset();
+    cl.channel.reset();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Scenario> make_scenario(const std::string& name) {
+  if (name == "core") return std::make_unique<CoreScenario>(false);
+  if (name == "core-buffered") return std::make_unique<CoreScenario>(true);
+  if (name == "archive") return std::make_unique<ArchiveScenario>();
+  if (name == "repl") return std::make_unique<ReplScenario>();
+  return nullptr;
+}
+
+std::vector<std::string> scenario_names() {
+  return {"core", "core-buffered", "archive", "repl"};
+}
+
+}  // namespace crpm::chaos

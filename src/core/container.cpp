@@ -31,6 +31,7 @@ uint64_t Container::required_device_size(const CrpmOptions& opt) {
 void Container::open_or_format() {
   MetaHeader* h = layout_.header();
   if (h->magic != kMetaMagic || h->initialized == 0) {
+    PersistSiteScope site("format");
     layout_.format(opt_);
     fresh_ = true;
   } else {
@@ -49,6 +50,7 @@ void Container::open_or_format() {
                  "previous epoch not retained: use buffered mode or set "
                  "eager_cow_segments = 0 for coordinated checkpoints");
       h->committed_epoch -= 1;
+      PersistSiteScope site("recovery.rollback");
       dev_->persist(&h->committed_epoch, sizeof(uint64_t));
     }
     Stopwatch sw;
@@ -75,6 +77,7 @@ void Container::renumber_epoch(uint64_t epoch) {
              (unsigned long long)h->committed_epoch);
   if (epoch == h->committed_epoch) return;
   h->committed_epoch = epoch;
+  PersistSiteScope site("commit.renumber");
   dev_->persist(&h->committed_epoch, sizeof(uint64_t));
 }
 
@@ -105,6 +108,7 @@ void Container::rebuild_backup_index() {
 }
 
 void Container::region_sync() {
+  PersistSiteScope site("recovery.sync");
   // Figure 6, crpm_recovery. Full-segment copies: the DRAM dirty bitmap did
   // not survive the crash, so the block-level diff is unknown.
   const uint32_t* b2m = layout_.backup_to_main();
@@ -204,6 +208,7 @@ uint32_t Container::alloc_backup(uint64_t main_seg) {
   }
   uint32_t* b2m = layout_.backup_to_main();
   b2m[b] = static_cast<uint32_t>(main_seg);
+  PersistSiteScope site("cow.pair");
   dev_->flush(&b2m[b], sizeof(uint32_t));  // fenced by the caller's fence
   main_to_backup_[main_seg] = b;
   return b;
@@ -323,27 +328,42 @@ void DefaultContainer::copy_on_write(uint64_t seg) {
     }
     uint8_t* msrc = layout_.main_segment(seg);
     uint8_t* bdst = layout_.backup_segment(b);
+    if (opt_.test_fault_flip_before_copy) {
+      // Injected ordering bug (see CrpmOptions): commit "backup holds the
+      // checkpoint" before the backup actually does. A crash during the
+      // copy below then recovers stale backup bytes into main.
+      state[seg] = kSegBackup;
+      PersistSiteScope site("cow.flip");
+      dev_->persist(&state[seg], 1);
+    }
     uint64_t blocks = 0;
     uint64_t bytes = 0;
-    if (differential) {
-      // Block-based data copy (Figure 6, lines 9-12): only blocks recorded
-      // dirty — exactly those where main and backup differ — are moved.
-      uint64_t first = geo_.first_block_of_segment(seg);
-      uint64_t bs = geo_.block_size();
-      tracker_->dirty_blocks().for_each_set(
-          first, geo_.blocks_per_segment(), [&](size_t blk) {
-            uint64_t rel = (blk - first) * bs;
-            dev_->nt_copy(bdst + rel, msrc + rel, bs);
-            ++blocks;
-          });
-      bytes = blocks * bs;
-    } else {
-      dev_->nt_copy(bdst, msrc, geo_.segment_size());
-      bytes = geo_.segment_size();
+    {
+      PersistSiteScope site("cow.data");
+      if (differential) {
+        // Block-based data copy (Figure 6, lines 9-12): only blocks
+        // recorded dirty — exactly those where main and backup differ —
+        // are moved.
+        uint64_t first = geo_.first_block_of_segment(seg);
+        uint64_t bs = geo_.block_size();
+        tracker_->dirty_blocks().for_each_set(
+            first, geo_.blocks_per_segment(), [&](size_t blk) {
+              uint64_t rel = (blk - first) * bs;
+              dev_->nt_copy(bdst + rel, msrc + rel, bs);
+              ++blocks;
+            });
+        bytes = blocks * bs;
+      } else {
+        dev_->nt_copy(bdst, msrc, geo_.segment_size());
+        bytes = geo_.segment_size();
+      }
+      dev_->fence();  // fence #1: pairing + copied data durable
     }
-    dev_->fence();  // fence #1: pairing + copied data durable
-    state[seg] = kSegBackup;
-    dev_->persist(&state[seg], 1);  // flush + fence #2
+    if (!opt_.test_fault_flip_before_copy) {
+      state[seg] = kSegBackup;
+      PersistSiteScope site("cow.flip");
+      dev_->persist(&state[seg], 1);  // flush + fence #2
+    }
     tracker_->clear_segment_blocks(seg);
     stats_.add_cow(!differential, blocks, bytes);
   }
@@ -400,29 +420,32 @@ void DefaultContainer::checkpoint() {
 
   // Phase 1: persist dirty blocks of the main region. All collective
   // threads claim dirty segments from a shared cursor.
-  if (ckpt_use_wbinvd_) {
-    if (leader) {
-      dev_->wbinvd_flush();
-      uint64_t bytes = tracker_->dirty_bytes_in_dirty_segments();
-      ckpt_flushed_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  {
+    PersistSiteScope site("ckpt.flush");
+    if (ckpt_use_wbinvd_) {
+      if (leader) {
+        dev_->wbinvd_flush();
+        uint64_t bytes = tracker_->dirty_bytes_in_dirty_segments();
+        ckpt_flushed_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+      }
+    } else {
+      uint64_t bs = geo_.block_size();
+      uint64_t local_bytes = 0;
+      for (;;) {
+        size_t i = ckpt_cursor_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= ckpt_segs_.size()) break;
+        uint64_t s = ckpt_segs_[i];
+        uint64_t first = geo_.first_block_of_segment(s);
+        tracker_->dirty_blocks().for_each_set(
+            first, geo_.blocks_per_segment(), [&](size_t blk) {
+              dev_->flush(layout_.block_addr(blk), bs);
+              local_bytes += bs;
+            });
+      }
+      ckpt_flushed_bytes_.fetch_add(local_bytes, std::memory_order_relaxed);
     }
-  } else {
-    uint64_t bs = geo_.block_size();
-    uint64_t local_bytes = 0;
-    for (;;) {
-      size_t i = ckpt_cursor_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= ckpt_segs_.size()) break;
-      uint64_t s = ckpt_segs_[i];
-      uint64_t first = geo_.first_block_of_segment(s);
-      tracker_->dirty_blocks().for_each_set(
-          first, geo_.blocks_per_segment(), [&](size_t blk) {
-            dev_->flush(layout_.block_addr(blk), bs);
-            local_bytes += bs;
-          });
-    }
-    ckpt_flushed_bytes_.fetch_add(local_bytes, std::memory_order_relaxed);
+    dev_->fence();  // per-thread: order own flushes (Figure 6, line 32)
   }
-  dev_->fence();  // per-thread: order own flushes (Figure 6, line 32)
   barrier_->arrive_and_wait();
 
   // Phase 2 (leader): atomically promote the working state (Figure 6,
@@ -432,15 +455,21 @@ void DefaultContainer::checkpoint() {
     int e_new = 1 - e_act;
     uint8_t* act = layout_.seg_state(e_act);
     uint8_t* next = layout_.seg_state(e_new);
-    std::memcpy(next, act, geo_.nr_main_segs());
-    for (uint64_t s : ckpt_segs_) next[s] = kSegMain;
-    dev_->flush(next, geo_.nr_main_segs());
-    stage_roots_for_commit();
-    dev_->fence();
+    {
+      PersistSiteScope site("ckpt.stage");
+      std::memcpy(next, act, geo_.nr_main_segs());
+      for (uint64_t s : ckpt_segs_) next[s] = kSegMain;
+      dev_->flush(next, geo_.nr_main_segs());
+      stage_roots_for_commit();
+      dev_->fence();
+    }
 
     MetaHeader* h = layout_.header();
     h->committed_epoch += 1;  // the commit point
-    dev_->persist(&h->committed_epoch, sizeof(uint64_t));
+    {
+      PersistSiteScope site("ckpt.commit");
+      dev_->persist(&h->committed_epoch, sizeof(uint64_t));
+    }
     roots_dirty_ = false;
 
     // Note: the in-place flush of dirty main-region blocks is persistence,
@@ -477,6 +506,7 @@ void DefaultContainer::eager_cow(const std::vector<uint64_t>& segs) {
   // the new active array. Copy each one's dirty blocks to its paired backup
   // (skipping unpaired segments — their first CoW next epoch does a full
   // copy anyway), then flip all states with a single fence pair.
+  PersistSiteScope site_copy("eager.copy");
   uint8_t* state = layout_.seg_state(active_index());
   std::vector<uint64_t> done;
   uint64_t bs = geo_.block_size();
@@ -498,6 +528,7 @@ void DefaultContainer::eager_cow(const std::vector<uint64_t>& segs) {
   }
   if (done.empty()) return;
   dev_->fence();  // all eager copies durable
+  PersistSiteScope site("eager.flip");
   for (uint64_t s : done) {
     state[s] = kSegBackup;
     dev_->flush(&state[s], 1);
@@ -592,13 +623,17 @@ void BufferedContainer::checkpoint() {
       uint8_t points_to_target = to_main ? kSegMain : kSegBackup;
       if (act[s] == points_to_target) {
         act[s] = to_main ? kSegBackup : kSegMain;
+        PersistSiteScope site("ckpt.detach");
         dev_->flush(&act[s], 1);
         flipped = true;
       }
       ckpt_segs_.push_back(s);
       ckpt_full_copy_.push_back(full ? 1 : 0);
     }
-    if (flipped) dev_->fence();
+    if (flipped) {
+      PersistSiteScope site("ckpt.detach");
+      dev_->fence();
+    }
     ckpt_skip_ = ckpt_segs_.empty() && !roots_dirty_;
     ckpt_cursor_.store(0, std::memory_order_relaxed);
     // Export the epoch's delta now, while all threads are stopped in this
@@ -622,6 +657,7 @@ void BufferedContainer::checkpoint() {
   }
 
   // Phase 1: replicate dirty blocks from DRAM into the target region.
+  PersistSiteScope site_repl("ckpt.replicate");
   uint64_t bs = geo_.block_size();
   uint64_t local_bytes = 0;
   for (;;) {
@@ -656,15 +692,21 @@ void BufferedContainer::checkpoint() {
     int e_new = 1 - e_act;
     uint8_t* act = layout_.seg_state(e_act);
     uint8_t* next = layout_.seg_state(e_new);
-    std::memcpy(next, act, geo_.nr_main_segs());
-    for (uint64_t s : ckpt_segs_) next[s] = to_main ? kSegMain : kSegBackup;
-    dev_->flush(next, geo_.nr_main_segs());
-    stage_roots_for_commit();
-    dev_->fence();
+    {
+      PersistSiteScope site("ckpt.stage");
+      std::memcpy(next, act, geo_.nr_main_segs());
+      for (uint64_t s : ckpt_segs_) next[s] = to_main ? kSegMain : kSegBackup;
+      dev_->flush(next, geo_.nr_main_segs());
+      stage_roots_for_commit();
+      dev_->fence();
+    }
 
     MetaHeader* h = layout_.header();
     h->committed_epoch += 1;
-    dev_->persist(&h->committed_epoch, sizeof(uint64_t));
+    {
+      PersistSiteScope site("ckpt.commit");
+      dev_->persist(&h->committed_epoch, sizeof(uint64_t));
+    }
     roots_dirty_ = false;
 
     // Age the dirty generations: blocks dirty in the just-committed epoch

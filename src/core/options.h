@@ -71,6 +71,16 @@ struct CrpmOptions {
   // archived epochs lags the OS page cache.
   bool archive_fsync = true;
 
+  // --- test-only fault injection ---------------------------------------
+
+  // Deliberately persists the seg_state flip BEFORE the copy-on-write data
+  // copy is fenced, breaking the Figure 6 ordering: a crash between the two
+  // makes recovery restore the main segment from a backup that never
+  // received the checkpoint data. Exists solely so the crash-matrix
+  // harness (src/chaos) can prove it detects ordering bugs; never enable
+  // outside tests.
+  bool test_fault_flip_before_copy = false;
+
   // Returns a copy with sizes validated and rounded; aborts on nonsensical
   // combinations (block > segment, non-power-of-two sizes, ...).
   CrpmOptions validated() const;

@@ -17,8 +17,9 @@ CrashSimDevice::CrashSimDevice(size_t size) : NvmDevice(nullptr, 0) {
   staged_bits_.reset_size(aligned / kCacheLineSize);
   set_base(volatile_mem_, aligned);
 
-  set_event_hook([this](const PersistEvent&) {
+  set_event_hook([this](const PersistEvent& ev) {
     uint64_t idx = events_seen_++;
+    if (recorder_ != nullptr) recorder_->push_back(ev.site);
     if (armed_ && idx == crash_target_) {
       armed_ = false;
       throw SimulatedCrash{idx};

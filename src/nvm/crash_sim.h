@@ -53,6 +53,14 @@ class CrashSimDevice final : public NvmDevice {
   void disarm();
   uint64_t events_seen() const { return events_seen_; }
 
+  // When set, every persist event appends its site tag (the event's index
+  // is the vector position). The crash-matrix harness uses this in count
+  // mode to enumerate the crash surface with per-site attribution. The
+  // recorder must outlive the device or be cleared with nullptr.
+  void set_event_recorder(std::vector<const char*>* recorder) {
+    recorder_ = recorder;
+  }
+
   // Direct media inspection for tests.
   const uint8_t* media() const { return media_.data(); }
 
@@ -75,6 +83,7 @@ class CrashSimDevice final : public NvmDevice {
   uint64_t events_seen_ = 0;
   uint64_t crash_target_ = ~uint64_t{0};
   bool armed_ = false;
+  std::vector<const char*>* recorder_ = nullptr;
 };
 
 }  // namespace crpm

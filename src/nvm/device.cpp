@@ -41,7 +41,17 @@ void nt_memcpy(void* dst, const void* src, size_t len) {
   std::memcpy(dst, src, len);
 }
 
+thread_local const char* t_persist_site = "untagged";
+
 }  // namespace
+
+PersistSiteScope::PersistSiteScope(const char* site) : prev_(t_persist_site) {
+  t_persist_site = site;
+}
+
+PersistSiteScope::~PersistSiteScope() { t_persist_site = prev_; }
+
+const char* PersistSiteScope::current() { return t_persist_site; }
 
 void NvmDevice::flush(const void* addr, size_t len) {
   if (len == 0) return;

@@ -35,6 +35,27 @@ enum class PersistEventKind : uint8_t {
 struct PersistEvent {
   PersistEventKind kind;
   uint64_t offset;  // device offset of the affected line (0 for fences)
+  const char* site;  // protocol phase tag (PersistSiteScope), "untagged"
+};
+
+// Tags every persist event emitted by the current thread while the scope is
+// alive, e.g. `PersistSiteScope tag("ckpt.commit");` around the
+// committed_epoch persist. Scopes nest; the previous tag is restored on
+// destruction. Only read when an event hook is installed, so the production
+// path pays nothing beyond the existing hook_ branch.
+class PersistSiteScope {
+ public:
+  explicit PersistSiteScope(const char* site);
+  ~PersistSiteScope();
+
+  PersistSiteScope(const PersistSiteScope&) = delete;
+  PersistSiteScope& operator=(const PersistSiteScope&) = delete;
+
+  // The innermost active tag on this thread ("untagged" outside any scope).
+  static const char* current();
+
+ private:
+  const char* prev_;
 };
 
 // Invoked before the event takes effect on the media. Throwing aborts the
@@ -107,7 +128,7 @@ class NvmDevice {
 
  private:
   void emit(PersistEventKind kind, uint64_t offset) {
-    if (hook_) hook_(PersistEvent{kind, offset});
+    if (hook_) hook_(PersistEvent{kind, offset, PersistSiteScope::current()});
   }
 
   uint8_t* base_ = nullptr;

@@ -371,6 +371,7 @@ void ArchiveWriter::wait_captured() {
 }
 
 bool ArchiveWriter::raw_write(int fd, const void* buf, size_t len) {
+  if (!file_op_allowed(io_site_, len)) return false;
   uint64_t budget = write_budget_.load(std::memory_order_acquire);
   size_t allowed = len;
   if (budget < len) allowed = static_cast<size_t>(budget);
@@ -427,6 +428,10 @@ void ArchiveWriter::write_frame(const PendingFrame& f) {
   }
   bool fsynced = false;
   if (sopt_.fsync_each_epoch) {
+    if (!file_op_allowed("archive.fsync", 0)) {
+      st_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     ::fdatasync(fd_);
     fsynced = true;
   }
@@ -450,8 +455,26 @@ void ArchiveWriter::set_frame_observer(FrameObserver obs) {
   observer_ = std::move(obs);
 }
 
+void ArchiveWriter::set_file_op_hook(FileOpHook hook) {
+  std::lock_guard<std::mutex> lk(obs_mu_);
+  file_op_hook_ = std::move(hook);
+}
+
+bool ArchiveWriter::file_op_allowed(const char* site, uint64_t bytes) {
+  FileOpHook hook;
+  {
+    std::lock_guard<std::mutex> lk(obs_mu_);
+    hook = file_op_hook_;
+  }
+  if (!hook || hook(site, bytes)) return true;
+  dead_.store(true, std::memory_order_release);
+  cv_space_.notify_all();
+  return false;
+}
+
 void ArchiveWriter::compact(uint64_t epoch,
                             const std::array<uint64_t, kNumRoots>& roots) {
+  io_site_ = "archive.compact";
   CompactionResult r = fold_to_base(
       path_, make_header(block_size_, region_size_, segment_size_), epoch,
       roots,
@@ -459,6 +482,7 @@ void ArchiveWriter::compact(uint64_t epoch,
       [this](int fd, const void* buf, size_t len) {
         return raw_write(fd, buf, len);
       });
+  io_site_ = "archive.frame";
   if (!r.ok) {
     CRPM_LOG_WARN("archive %s: compaction failed (%s); keeping delta chain",
                   path_.c_str(), r.error.c_str());

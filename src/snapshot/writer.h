@@ -102,6 +102,17 @@ class ArchiveWriter final : public EpochSink {
       uint64_t epoch, uint32_t kind, const uint8_t* frame, size_t len)>;
   void set_frame_observer(FrameObserver obs);
 
+  // Test hook (crash matrix): invoked on the writer thread before every
+  // archive file operation with a site tag ("archive.frame",
+  // "archive.compact", "archive.fsync") and the byte count. Returning
+  // false simulates a process kill at that operation: the op is skipped
+  // and the writer goes dead exactly like kill_after_bytes exhaustion.
+  // Install after attach() (header/reconciliation I/O is excluded so both
+  // matrix passes see the same op sequence); clear with {} before
+  // destroying state the hook captures.
+  using FileOpHook = std::function<bool(const char* site, uint64_t bytes)>;
+  void set_file_op_hook(FileOpHook hook);
+
  private:
   struct PendingFrame {
     // Staging lifecycle, guarded by mu_: enqueued kUnstaged, claimed
@@ -145,6 +156,8 @@ class ArchiveWriter final : public EpochSink {
   // write() honoring the kill_after_bytes budget; flips dead_ on short
   // writes or I/O errors.
   bool raw_write(int fd, const void* buf, size_t len);
+  // Consults file_op_hook_; false means the op was vetoed (writer is dead).
+  bool file_op_allowed(const char* site, uint64_t bytes);
   void charge_io(uint64_t bytes, bool fsynced);
 
   std::string path_;
@@ -183,6 +196,9 @@ class ArchiveWriter final : public EpochSink {
   // Guarded by obs_mu_ (writer thread reads, any thread sets).
   std::mutex obs_mu_;
   FrameObserver observer_;
+  FileOpHook file_op_hook_;
+  // Site tag for raw_write (worker thread only; compaction overrides).
+  const char* io_site_ = "archive.frame";
 
   std::atomic<uint64_t> last_epoch_{0};
   std::atomic<bool> dead_{false};
