@@ -11,10 +11,11 @@
 #   chaos   bounded crash-matrix smoke: `ctest -L chaos` (fixed seed,
 #           capped event budget per scenario; the exhaustive matrix runs
 #           as its own sharded CI job via tools/crpm_crashmatrix)
-#   bench   perf smoke: pinned-scale bench_fig7_throughput + bench_repl,
-#           3 runs each, gated by scripts/check_bench.py against
-#           bench/baseline.json (best-of-3 ratios, see the baseline's
-#           comment for the refresh procedure)
+#   bench   perf smoke: pinned-scale bench_fig7_throughput + bench_repl +
+#           the bench_fig9_interval async-stall section, 3 runs each,
+#           gated by scripts/check_bench.py against bench/baseline.json
+#           (best-of-3 ratios, see the baseline's comment for the
+#           refresh procedure)
 #   all     every stage in sequence (default)
 #
 # If ccache is installed the builds route through it automatically
@@ -83,7 +84,15 @@ stage_bench() {
       >/dev/null
     CRPM_REPL_EPOCHS=10 CRPM_REPL_DIRTY_KB=256 CRPM_REPL_MB=8 \
       ./build/bench/bench_repl --json "$out/repl_$run.json" >/dev/null
-    results+=("$out/fig7_$run.json" "$out/repl_$run.json")
+    # Stall section only: the fig9 throughput tables are minutes-long, the
+    # async-vs-sync stall ratio gate needs just the stall epochs.
+    CRPM_FIG9_STALL_ONLY=1 \
+      CRPM_KEYS=60000 CRPM_INSERT_OPS=20000 CRPM_INTERVAL_MS=8 \
+      CRPM_EPOCHS=3 \
+      ./build/bench/bench_fig9_interval --json "$out/fig9_$run.json" \
+      >/dev/null
+    results+=("$out/fig7_$run.json" "$out/repl_$run.json" \
+      "$out/fig9_$run.json")
   done
   python3 scripts/check_bench.py "${results[@]}"
   rm -rf "$out"

@@ -36,7 +36,12 @@
 #include <string>
 #include <vector>
 
+#include "core/options.h"
 #include "nvm/crash_sim.h"
+
+namespace crpm {
+class Container;
+}
 
 namespace crpm::chaos {
 
@@ -49,6 +54,10 @@ struct MatrixConfig {
   // Enables CrpmOptions::test_fault_flip_before_copy in the scenario's
   // container — the planted ordering bug the harness self-tests against.
   bool fault_flip_before_copy = false;
+  // Enables CrpmOptions::test_fault_skip_steal_copy — the async-mode
+  // planted bug (the write-hook steal skips its flush + image snapshot);
+  // only the core-async scenario exercises it.
+  bool fault_skip_steal_copy = false;
   // Shard selection: keep event k iff k % shard_count == shard_index.
   uint32_t shard_index = 0;
   uint32_t shard_count = 1;
@@ -135,5 +144,30 @@ bool write_json_report(const std::string& path, const MatrixConfig& cfg,
 
 const char* policy_name(CrashPolicy p);
 bool parse_policy(const std::string& s, CrashPolicy* p);
+
+// --- golden-model oracle, exported for property tests ---------------------
+// The scenarios' seeded workload and DRAM golden model, usable outside the
+// crash harness (tests/async_property_test drives random op/capture/commit
+// interleavings against it). Epoch e's ops are a pure function of
+// (cfg.seed, e), so golden_model(cfg, sz, N).at[e] is the committed image
+// of epoch e for any container that replayed epochs 1..e.
+
+// The scenarios' container geometry (small segments so every event stays
+// enumerable); `buffered` selects the buffered-mode variant.
+CrpmOptions scenario_options(const MatrixConfig& cfg, bool buffered);
+
+struct GoldenModel {
+  std::vector<std::vector<uint8_t>> at;  // at[e] = committed image of epoch e
+};
+GoldenModel golden_model(const MatrixConfig& cfg, uint64_t region_size,
+                         uint64_t max_epoch);
+
+// Replays epoch `epoch`'s ops into the container (annotate + store + root).
+void apply_golden_epoch(const MatrixConfig& cfg, Container& c,
+                        uint64_t epoch);
+
+// Image + root oracle: container state equals the golden image of `epoch`.
+bool matches_golden(Container& c, const GoldenModel& g, uint64_t epoch,
+                    std::string* why);
 
 }  // namespace crpm::chaos

@@ -180,6 +180,7 @@ std::string reproducer_command(const MatrixConfig& cfg, uint64_t event) {
                     std::to_string(cfg.ops_per_epoch) + " --policy " +
                     policy_name(cfg.policy);
   if (cfg.fault_flip_before_copy) cmd += " --fault flip-before-copy";
+  if (cfg.fault_skip_steal_copy) cmd += " --fault skip-steal-copy";
   cmd += " --crash-at " + std::to_string(event);
   return cmd;
 }
@@ -241,6 +242,8 @@ bool write_json_report(const std::string& path, const MatrixConfig& cfg,
   kv(&j, "policy", std::string(policy_name(cfg.policy)));
   kv(&j, "fault_flip_before_copy",
      uint64_t(cfg.fault_flip_before_copy ? 1 : 0));
+  kv(&j, "fault_skip_steal_copy",
+     uint64_t(cfg.fault_skip_steal_copy ? 1 : 0));
   kv(&j, "shard_index", cfg.shard_index);
   kv(&j, "shard_count", cfg.shard_count);
   kv(&j, "sample", cfg.sample);

@@ -46,6 +46,7 @@ CrpmOptions scenario_opts(const MatrixConfig& cfg, bool buffered) {
   o.wbinvd_threshold = 8 * 1024;
   o.buffered = buffered;
   o.test_fault_flip_before_copy = cfg.fault_flip_before_copy;
+  o.test_fault_skip_steal_copy = cfg.fault_skip_steal_copy;
   return o;
 }
 
@@ -262,6 +263,116 @@ class CoreScenario final : public Scenario {
 
  private:
   bool buffered_;
+};
+
+// ---------------------------------------------------------------------------
+// core-async: concurrent background checkpointing. Cooperative pipeline
+// mode (async_workers = 0) keeps the event stream deterministic: each
+// checkpoint(e) captures epoch e and — through backpressure — commits
+// epoch e-1 inline; epoch e's window then drains during epoch e+1's ops
+// (write-hook steals, "async.steal") and its capture (flush/stage/commit/
+// finalize). A final wait_committed() commits the last epoch. Crash
+// points therefore cover every async persist site, including steals
+// interleaved with post-capture mutation.
+// ---------------------------------------------------------------------------
+
+class CoreAsyncScenario final : public Scenario {
+ public:
+  EventCensus enumerate(const MatrixConfig& cfg) override {
+    const CrpmOptions opt = async_opts(cfg);
+    CrashSimDevice dev(Container::required_device_size(opt));
+    EventCensus census;
+    dev.set_event_recorder(&census.tags);
+    auto c = Container::open(&dev, opt);
+    for (uint64_t e = 1; e <= cfg.epochs; ++e) {
+      apply_epoch_to_container(cfg, *c, e);
+      c->checkpoint();
+    }
+    c->wait_committed();
+    c.reset();
+    dev.set_event_recorder(nullptr);
+    return census;
+  }
+
+  RunOutcome run_crash_at(const MatrixConfig& cfg, uint64_t event) override {
+    const CrpmOptions opt = async_opts(cfg);
+    const Golden g = make_golden(cfg, opt.main_region_size, cfg.epochs);
+    CrashSimDevice dev(Container::required_device_size(opt));
+    dev.arm_crash_at_event(event);
+
+    RunOutcome out;
+    // The newest commit the pre-crash run is known to have reached:
+    // checkpoint(e) only guarantees epoch e-1 (committed by its capture's
+    // backpressure); the final wait_committed() closes the last window.
+    uint64_t last_committed = 0;
+    std::unique_ptr<Container> c;
+    try {
+      c = Container::open(&dev, opt);
+      for (uint64_t e = 1; e <= cfg.epochs; ++e) {
+        apply_epoch_to_container(cfg, *c, e);
+        c->checkpoint();
+        last_committed = e - 1;
+      }
+      c->wait_committed();
+      last_committed = cfg.epochs;
+    } catch (const SimulatedCrash&) {
+      out.crash_fired = true;
+    }
+    if (!out.crash_fired) {
+      dev.disarm();
+      std::string why;
+      if (c->committed_epoch() != cfg.epochs) {
+        out.violation = true;
+        out.detail = "clean run: wait_committed left epoch " +
+                     std::to_string(c->committed_epoch());
+      } else if (!image_matches(c->data(), g.at[cfg.epochs], "main region",
+                                cfg.epochs, &why)) {
+        out.violation = true;
+        out.detail = "clean run: " + why;
+      }
+      return out;
+    }
+
+    // Destroying the container discards the captured-but-uncommitted
+    // window — exactly the crash semantics (the "process" died; nothing
+    // may commit on its behalf).
+    c.reset();
+    Xoshiro256 rng = crash_rng(cfg, event);
+    dev.crash_and_restart(cfg.policy, rng);
+    c = Container::open(&dev, opt);
+    std::string why;
+    if (!check_recovered(*c, g, last_committed, &why)) {
+      out.violation = true;
+      out.detail = why;
+      return out;
+    }
+
+    // Recovery must compose with forward progress — still asynchronously.
+    for (uint64_t e = c->committed_epoch() + 1; e <= cfg.epochs; ++e) {
+      apply_epoch_to_container(cfg, *c, e);
+      c->checkpoint();
+    }
+    c->wait_committed();
+    if (c->committed_epoch() != cfg.epochs) {
+      out.violation = true;
+      out.detail = "post-recovery run ended at epoch " +
+                   std::to_string(c->committed_epoch());
+    } else if (!image_matches(c->data(), g.at[cfg.epochs],
+                              "post-recovery main region", cfg.epochs,
+                              &why)) {
+      out.violation = true;
+      out.detail = why;
+    }
+    return out;
+  }
+
+ private:
+  static CrpmOptions async_opts(const MatrixConfig& cfg) {
+    CrpmOptions o = scenario_opts(cfg, false);
+    o.async_checkpoint = true;
+    o.async_workers = 0;  // cooperative: deterministic event stream
+    return o;
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -680,13 +791,46 @@ class ReplScenario final : public Scenario {
 std::unique_ptr<Scenario> make_scenario(const std::string& name) {
   if (name == "core") return std::make_unique<CoreScenario>(false);
   if (name == "core-buffered") return std::make_unique<CoreScenario>(true);
+  if (name == "core-async") return std::make_unique<CoreAsyncScenario>();
   if (name == "archive") return std::make_unique<ArchiveScenario>();
   if (name == "repl") return std::make_unique<ReplScenario>();
   return nullptr;
 }
 
 std::vector<std::string> scenario_names() {
-  return {"core", "core-buffered", "archive", "repl"};
+  return {"core", "core-buffered", "core-async", "archive", "repl"};
+}
+
+CrpmOptions scenario_options(const MatrixConfig& cfg, bool buffered) {
+  return scenario_opts(cfg, buffered);
+}
+
+GoldenModel golden_model(const MatrixConfig& cfg, uint64_t region_size,
+                         uint64_t max_epoch) {
+  Golden g = make_golden(cfg, region_size, max_epoch);
+  return GoldenModel{std::move(g.at)};
+}
+
+void apply_golden_epoch(const MatrixConfig& cfg, Container& c,
+                        uint64_t epoch) {
+  apply_epoch_to_container(cfg, c, epoch);
+}
+
+bool matches_golden(Container& c, const GoldenModel& g, uint64_t epoch,
+                    std::string* why) {
+  if (epoch >= g.at.size()) {
+    *why = "epoch " + std::to_string(epoch) + " beyond the golden model";
+    return false;
+  }
+  if (!image_matches(c.data(), g.at[epoch], "main region", epoch, why)) {
+    return false;
+  }
+  if (epoch != 0 && c.get_root(0) != epoch) {
+    *why = "root slot 0 is " + std::to_string(c.get_root(0)) +
+           " at golden epoch " + std::to_string(epoch);
+    return false;
+  }
+  return true;
 }
 
 }  // namespace crpm::chaos

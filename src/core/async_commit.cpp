@@ -1,0 +1,75 @@
+#include "core/async_commit.h"
+
+#include "core/container.h"
+
+namespace crpm {
+
+AsyncCommitPipeline::AsyncCommitPipeline(DefaultContainer* container,
+                                         uint32_t workers)
+    : c_(container), workers_n_(workers) {
+  threads_.reserve(workers_n_);
+  for (uint32_t i = 0; i < workers_n_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+AsyncCommitPipeline::~AsyncCommitPipeline() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+  // Cooperative mode: a still-open window is discarded (crash semantics);
+  // see ~DefaultContainer().
+}
+
+void AsyncCommitPipeline::submit() {
+  if (workers_n_ == 0) return;  // cooperative: serviced by wait_idle()
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    window_open_ = true;
+    ++gen_;
+  }
+  cv_work_.notify_all();
+}
+
+void AsyncCommitPipeline::wait_idle() {
+  if (workers_n_ == 0) {
+    // Cooperative mode: run the pipeline inline. service_mu_ admits one
+    // servicer; late arrivals find the window already closed and return.
+    std::lock_guard<std::mutex> lk(service_mu_);
+    c_->async_service_window(1);
+    return;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_idle_.wait(lk, [&] { return !window_open_; });
+}
+
+void AsyncCommitPipeline::mark_closed() {
+  if (workers_n_ == 0) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    window_open_ = false;
+  }
+  cv_idle_.notify_all();
+}
+
+void AsyncCommitPipeline::worker_loop() {
+  uint64_t served = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] {
+        return shutdown_ || (window_open_ && gen_ != served);
+      });
+      // Drain before exiting: an in-flight window is completed even when
+      // shutdown raced with its submission.
+      if (shutdown_ && !(window_open_ && gen_ != served)) return;
+      served = gen_;
+    }
+    c_->async_service_window(workers_n_);
+  }
+}
+
+}  // namespace crpm

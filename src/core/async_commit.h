@@ -1,0 +1,115 @@
+// Background commit pipeline for concurrent checkpointing
+// (CrpmOptions::async_checkpoint; DESIGN.md §10).
+//
+// In async mode crpm_checkpoint() runs only a short stop-the-world
+// *capture* phase: it snapshots the dirty segment set, each captured
+// segment's dirty-block list and the working roots into an AsyncWindow,
+// stages the next seg_state array in place, hands the epoch to the sink,
+// and returns. The pipeline then drives the window to the commit point
+// while application threads keep mutating the main region:
+//
+//   flush     per captured segment (under its per-segment lock): flush
+//             the captured blocks of the main region and fence
+//             ("async.flush"). The write hook *steals* this step for any
+//             captured segment it touches first ("async.steal"), and also
+//             snapshots the segment's capture-epoch image into DRAM
+//             before its first post-capture store lands.
+//   stage     flush the staged seg_state array and the captured roots
+//             into the inactive metadata copy ("async.stage").
+//   commit    persist the committed_epoch bump ("async.commit") — the
+//             atomic commit point.
+//   finalize  per stolen segment: rebuild its backup from the DRAM image
+//             snapshot and flip it to SS_Backup ("async.final"); then
+//             release every captured segment from the window.
+//
+// With async_workers >= 1 the stages run on a pool of background
+// threads (the flush stage is work-shared over a cursor; the last
+// worker to finish runs the single-threaded tail). With async_workers
+// == 0 the pipeline runs *cooperatively*: the same code executes inline
+// on application threads, inside wait_committed() and inside the next
+// capture's backpressure wait. Cooperative mode keeps the
+// persistence-event stream a deterministic function of the workload,
+// which the crash-matrix harness (src/chaos, scenario "core-async")
+// depends on — CrashSimDevice is single-threaded, so simulated-crash
+// tests must use cooperative mode.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/layout.h"
+
+namespace crpm {
+
+class DefaultContainer;
+
+// One captured-but-uncommitted epoch. Owned by the container; written by
+// the capture leader while the world is stopped, then processed by the
+// pipeline. Per-segment fields (phase, stolen, staging, seg_slot) are
+// guarded by that segment's DirtyTracker lock once the window is open.
+struct AsyncWindow {
+  enum Phase : uint8_t {
+    kIdle = 0,     // not captured by the open window (or released)
+    kPending = 1,  // captured; blocks not yet flushed
+    kFlushed = 2,  // captured; blocks durable, commit still pending
+  };
+
+  std::atomic<bool> open{false};
+  uint64_t epoch = 0;
+  std::vector<uint64_t> segs;                  // captured segments, ascending
+  std::vector<std::vector<uint64_t>> blocks;   // blocks[i]: segs[i]'s capture
+  std::array<uint64_t, kNumRoots> roots{};     // roots snapshot at capture
+
+  // Indexed by main segment (sized at the first capture).
+  std::vector<uint8_t> phase;
+  std::vector<uint8_t> stolen;
+  std::vector<uint32_t> seg_slot;              // segment -> index into segs
+  std::vector<std::vector<uint8_t>> staging;   // capture-epoch image if stolen
+
+  std::atomic<size_t> cursor{0};       // flush-stage work sharing
+  std::atomic<uint32_t> finishers{0};  // participants done with flushing
+};
+
+class AsyncCommitPipeline {
+ public:
+  AsyncCommitPipeline(DefaultContainer* container, uint32_t workers);
+  ~AsyncCommitPipeline();
+
+  AsyncCommitPipeline(const AsyncCommitPipeline&) = delete;
+  AsyncCommitPipeline& operator=(const AsyncCommitPipeline&) = delete;
+
+  // Capture leader: the window is populated and open; start processing.
+  void submit();
+
+  // Blocks until no window is open. Cooperative mode (workers == 0)
+  // services the window inline on the calling thread instead.
+  void wait_idle();
+
+  // Called by the last pipeline participant once the window is released.
+  void mark_closed();
+
+  uint32_t workers() const { return workers_n_; }
+
+ private:
+  void worker_loop();
+
+  DefaultContainer* c_;
+  uint32_t workers_n_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;  // workers: a window was submitted
+  std::condition_variable cv_idle_;  // waiters: the window closed
+  uint64_t gen_ = 0;                 // bumped per submitted window
+  bool window_open_ = false;
+  bool shutdown_ = false;
+
+  std::mutex service_mu_;  // cooperative mode: one servicer at a time
+};
+
+}  // namespace crpm

@@ -33,6 +33,7 @@ void Container::open_or_format() {
   if (h->magic != kMetaMagic || h->initialized == 0) {
     PersistSiteScope site("format");
     layout_.format(opt_);
+    dram_committed_.store(0, std::memory_order_release);
     fresh_ = true;
   } else {
     layout_.check_header(opt_);
@@ -53,6 +54,8 @@ void Container::open_or_format() {
       PersistSiteScope site("recovery.rollback");
       dev_->persist(&h->committed_epoch, sizeof(uint64_t));
     }
+    // Seed the DRAM mirror before anything reads active_index().
+    dram_committed_.store(h->committed_epoch, std::memory_order_release);
     Stopwatch sw;
     region_sync();
     recovery_sync_ns_ = sw.elapsed_ns();
@@ -79,6 +82,7 @@ void Container::renumber_epoch(uint64_t epoch) {
   h->committed_epoch = epoch;
   PersistSiteScope site("commit.renumber");
   dev_->persist(&h->committed_epoch, sizeof(uint64_t));
+  dram_committed_.store(epoch, std::memory_order_release);
 }
 
 uint64_t Container::peek_committed_epoch(NvmDevice* dev) {
@@ -289,6 +293,19 @@ DefaultContainer::DefaultContainer(NvmDevice* dev,
                                    uint64_t target_epoch)
     : Container(dev, std::move(owned), opt, target_epoch) {
   open_or_format();
+  if (opt_.async_checkpoint) {
+    pipeline_ =
+        std::make_unique<AsyncCommitPipeline>(this, opt_.async_workers);
+  }
+}
+
+// pipeline_ is the last-declared member, so it is destroyed first: worker
+// mode drains the in-flight window while the rest of the container is
+// still alive; cooperative mode discards it (see the header comment).
+DefaultContainer::~DefaultContainer() = default;
+
+void DefaultContainer::wait_committed() {
+  if (pipeline_ != nullptr) pipeline_->wait_idle();
 }
 
 void DefaultContainer::annotate(const void* addr, size_t len) {
@@ -317,6 +334,16 @@ void DefaultContainer::copy_on_write(uint64_t seg) {
   Stopwatch sw;
   std::lock_guard<SpinLock> lk(tracker_->segment_lock(seg));
   if (tracker_->segment_dirty(seg)) return;  // another thread won the race
+
+  if (opt_.async_checkpoint && !window_.phase.empty() &&
+      window_.phase[seg] != AsyncWindow::kIdle) {
+    // The open window captured this segment and has not committed it yet.
+    // Its backup still guards the previous epoch and must not be touched;
+    // steal the segment's pipeline work instead of copying.
+    steal_captured(seg);
+    stats_.add_trace_ns(sw.elapsed_ns());
+    return;
+  }
 
   uint8_t* state = layout_.seg_state(active_index());
   if (state[seg] == kSegMain) {
@@ -360,8 +387,19 @@ void DefaultContainer::copy_on_write(uint64_t seg) {
       dev_->fence();  // fence #1: pairing + copied data durable
     }
     if (!opt_.test_fault_flip_before_copy) {
-      state[seg] = kSegBackup;
       PersistSiteScope site("cow.flip");
+      if (opt_.async_checkpoint) {
+        // A background commit may bump active_index() concurrently. For a
+        // segment outside the captured window both seg_state copies agree
+        // (capture copied one onto the other, and only this segment's own
+        // CoW — serialized by its lock — changes its entries), so flip
+        // both and stay index-agnostic.
+        uint8_t* other = layout_.seg_state(0) == state ? layout_.seg_state(1)
+                                                       : layout_.seg_state(0);
+        other[seg] = kSegBackup;
+        dev_->flush(&other[seg], 1);
+      }
+      state[seg] = kSegBackup;
       dev_->persist(&state[seg], 1);  // flush + fence #2
     }
     tracker_->clear_segment_blocks(seg);
@@ -375,6 +413,10 @@ void DefaultContainer::copy_on_write(uint64_t seg) {
 }
 
 void DefaultContainer::checkpoint() {
+  if (opt_.async_checkpoint) {
+    checkpoint_async();
+    return;
+  }
   Stopwatch sw;
   bool leader = barrier_->arrive_and_wait();
 
@@ -470,6 +512,7 @@ void DefaultContainer::checkpoint() {
       PersistSiteScope site("ckpt.commit");
       dev_->persist(&h->committed_epoch, sizeof(uint64_t));
     }
+    dram_committed_.store(h->committed_epoch, std::memory_order_release);
     roots_dirty_ = false;
 
     // Note: the in-place flush of dirty main-region blocks is persistence,
@@ -536,6 +579,237 @@ void DefaultContainer::eager_cow(const std::vector<uint64_t>& segs) {
   dev_->fence();
   for (uint64_t s : done) tracker_->clear_segment_blocks(s);
   stats_.add_eager_cow(done.size());
+}
+
+// ---------------------------------------------------------------------------
+// DefaultContainer: concurrent background checkpointing (async_commit.h)
+// ---------------------------------------------------------------------------
+
+void DefaultContainer::checkpoint_async() {
+  Stopwatch sw;
+  bool leader = barrier_->arrive_and_wait();
+  if (leader) {
+    // Backpressure (max_inflight_epochs == 1): the seg_state/roots double
+    // buffer holds exactly one uncommitted epoch, so the previous window
+    // must close before a new one is captured. Cooperative mode services
+    // the pending window inline here.
+    if (window_.open.load(std::memory_order_acquire)) {
+      Stopwatch bp;
+      pipeline_->wait_idle();
+      stats_.add_async_backpressure_ns(bp.elapsed_ns());
+    }
+    ckpt_segs_.clear();
+    tracker_->dirty_segments().for_each_set(
+        [&](size_t s) { ckpt_segs_.push_back(s); });
+    ckpt_skip_ = ckpt_segs_.empty() && !roots_dirty_;
+    if (!ckpt_skip_) {
+      AsyncWindow& w = window_;
+      if (w.phase.empty()) {
+        w.phase.assign(geo_.nr_main_segs(), AsyncWindow::kIdle);
+        w.stolen.assign(geo_.nr_main_segs(), 0);
+        w.seg_slot.assign(geo_.nr_main_segs(), 0);
+        w.staging.resize(geo_.nr_main_segs());
+      }
+      w.epoch = committed_epoch() + 1;
+      w.segs = ckpt_segs_;
+      w.blocks.assign(w.segs.size(), {});
+      for (size_t i = 0; i < w.segs.size(); ++i) {
+        uint64_t s = w.segs[i];
+        tracker_->dirty_blocks().for_each_set(
+            geo_.first_block_of_segment(s), geo_.blocks_per_segment(),
+            [&](size_t blk) { w.blocks[i].push_back(blk); });
+        w.phase[s] = AsyncWindow::kPending;
+        w.stolen[s] = 0;
+        w.seg_slot[s] = static_cast<uint32_t>(i);
+      }
+      // Stage the next-epoch seg_state array in place with plain stores —
+      // the pipeline flushes it later. CoWs that run while the window is
+      // open keep both copies coherent by flipping them together.
+      uint8_t* act = layout_.seg_state(active_index());
+      uint8_t* next = layout_.seg_state(1 - active_index());
+      std::memcpy(next, act, geo_.nr_main_segs());
+      for (uint64_t s : w.segs) next[s] = kSegMain;
+      w.roots = roots_work_;
+      roots_dirty_ = false;
+      // Hand the epoch to the sink while every thread is stopped: the
+      // payload (main-region values) starts mutating again the moment
+      // this call returns, so the sink must finish its copy inside the
+      // capture, not overlapped with the background commit.
+      if (epoch_sink_ != nullptr) {
+        std::vector<uint64_t> blocks;
+        for (const auto& bl : w.blocks) {
+          blocks.insert(blocks.end(), bl.begin(), bl.end());
+        }
+        notify_epoch_sink(w.epoch, layout_.main_base(), std::move(blocks));
+        Stopwatch ws;
+        epoch_sink_->wait_captured();
+        stats_.add_archive_capture_ns(ws.elapsed_ns());
+      }
+      // Segment-dirty bits restart for the new epoch. Block bits are kept:
+      // they mean "main may differ from backup" and only a CoW clears
+      // them, so every captured block list is a conservative superset of
+      // the blocks its epoch actually wrote.
+      tracker_->dirty_segments().clear_all();
+      w.cursor.store(0, std::memory_order_relaxed);
+      w.finishers.store(0, std::memory_order_relaxed);
+      w.open.store(true, std::memory_order_release);
+      stats_.note_async_inflight(1);
+      pipeline_->submit();
+    }
+    stats_.add_async_capture(sw.elapsed_ns());
+    stats_.add_checkpoint_ns(sw.elapsed_ns());
+  }
+  barrier_->arrive_and_wait();
+}
+
+void DefaultContainer::steal_captured(uint64_t seg) {
+  AsyncWindow& w = window_;
+  if (opt_.test_fault_skip_steal_copy) {
+    // Injected ordering bug (see CrpmOptions): dirty the segment without
+    // flushing its captured blocks or snapshotting its image, so the
+    // pipeline later commits post-capture values as the captured epoch.
+    tracker_->dirty_segments().set(seg);
+    return;
+  }
+  uint32_t slot = w.seg_slot[seg];
+  const std::vector<uint64_t>& blocks = w.blocks[slot];
+  if (w.phase[seg] == AsyncWindow::kPending) {
+    // The pipeline has not flushed this segment yet: do it now, before the
+    // first post-capture store could reach media ahead of the captured
+    // image.
+    PersistSiteScope site("async.steal");
+    uint64_t bs = geo_.block_size();
+    for (uint64_t blk : blocks) dev_->flush(layout_.block_addr(blk), bs);
+    dev_->fence();
+    w.phase[seg] = AsyncWindow::kFlushed;
+    stats_.add_async_flush_bytes(blocks.size() * bs);
+  }
+  if (w.stolen[seg] == 0) {
+    // Snapshot the capture-epoch image before it is overwritten; the
+    // pipeline's finalize stage rebuilds the backup from it post-commit.
+    // (The segment is not yet marked dirty, so no other thread can be
+    // storing into it while this copy reads it.)
+    const uint8_t* src = layout_.main_segment(seg);
+    w.staging[seg].assign(src, src + geo_.segment_size());
+    w.stolen[seg] = 1;
+    stats_.add_async_steal();
+    // Finalize will rebuild the backup from this snapshot, so after the
+    // window closes main-vs-backup differs only by post-capture stores.
+    // Restart the block bits now — the captured list is already in the
+    // window, and every post-capture writer orders behind this lock
+    // before setting its bit — exactly as a sync-mode CoW would, or the
+    // hot segments' "may differ" superset grows monotonically and the
+    // pipeline flushes it in full every epoch.
+    tracker_->clear_segment_blocks(seg);
+  }
+  tracker_->dirty_segments().set(seg);
+}
+
+void DefaultContainer::async_service_window(uint32_t participants) {
+  AsyncWindow& w = window_;
+  if (!w.open.load(std::memory_order_acquire)) return;
+
+  // Flush stage: work-shared over the captured segments; any the write
+  // hook already stole are skipped.
+  uint64_t bs = geo_.block_size();
+  for (;;) {
+    size_t i = w.cursor.fetch_add(1, std::memory_order_relaxed);
+    if (i >= w.segs.size()) break;
+    uint64_t s = w.segs[i];
+    std::lock_guard<SpinLock> lk(tracker_->segment_lock(s));
+    if (w.phase[s] != AsyncWindow::kPending) continue;
+    {
+      PersistSiteScope site("async.flush");
+      for (uint64_t blk : w.blocks[i]) {
+        dev_->flush(layout_.block_addr(blk), bs);
+      }
+      dev_->fence();
+    }
+    w.phase[s] = AsyncWindow::kFlushed;
+    stats_.add_async_flush_bytes(w.blocks[i].size() * bs);
+  }
+  // The last participant to finish flushing runs the single-threaded tail.
+  if (w.finishers.fetch_add(1, std::memory_order_acq_rel) + 1 <
+      participants) {
+    return;
+  }
+
+  // Stage: persist the seg_state copy staged at capture and the captured
+  // roots. Epoch E's metadata copy is index E & 1.
+  int e_new = static_cast<int>(w.epoch & 1);
+  {
+    PersistSiteScope site("async.stage");
+    dev_->flush(layout_.seg_state(e_new), geo_.nr_main_segs());
+    uint64_t* dst = layout_.roots(e_new);
+    std::copy(w.roots.begin(), w.roots.end(), dst);
+    dev_->flush(dst, 8 * kNumRoots);
+    dev_->fence();
+  }
+
+  // Commit point.
+  MetaHeader* h = layout_.header();
+  h->committed_epoch = w.epoch;
+  {
+    PersistSiteScope site("async.commit");
+    dev_->persist(&h->committed_epoch, sizeof(uint64_t));
+  }
+  dram_committed_.store(w.epoch, std::memory_order_release);
+  stats_.add_epoch();
+
+  // Finalize: rebuild stolen segments' backups from their capture-time
+  // images so the new epoch is fully guarded again, then release every
+  // captured segment from the window.
+  for (size_t i = 0; i < w.segs.size(); ++i) {
+    uint64_t s = w.segs[i];
+    std::lock_guard<SpinLock> lk(tracker_->segment_lock(s));
+    if (w.stolen[s] != 0) {
+      finalize_stolen(s, w.blocks[i]);
+      w.stolen[s] = 0;
+    }
+    w.phase[s] = AsyncWindow::kIdle;
+  }
+  w.open.store(false, std::memory_order_release);
+  pipeline_->mark_closed();
+}
+
+void DefaultContainer::finalize_stolen(uint64_t seg,
+                                       const std::vector<uint64_t>& blocks) {
+  // Post-commit, the committed image of `seg` nominally lives in main
+  // (SS_Main) — but its media copy is already being overwritten by
+  // next-epoch stores. The DRAM snapshot taken at steal time holds the
+  // pure committed image: rebuild the backup from it and flip the segment
+  // to SS_Backup, after which it copy-on-writes normally again.
+  std::vector<uint8_t>& img = window_.staging[seg];
+  bool full = main_to_backup_[seg] == kNoPair;
+  uint64_t blocks_copied = 0;
+  uint64_t bytes = 0;
+  {
+    PersistSiteScope site("async.final");
+    uint32_t b;
+    if (full) {
+      b = alloc_backup(seg);
+      dev_->nt_copy(layout_.backup_segment(b), img.data(),
+                    geo_.segment_size());
+      bytes = geo_.segment_size();
+    } else {
+      b = main_to_backup_[seg];
+      uint64_t first = geo_.first_block_of_segment(seg);
+      uint64_t bs = geo_.block_size();
+      for (uint64_t blk : blocks) {
+        uint64_t rel = (blk - first) * bs;
+        dev_->nt_copy(layout_.backup_segment(b) + rel, img.data() + rel, bs);
+      }
+      blocks_copied = blocks.size();
+      bytes = blocks.size() * bs;
+    }
+    dev_->fence();  // pairing + backup image durable before the flip
+    uint8_t* state = layout_.seg_state(static_cast<int>(window_.epoch & 1));
+    state[seg] = kSegBackup;
+    dev_->persist(&state[seg], 1);
+  }
+  stats_.add_cow(full, blocks_copied, bytes);
+  img.clear();
+  img.shrink_to_fit();
 }
 
 // ---------------------------------------------------------------------------
@@ -707,6 +981,7 @@ void BufferedContainer::checkpoint() {
       PersistSiteScope site("ckpt.commit");
       dev_->persist(&h->committed_epoch, sizeof(uint64_t));
     }
+    dram_committed_.store(h->committed_epoch, std::memory_order_release);
     roots_dirty_ = false;
 
     // Age the dirty generations: blocks dirty in the just-committed epoch

@@ -20,11 +20,13 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/async_commit.h"
 #include "core/crpm_stats.h"
 #include "core/dirty_tracker.h"
 #include "core/epoch_sink.h"
@@ -88,8 +90,20 @@ class Container {
 
   // Collective checkpoint: every registered thread (options().thread_count)
   // calls this; the call returns on all threads once the new checkpoint
-  // state is committed (Figure 6, crpm_checkpoint).
+  // state is committed (Figure 6, crpm_checkpoint). With
+  // options().async_checkpoint the call returns once the stop-the-world
+  // *capture* phase ends — the commit happens in the background, and
+  // wait_committed() completes the synchronous contract.
   virtual void checkpoint() = 0;
+
+  // Blocks until no captured epoch is awaiting its background commit.
+  // No-op on synchronous containers. In cooperative async mode
+  // (async_workers == 0) the calling thread runs the commit pipeline
+  // inline.
+  virtual void wait_committed() {}
+
+  // True while a captured epoch's background commit is still in flight.
+  virtual bool checkpoint_pending() const { return false; }
 
   bool contains(const void* addr, size_t len) {
     auto a = reinterpret_cast<uintptr_t>(addr);
@@ -115,7 +129,14 @@ class Container {
 
   // --- introspection -----------------------------------------------------
 
-  uint64_t committed_epoch() const { return layout_.header()->committed_epoch; }
+  // The committed epoch, read from a DRAM mirror of the persistent
+  // counter: in async mode the background pipeline bumps the NVM word
+  // concurrently with application threads, so readers must not touch it
+  // directly. The mirror is updated with release ordering at every commit
+  // (and at open/renumber); it always trails or equals the NVM value.
+  uint64_t committed_epoch() const {
+    return dram_committed_.load(std::memory_order_acquire);
+  }
   // True if open() formatted a fresh container (no prior state existed).
   bool was_fresh() const { return fresh_; }
 
@@ -133,9 +154,11 @@ class Container {
   // epoch e, i.e. rollback_one_epoch() is usable for coordinated recovery.
   // Buffered containers always do; default containers only with eager
   // copy-on-write disabled (eager CoW overwrites the backup copy of the
-  // previous epoch during the checkpoint itself).
+  // previous epoch during the checkpoint itself) and async checkpointing
+  // off (the pipeline's finalize stage rebuilds stolen segments' backups
+  // from the new epoch's image right after the commit).
   virtual bool retains_previous_epoch() const {
-    return opt_.eager_cow_segments == 0;
+    return opt_.eager_cow_segments == 0 && !opt_.async_checkpoint;
   }
 
   // Installs (or clears, with nullptr) the post-commit delta observer. The
@@ -178,7 +201,7 @@ class Container {
   void rebuild_backup_index();
 
   int active_index() const {
-    return static_cast<int>(layout_.header()->committed_epoch & 1);
+    return static_cast<int>(committed_epoch() & 1);
   }
 
   // Allocates (or recycles, Section 3.3) a backup segment and durably pairs
@@ -213,6 +236,8 @@ class Container {
   std::unique_ptr<DirtyTracker> tracker_;
   std::unique_ptr<SpinBarrier> barrier_;
   uint64_t target_epoch_ = kLatestEpoch;
+  // DRAM mirror of header()->committed_epoch; see committed_epoch().
+  std::atomic<uint64_t> dram_committed_{0};
   uint64_t recovery_sync_ns_ = 0;
   uint64_t recovery_load_ns_ = 0;
   bool fresh_ = false;
@@ -236,12 +261,24 @@ class DefaultContainer final : public Container {
   DefaultContainer(NvmDevice* dev, std::unique_ptr<NvmDevice> owned,
                    const CrpmOptions& opt,
                    uint64_t target_epoch = kLatestEpoch);
+  // With async workers, drains the in-flight window before tearing down.
+  // In cooperative async mode an unserviced window is *discarded* — the
+  // captured epoch never commits, exactly as if the process had crashed
+  // after capture (the crash harness relies on this; call wait_committed()
+  // first for a clean shutdown).
+  ~DefaultContainer() override;
 
   uint8_t* data() override { return layout_.main_base(); }
   void annotate(const void* addr, size_t len) override;
   void checkpoint() override;
+  void wait_committed() override;
+  bool checkpoint_pending() const override {
+    return window_.open.load(std::memory_order_acquire);
+  }
 
  private:
+  friend class AsyncCommitPipeline;
+
   // Copy-on-write of main segment `seg` (Figure 6, copy_on_write).
   void copy_on_write(uint64_t seg);
 
@@ -249,12 +286,31 @@ class DefaultContainer final : public Container {
   // last paragraph): one fence for all copies, one for all state flips.
   void eager_cow(const std::vector<uint64_t>& segs);
 
+  // Async mode (see async_commit.h): the stop-the-world capture phase and
+  // the pipeline stages it leaves behind.
+  void checkpoint_async();
+  // Write-hook cooperation: first post-capture write to a captured segment
+  // flushes its blocks and snapshots its capture-epoch image. Called with
+  // the segment's lock held.
+  void steal_captured(uint64_t seg);
+  // Runs the open window's remaining pipeline stages; work-shared by
+  // `participants` callers (each calls exactly once per window).
+  void async_service_window(uint32_t participants);
+  // Post-commit: rebuild a stolen segment's backup from the capture-time
+  // image and flip it to SS_Backup. Segment lock held.
+  void finalize_stolen(uint64_t seg, const std::vector<uint64_t>& blocks);
+
   // Shared checkpoint-phase state distributed over collective threads.
   std::vector<uint64_t> ckpt_segs_;
   std::atomic<size_t> ckpt_cursor_{0};
   std::atomic<uint64_t> ckpt_flushed_bytes_{0};
   bool ckpt_use_wbinvd_ = false;
   bool ckpt_skip_ = false;
+
+  AsyncWindow window_;
+  // Declared last: destroyed first, so workers stop before the state they
+  // touch goes away.
+  std::unique_ptr<AsyncCommitPipeline> pipeline_;
 };
 
 // Section 3.5: working state in DRAM, parity-alternating differential

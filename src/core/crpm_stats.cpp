@@ -16,6 +16,13 @@ CrpmStatsSnapshot CrpmStatsSnapshot::operator-(
   d.trace_ns = trace_ns - rhs.trace_ns;
   d.checkpoint_ns = checkpoint_ns - rhs.checkpoint_ns;
   d.backup_steals = backup_steals - rhs.backup_steals;
+  d.async_captures = async_captures - rhs.async_captures;
+  d.async_capture_ns = async_capture_ns - rhs.async_capture_ns;
+  d.async_steal_copies = async_steal_copies - rhs.async_steal_copies;
+  d.async_inflight_hwm = async_inflight_hwm;  // high-water mark, not a delta
+  d.async_flush_bytes = async_flush_bytes - rhs.async_flush_bytes;
+  d.async_backpressure_ns =
+      async_backpressure_ns - rhs.async_backpressure_ns;
   d.archive_epochs = archive_epochs - rhs.archive_epochs;
   d.archive_bytes = archive_bytes - rhs.archive_bytes;
   d.archive_queue_hwm = archive_queue_hwm;  // high-water mark, not a delta
@@ -39,6 +46,14 @@ std::string CrpmStatsSnapshot::to_string() const {
      << " cow_full=" << cow_full_copies << " blocks=" << cow_blocks_copied
      << " ckpt_bytes=" << checkpoint_bytes
      << " eager=" << eager_cow_segments << " steals=" << backup_steals;
+  if (async_captures != 0) {
+    os << " async_captures=" << async_captures
+       << " async_capture_ns=" << async_capture_ns
+       << " async_steal_copies=" << async_steal_copies
+       << " async_inflight_hwm=" << async_inflight_hwm
+       << " async_flush_bytes=" << async_flush_bytes
+       << " async_backpressure_ns=" << async_backpressure_ns;
+  }
   if (archive_epochs != 0 || archive_bytes != 0) {
     os << " arch_epochs=" << archive_epochs
        << " arch_bytes=" << archive_bytes
@@ -75,6 +90,15 @@ CrpmStatsSnapshot CrpmStats::snapshot() const {
   s.trace_ns = trace_ns_.load(std::memory_order_relaxed);
   s.checkpoint_ns = checkpoint_ns_.load(std::memory_order_relaxed);
   s.backup_steals = backup_steals_.load(std::memory_order_relaxed);
+  s.async_captures = async_captures_.load(std::memory_order_relaxed);
+  s.async_capture_ns = async_capture_ns_.load(std::memory_order_relaxed);
+  s.async_steal_copies =
+      async_steal_copies_.load(std::memory_order_relaxed);
+  s.async_inflight_hwm =
+      async_inflight_hwm_.load(std::memory_order_relaxed);
+  s.async_flush_bytes = async_flush_bytes_.load(std::memory_order_relaxed);
+  s.async_backpressure_ns =
+      async_backpressure_ns_.load(std::memory_order_relaxed);
   s.archive_epochs = archive_epochs_.load(std::memory_order_relaxed);
   s.archive_bytes = archive_bytes_.load(std::memory_order_relaxed);
   s.archive_queue_hwm = archive_queue_hwm_.load(std::memory_order_relaxed);

@@ -20,6 +20,17 @@ struct CrpmStatsSnapshot {
   uint64_t checkpoint_ns = 0;       // time inside crpm_checkpoint
   uint64_t backup_steals = 0;       // backup segments recycled
 
+  // Async-checkpoint observability (CrpmOptions::async_checkpoint):
+  // capture-phase time, write-hook steals, the in-flight-epoch high-water
+  // mark, background flush traffic, and capture-phase time spent blocked
+  // on the previous epoch's commit (backpressure).
+  uint64_t async_captures = 0;        // capture phases executed
+  uint64_t async_capture_ns = 0;      // stop-the-world capture time
+  uint64_t async_steal_copies = 0;    // segment copies stolen by the hook
+  uint64_t async_inflight_hwm = 0;    // max captured-uncommitted epochs
+  uint64_t async_flush_bytes = 0;     // bytes flushed by the pipeline
+  uint64_t async_backpressure_ns = 0; // capture time waiting for a commit
+
   // Snapshot-archive observability (src/snapshot), populated when an
   // ArchiveWriter is attached to the container.
   uint64_t archive_epochs = 0;        // epoch frames durably appended
@@ -73,6 +84,26 @@ class CrpmStats {
   }
   void add_backup_steal() {
     backup_steals_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_async_capture(uint64_t ns) {
+    async_captures_.fetch_add(1, std::memory_order_relaxed);
+    async_capture_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  void add_async_steal() {
+    async_steal_copies_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_async_inflight(uint64_t inflight) {
+    uint64_t prev = async_inflight_hwm_.load(std::memory_order_relaxed);
+    while (inflight > prev &&
+           !async_inflight_hwm_.compare_exchange_weak(
+               prev, inflight, std::memory_order_relaxed)) {
+    }
+  }
+  void add_async_flush_bytes(uint64_t bytes) {
+    async_flush_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void add_async_backpressure_ns(uint64_t ns) {
+    async_backpressure_ns_.fetch_add(ns, std::memory_order_relaxed);
   }
   void add_archive_epoch(uint64_t bytes) {
     archive_epochs_.fetch_add(1, std::memory_order_relaxed);
@@ -129,6 +160,12 @@ class CrpmStats {
   std::atomic<uint64_t> trace_ns_{0};
   std::atomic<uint64_t> checkpoint_ns_{0};
   std::atomic<uint64_t> backup_steals_{0};
+  std::atomic<uint64_t> async_captures_{0};
+  std::atomic<uint64_t> async_capture_ns_{0};
+  std::atomic<uint64_t> async_steal_copies_{0};
+  std::atomic<uint64_t> async_inflight_hwm_{0};
+  std::atomic<uint64_t> async_flush_bytes_{0};
+  std::atomic<uint64_t> async_backpressure_ns_{0};
   std::atomic<uint64_t> archive_epochs_{0};
   std::atomic<uint64_t> archive_bytes_{0};
   std::atomic<uint64_t> archive_queue_hwm_{0};

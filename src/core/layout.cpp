@@ -32,6 +32,18 @@ CrpmOptions CrpmOptions::validated() const {
   CRPM_CHECK(o.backup_ratio > 0.0 && o.backup_ratio <= 1.0,
              "backup_ratio must be in (0, 1], got %f", o.backup_ratio);
   CRPM_CHECK(o.thread_count >= 1, "thread_count must be >= 1");
+  CRPM_CHECK(!(o.buffered && o.async_checkpoint),
+             "async_checkpoint requires default mode: buffered containers "
+             "already keep the working state off-NVM");
+  CRPM_CHECK(o.max_inflight_epochs >= 1,
+             "max_inflight_epochs must be >= 1");
+  // The seg_state/roots double buffer holds at most one uncommitted epoch,
+  // so the pipeline bounds in-flight epochs to 1 regardless of the knob.
+  if (o.max_inflight_epochs > 1) o.max_inflight_epochs = 1;
+  // Eager CoW copies from the (concurrently mutated) main region inside
+  // the commit path; in async mode that would snapshot post-capture
+  // values, so it is disabled.
+  if (o.async_checkpoint) o.eager_cow_segments = 0;
   // Buffered mode keeps committed data distributed over BOTH regions, so a
   // backup segment may never be recycled away from its main segment; force
   // a full backup region (Section 3.5).

@@ -50,6 +50,33 @@ struct CrpmOptions {
   // replicated differentially into NVM at each checkpoint.
   bool buffered = false;
 
+  // --- concurrent background checkpointing ------------------------------
+  // Splits crpm_checkpoint() into a short stop-the-world *capture* phase
+  // (snapshot the dirty-block sets, stage the next seg_state/roots arrays,
+  // hand the epoch to the sink) and a background *commit pipeline* that
+  // performs the block flushes and the committed_epoch bump while the
+  // application keeps mutating the main region. Correctness comes from
+  // write-hook cooperation: the first write to a segment whose captured
+  // copy is still pending steals that segment's flush (and snapshots its
+  // capture-epoch image) under the per-segment lock before dirtying it.
+  // Default-mode containers only; rejected with buffered = true.
+
+  // Selects async mode. checkpoint() then returns once capture ends;
+  // wait_committed() completes the contract.
+  bool async_checkpoint = false;
+
+  // Background commit workers. 0 = cooperative mode: the pipeline runs
+  // inline on application threads (inside wait_committed() and the next
+  // checkpoint()'s backpressure wait), which keeps the persistence-event
+  // stream deterministic — the crash-matrix harness depends on this.
+  uint32_t async_workers = 1;
+
+  // Captured-but-uncommitted epochs tolerated before checkpoint() blocks
+  // in its capture phase (backpressure). The seg_state/roots arrays are
+  // double-buffered, so the pipeline structurally bounds this to 1; larger
+  // values are accepted and clamped.
+  uint32_t max_inflight_epochs = 1;
+
   // --- multi-epoch snapshot archive (src/snapshot) ---------------------
   // The core library only carries these; snapshot::attach_if_configured()
   // reads them to start a background archive writer for the container.
@@ -80,6 +107,13 @@ struct CrpmOptions {
   // harness (src/chaos) can prove it detects ordering bugs; never enable
   // outside tests.
   bool test_fault_flip_before_copy = false;
+
+  // Async-mode ordering bug: the write-hook steal skips the captured-block
+  // flush and image snapshot, so the background pipeline commits an epoch
+  // whose "captured" values were already overwritten by the next epoch's
+  // stores. Exists solely so the core-async crash-matrix scenario can
+  // prove it detects async ordering bugs; never enable outside tests.
+  bool test_fault_skip_steal_copy = false;
 
   // Returns a copy with sizes validated and rounded; aborts on nonsensical
   // combinations (block > segment, non-power-of-two sizes, ...).

@@ -43,6 +43,13 @@ struct PersistEvent {
 // committed_epoch persist. Scopes nest; the previous tag is restored on
 // destruction. Only read when an event hook is installed, so the production
 // path pays nothing beyond the existing hook_ branch.
+//
+// Async checkpointing (CrpmOptions::async_checkpoint) adds its own sites:
+// "async.flush" (pipeline block flushes), "async.steal" (write-hook stolen
+// flushes), "async.stage" (staged seg_state/roots), "async.commit" (the
+// background committed_epoch bump) and "async.final" (post-commit rebuild
+// of stolen segments' backups). The crash-matrix scenario "core-async"
+// walks all of them.
 class PersistSiteScope {
  public:
   explicit PersistSiteScope(const char* site);

@@ -54,6 +54,9 @@ void policy_metrics(CrpmPolicy& p, KvMetrics* m) {
   m->checkpoint_bytes = s.checkpoint_bytes;
   m->trace_ns = s.trace_ns;
   m->epochs = s.epochs;
+  m->async_capture_ns = s.async_capture_ns;
+  m->async_backpressure_ns = s.async_backpressure_ns;
+  m->async_steal_copies = s.async_steal_copies;
 }
 void policy_metrics(UndoLogPolicy& p, KvMetrics* m) {
   m->checkpoint_bytes = p.bstats().checkpoint_bytes;
@@ -215,6 +218,10 @@ std::unique_ptr<KvBench> make_kv(SystemKind system, StructureKind structure,
       opt.eager_cow_segments = cfg.eager_cow_segments;
       opt.wbinvd_threshold = cfg.wbinvd_threshold;
       opt.buffered = system == SystemKind::kCrpmBuffered;
+      if (system == SystemKind::kCrpmDefault) {
+        opt.async_checkpoint = cfg.async_checkpoint;
+        opt.async_workers = cfg.async_workers;
+      }
       return make_policy_kv<CrpmPolicy>(
           system, structure, cfg, Container::required_device_size(opt), opt);
     }

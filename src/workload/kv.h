@@ -45,6 +45,11 @@ struct KvConfig {
   uint64_t block_size = 256;
   uint64_t eager_cow_segments = 8;
   uint64_t wbinvd_threshold = 32 * 1024 * 1024;
+  // Concurrent background checkpointing (libcrpm-Default only): the
+  // checkpoint() call returns at capture end and the commit runs on
+  // async_workers background threads. See CrpmOptions::async_checkpoint.
+  bool async_checkpoint = false;
+  uint32_t async_workers = 1;
 };
 
 struct KvMetrics {
@@ -53,6 +58,12 @@ struct KvMetrics {
   uint64_t checkpoint_bytes = 0;  // the paper's "checkpoint size"
   uint64_t trace_ns = 0;          // memory-trace time (Figure 1)
   uint64_t epochs = 0;
+  // Async-checkpoint breakdown (libcrpm-Default with async_checkpoint
+  // only; zero elsewhere): time inside the capture phase and time the
+  // capture spent blocked waiting for the previous window to commit.
+  uint64_t async_capture_ns = 0;
+  uint64_t async_backpressure_ns = 0;
+  uint64_t async_steal_copies = 0;
 };
 
 class KvBench {

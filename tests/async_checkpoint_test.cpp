@@ -1,0 +1,301 @@
+// Async-checkpoint suite: the capture/commit split observable from the
+// application side (checkpoint() returns before the commit, wait_committed()
+// completes it), write-hook steal correctness (post-capture stores must not
+// leak into the captured epoch), backpressure at max_inflight_epochs, the
+// two destructor policies (worker drain vs cooperative discard), and a
+// multithreaded stress run where mutators race the background pipeline —
+// the piece that runs under `ctest -L tsan`.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/container.h"
+#include "nvm/device.h"
+#include "util/rng.h"
+
+namespace crpm {
+namespace {
+
+CrpmOptions async_opts(uint32_t workers) {
+  CrpmOptions o;
+  o.segment_size = 1024;
+  o.block_size = 128;
+  o.main_region_size = 16 * 1024;  // 16 segments
+  o.eager_cow_segments = 0;
+  o.async_checkpoint = true;
+  o.async_workers = workers;
+  return o;
+}
+
+void put_u64(Container& c, uint64_t off, uint64_t v) {
+  c.annotate(c.data() + off, 8);
+  std::memcpy(c.data() + off, &v, 8);
+}
+
+uint64_t get_u64(Container& c, uint64_t off) {
+  uint64_t v = 0;
+  std::memcpy(&v, c.data() + off, 8);
+  return v;
+}
+
+TEST(AsyncOptions, ValidationClampsAndRejects) {
+  CrpmOptions o = async_opts(0);
+  o.max_inflight_epochs = 9;   // structurally bounded by the double buffer
+  o.eager_cow_segments = 4;    // incompatible with a concurrent commit path
+  CrpmOptions v = o.validated();
+  EXPECT_EQ(v.max_inflight_epochs, 1u);
+  EXPECT_EQ(v.eager_cow_segments, 0u);
+
+  o.buffered = true;
+  EXPECT_DEATH((void)o.validated(), "async_checkpoint");
+}
+
+TEST(AsyncCheckpoint, CaptureReturnsBeforeCommit) {
+  CrpmOptions o = async_opts(/*workers=*/0);  // cooperative: nothing commits
+                                              // until this thread services it
+  HeapNvmDevice dev(Container::required_device_size(o));
+  auto c = Container::open(&dev, o);
+
+  put_u64(*c, 64, 0x1111);
+  c->set_root(0, 1);
+  c->checkpoint();
+
+  // Capture done, commit still pending: the epoch is not observable yet.
+  EXPECT_EQ(c->committed_epoch(), 0u);
+  EXPECT_TRUE(c->checkpoint_pending());
+
+  c->wait_committed();
+  EXPECT_EQ(c->committed_epoch(), 1u);
+  EXPECT_FALSE(c->checkpoint_pending());
+  EXPECT_EQ(c->get_root(0), 1u);
+
+  CrpmStatsSnapshot s = c->stats().snapshot();
+  EXPECT_EQ(s.async_captures, 1u);
+  EXPECT_EQ(s.epochs, 1u);
+  EXPECT_GT(s.async_flush_bytes, 0u);
+}
+
+TEST(AsyncCheckpoint, BackpressureBoundsInflightEpochs) {
+  CrpmOptions o = async_opts(/*workers=*/0);
+  HeapNvmDevice dev(Container::required_device_size(o));
+  auto c = Container::open(&dev, o);
+
+  put_u64(*c, 0, 1);
+  c->checkpoint();  // epoch 1 captured, window open
+  EXPECT_TRUE(c->checkpoint_pending());
+
+  // The second capture may not open a second window: it must drain epoch
+  // 1 first (backpressure), then capture epoch 2.
+  put_u64(*c, 0, 2);
+  c->checkpoint();
+  EXPECT_EQ(c->committed_epoch(), 1u);
+  EXPECT_TRUE(c->checkpoint_pending());
+
+  CrpmStatsSnapshot s = c->stats().snapshot();
+  EXPECT_EQ(s.async_inflight_hwm, 1u);
+
+  c->wait_committed();
+  EXPECT_EQ(c->committed_epoch(), 2u);
+}
+
+TEST(AsyncCheckpoint, StealKeepsPostCaptureStoresOutOfTheEpoch) {
+  CrpmOptions o = async_opts(/*workers=*/0);
+  HeapNvmDevice dev(Container::required_device_size(o));
+  auto c = Container::open(&dev, o);
+
+  put_u64(*c, 128, 0xAAAA);
+  c->set_root(0, 1);
+  c->checkpoint();  // 0xAAAA captured for epoch 1, flush still pending
+
+  // First post-capture write to the captured segment: the write hook must
+  // steal the segment (flush its captured blocks, snapshot its image)
+  // before this store lands.
+  put_u64(*c, 128, 0xBBBB);
+  EXPECT_GE(c->stats().snapshot().async_steal_copies, 1u);
+
+  c->wait_committed();
+  EXPECT_EQ(c->committed_epoch(), 1u);
+  EXPECT_EQ(get_u64(*c, 128), 0xBBBBu);  // working state keeps the new value
+
+  // Reopen: epoch 2 never committed, so recovery must restore epoch 1's
+  // image — the capture-time value, not the stolen-over store.
+  c.reset();
+  c = Container::open(&dev, o);
+  EXPECT_EQ(c->committed_epoch(), 1u);
+  EXPECT_EQ(get_u64(*c, 128), 0xAAAAu);
+  EXPECT_EQ(c->get_root(0), 1u);
+}
+
+TEST(AsyncCheckpoint, WorkerDestructorDrainsInflight) {
+  CrpmOptions o = async_opts(/*workers=*/1);
+  HeapNvmDevice dev(Container::required_device_size(o));
+  {
+    auto c = Container::open(&dev, o);
+    put_u64(*c, 256, 0x5150);
+    c->set_root(0, 1);
+    c->checkpoint();
+    // No wait_committed(): the destructor must drain the window.
+  }
+  auto c = Container::open(&dev, o);
+  EXPECT_EQ(c->committed_epoch(), 1u);
+  EXPECT_EQ(get_u64(*c, 256), 0x5150u);
+}
+
+TEST(AsyncCheckpoint, CooperativeDestructorDiscardsLikeACrash) {
+  CrpmOptions o = async_opts(/*workers=*/0);
+  HeapNvmDevice dev(Container::required_device_size(o));
+  {
+    auto c = Container::open(&dev, o);
+    put_u64(*c, 256, 0x5150);
+    c->checkpoint();
+    // Cooperative mode: an unserviced window dies with the container —
+    // the crash harness depends on nothing committing on its behalf.
+  }
+  auto c = Container::open(&dev, o);
+  EXPECT_EQ(c->committed_epoch(), 0u);
+  EXPECT_EQ(get_u64(*c, 256), 0u);
+}
+
+TEST(AsyncCheckpoint, ManyEpochsWithBackgroundWorker) {
+  CrpmOptions o = async_opts(/*workers=*/1);
+  HeapNvmDevice dev(Container::required_device_size(o));
+  auto c = Container::open(&dev, o);
+  constexpr uint64_t kEpochs = 24;
+  Xoshiro256 rng(77);
+  std::vector<uint64_t> shadow(o.main_region_size / 8, 0);
+  for (uint64_t e = 1; e <= kEpochs; ++e) {
+    // Mutate while the previous epoch's commit may still be in flight:
+    // steals and backpressure happen naturally.
+    for (int i = 0; i < 24; ++i) {
+      uint64_t cell = rng.next_below(shadow.size());
+      uint64_t v = rng.next() | 1;
+      shadow[cell] = v;
+      put_u64(*c, cell * 8, v);
+    }
+    c->set_root(0, e);
+    c->checkpoint();
+  }
+  c->wait_committed();
+  EXPECT_EQ(c->committed_epoch(), kEpochs);
+  for (uint64_t cell = 0; cell < shadow.size(); ++cell) {
+    ASSERT_EQ(get_u64(*c, cell * 8), shadow[cell]) << "cell " << cell;
+  }
+  CrpmStatsSnapshot s = c->stats().snapshot();
+  EXPECT_EQ(s.async_captures, kEpochs);
+  EXPECT_EQ(s.epochs, kEpochs);
+  EXPECT_GT(s.async_flush_bytes, 0u);
+
+  // Recovery sees exactly the last committed image.
+  c.reset();
+  c = Container::open(&dev, o);
+  EXPECT_EQ(c->committed_epoch(), kEpochs);
+  EXPECT_EQ(c->get_root(0), kEpochs);
+  for (uint64_t cell = 0; cell < shadow.size(); ++cell) {
+    ASSERT_EQ(get_u64(*c, cell * 8), shadow[cell]) << "cell " << cell;
+  }
+}
+
+// The tsan centerpiece: collective app threads mutate their own cell
+// stripes while background workers flush, stage, commit and finalize the
+// captured epoch. Every steal races a worker's cursor walk over the same
+// window; the per-segment locks and the window's atomics must keep it
+// sound. Verified against a per-thread shadow model and by a reopen.
+TEST(AsyncCheckpointStress, MutatorsRaceBackgroundCommit) {
+  constexpr uint32_t kThreads = 4;
+  constexpr uint64_t kEpochs = 16;
+  constexpr int kOpsPerEpoch = 24;
+  CrpmOptions o = async_opts(/*workers=*/2);
+  o.main_region_size = 64 * 1024;  // 64 segments: room for all stripes
+  o.thread_count = kThreads;
+  HeapNvmDevice dev(Container::required_device_size(o));
+  auto c = Container::open(&dev, o);
+
+  const uint64_t cells = o.main_region_size / 8;
+  std::vector<std::vector<uint64_t>> shadow(
+      kThreads, std::vector<uint64_t>(cells, 0));
+  auto worker = [&](uint32_t tid) {
+    Xoshiro256 rng(1000 + tid);
+    for (uint64_t e = 1; e <= kEpochs; ++e) {
+      for (int i = 0; i < kOpsPerEpoch; ++i) {
+        // Striped ownership: thread t writes cells with cell % kThreads == t.
+        uint64_t cell = rng.next_below(cells / kThreads) * kThreads + tid;
+        uint64_t v = rng.next() | 1;
+        shadow[tid][cell] = v;
+        put_u64(*c, cell * 8, v);
+      }
+      if (tid == 0) c->set_root(0, e);
+      c->checkpoint();  // collective; returns at capture end
+    }
+  };
+  std::vector<std::thread> ts;
+  for (uint32_t t = 0; t < kThreads; ++t) ts.emplace_back(worker, t);
+  for (auto& t : ts) t.join();
+  c->wait_committed();
+
+  EXPECT_EQ(c->committed_epoch(), kEpochs);
+  EXPECT_EQ(c->stats().snapshot().async_captures, kEpochs);
+  auto verify = [&](Container& cc) {
+    for (uint64_t cell = 0; cell < cells; ++cell) {
+      ASSERT_EQ(get_u64(cc, cell * 8), shadow[cell % kThreads][cell])
+          << "cell " << cell;
+    }
+  };
+  verify(*c);
+
+  c.reset();
+  c = Container::open(&dev, o);
+  EXPECT_EQ(c->committed_epoch(), kEpochs);
+  EXPECT_EQ(c->get_root(0), kEpochs);
+  verify(*c);
+}
+
+// Same shape, sized up and with a steal-heavy access pattern (every thread
+// rewrites its stripe immediately after the collective capture returns),
+// so the hook path and the worker cursor collide constantly.
+TEST(AsyncCheckpointStress, StealHeavyRewriteAfterEveryCapture) {
+  constexpr uint32_t kThreads = 3;
+  constexpr uint64_t kEpochs = 20;
+  CrpmOptions o = async_opts(/*workers=*/2);
+  o.thread_count = kThreads;
+  HeapNvmDevice dev(Container::required_device_size(o));
+  auto c = Container::open(&dev, o);
+
+  const uint64_t cells = o.main_region_size / 8;
+  auto worker = [&](uint32_t tid) {
+    for (uint64_t e = 1; e <= kEpochs; ++e) {
+      // Rewrite the whole stripe each epoch: after capture, every one of
+      // these segments is pending, so the first writer steals it.
+      for (uint64_t cell = tid; cell < cells; cell += kThreads) {
+        put_u64(*c, cell * 8, e * kThreads + tid);
+      }
+      if (tid == 0) c->set_root(0, e);
+      c->checkpoint();
+    }
+  };
+  std::vector<std::thread> ts;
+  for (uint32_t t = 0; t < kThreads; ++t) ts.emplace_back(worker, t);
+  for (auto& t : ts) t.join();
+  c->wait_committed();
+
+  EXPECT_EQ(c->committed_epoch(), kEpochs);
+  // Steals here are opportunistic (the workers may drain the tiny window
+  // first) — the cooperative-mode test above pins the count; this test's
+  // job is racing the hook against the cursor, verified by the images.
+  for (uint64_t cell = 0; cell < cells; ++cell) {
+    ASSERT_EQ(get_u64(*c, cell * 8), kEpochs * kThreads + cell % kThreads)
+        << "cell " << cell;
+  }
+
+  c.reset();
+  c = Container::open(&dev, o);
+  EXPECT_EQ(c->committed_epoch(), kEpochs);
+  for (uint64_t cell = 0; cell < cells; ++cell) {
+    ASSERT_EQ(get_u64(*c, cell * 8), kEpochs * kThreads + cell % kThreads)
+        << "cell " << cell;
+  }
+}
+
+}  // namespace
+}  // namespace crpm

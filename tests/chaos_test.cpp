@@ -25,7 +25,7 @@ MatrixConfig small_config(const std::string& scenario) {
 }
 
 TEST(ChaosEnumeration, DeterministicAcrossRuns) {
-  for (const char* name : {"core", "core-buffered", "archive"}) {
+  for (const char* name : {"core", "core-buffered", "core-async", "archive"}) {
     SCOPED_TRACE(name);
     MatrixConfig cfg = small_config(name);
     auto s1 = make_scenario(name);
@@ -95,6 +95,21 @@ TEST(ChaosSelect, SampleIsDeterministicAndStratified) {
   EXPECT_EQ(select_events(census, cfg).size(), 5u);
 }
 
+TEST(ChaosEnumeration, AsyncScenarioCoversEveryPipelineSite) {
+  MatrixConfig cfg = small_config("core-async");
+  EventCensus census = make_scenario("core-async")->enumerate(cfg);
+  auto sites = census.per_site();
+  EXPECT_EQ(sites.count("untagged"), 0u);
+  // The async protocol's full surface: pipeline flushes, write-hook
+  // steals, the staged seg_state/roots, the background commit point, and
+  // the post-commit rebuild of stolen segments' backups.
+  EXPECT_GT(sites["async.flush"], 0u);
+  EXPECT_GT(sites["async.steal"], 0u);
+  EXPECT_GT(sites["async.stage"], 0u);
+  EXPECT_GT(sites["async.commit"], 0u);
+  EXPECT_GT(sites["async.final"], 0u);
+}
+
 TEST(ChaosMatrix, CoreScenarioBoundedClean) {
   MatrixConfig cfg = small_config("core");
   cfg.sample = 120;
@@ -109,6 +124,16 @@ TEST(ChaosMatrix, CoreScenarioBoundedClean) {
 TEST(ChaosMatrix, BufferedScenarioBoundedClean) {
   MatrixConfig cfg = small_config("core-buffered");
   cfg.sample = 100;
+  MatrixResult r = run_matrix(cfg);
+  EXPECT_GT(r.crashes_fired, 0u);
+  EXPECT_TRUE(r.violations.empty())
+      << r.violations.front().detail << "\n  "
+      << reproducer_command(cfg, r.violations.front().event_index);
+}
+
+TEST(ChaosMatrix, AsyncScenarioBoundedClean) {
+  MatrixConfig cfg = small_config("core-async");
+  cfg.sample = 120;
   MatrixResult r = run_matrix(cfg);
   EXPECT_GT(r.crashes_fired, 0u);
   EXPECT_TRUE(r.violations.empty())
@@ -169,6 +194,53 @@ TEST(ChaosFault, FlipBeforeCopyIsCaughtAndShrinks) {
   EXPECT_TRUE(second.violation);
   EXPECT_EQ(first.detail, second.detail) << "reproducer is not deterministic";
   EXPECT_EQ(first.detail, shrunk.detail);
+}
+
+// The async planted bug: the write-hook steal skips the captured-block
+// flush and the image snapshot, so the background pipeline commits an
+// epoch whose captured values were already overwritten by the next
+// epoch's stores. Any crash that forces recovery from that epoch exposes
+// the divergence — the matrix must catch it, shrink it, and the shrunk
+// reproducer must carry the fault flag and fail deterministically.
+TEST(ChaosFault, SkipStealCopyIsCaughtAndShrinks) {
+  MatrixConfig cfg = small_config("core-async");
+  cfg.ops_per_epoch = 16;
+  cfg.fault_skip_steal_copy = true;
+  MatrixResult r = run_matrix(cfg);
+  ASSERT_FALSE(r.violations.empty())
+      << "matrix missed the planted skip-steal-copy bug";
+
+  ShrinkResult shrunk;
+  ASSERT_TRUE(shrink(cfg, r.violations.front(), &shrunk));
+  EXPECT_GT(shrunk.sweeps, 0u);
+  EXPECT_LE(shrunk.config.epochs * shrunk.config.ops_per_epoch,
+            cfg.epochs * cfg.ops_per_epoch);
+  std::string cmd =
+      reproducer_command(shrunk.config, shrunk.event_index);
+  EXPECT_NE(cmd.find("--scenario core-async"), std::string::npos);
+  EXPECT_NE(cmd.find("--fault skip-steal-copy"), std::string::npos);
+
+  auto scenario = make_scenario(shrunk.config.scenario);
+  RunOutcome first = scenario->run_crash_at(shrunk.config,
+                                            shrunk.event_index);
+  RunOutcome second = scenario->run_crash_at(shrunk.config,
+                                             shrunk.event_index);
+  EXPECT_TRUE(first.crash_fired);
+  EXPECT_TRUE(first.violation);
+  EXPECT_TRUE(second.violation);
+  EXPECT_EQ(first.detail, second.detail) << "reproducer is not deterministic";
+  EXPECT_EQ(first.detail, shrunk.detail);
+}
+
+TEST(ChaosFault, AsyncCleanRunSurvivesTheFaultEventIndices) {
+  // Same config as the skip-steal test but without the fault: clean, so
+  // the violations above really come from the planted bug.
+  MatrixConfig cfg = small_config("core-async");
+  cfg.ops_per_epoch = 16;
+  MatrixResult r = run_matrix(cfg);
+  EXPECT_TRUE(r.violations.empty())
+      << r.violations.front().detail << "\n  "
+      << reproducer_command(cfg, r.violations.front().event_index);
 }
 
 TEST(ChaosFault, CleanProtocolSurvivesTheFaultEventIndices) {

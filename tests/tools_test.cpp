@@ -205,5 +205,36 @@ TEST(InspectTool, ReplStatusExitsNonZeroOnCorruption) {
   std::filesystem::remove_all(dir);
 }
 
+// --- stats subcommand ------------------------------------------------------
+
+TEST(InspectTool, StatsSurfacesAsyncCounters) {
+  int rc = -1;
+  std::string out = run_tool("stats async", &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("committed epoch:   6"), std::string::npos) << out;
+  // The fixed micro-workload exercises the whole async pipeline, so every
+  // async counter must appear (and the countable ones must be nonzero).
+  EXPECT_NE(out.find("async_captures=6"), std::string::npos) << out;
+  EXPECT_NE(out.find("async_capture_ns="), std::string::npos) << out;
+  EXPECT_NE(out.find("async_steal_copies="), std::string::npos) << out;
+  EXPECT_EQ(out.find("async_steal_copies=0"), std::string::npos) << out;
+  EXPECT_NE(out.find("async_inflight_hwm=1"), std::string::npos) << out;
+  EXPECT_NE(out.find("async_flush_bytes="), std::string::npos) << out;
+  EXPECT_EQ(out.find("async_flush_bytes=0 "), std::string::npos) << out;
+  EXPECT_NE(out.find("async_backpressure_ns="), std::string::npos) << out;
+}
+
+TEST(InspectTool, StatsSyncModeHidesAsyncCounters) {
+  int rc = -1;
+  std::string out = run_tool("stats sync", &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("committed epoch:   6"), std::string::npos) << out;
+  EXPECT_NE(out.find("epochs=6"), std::string::npos) << out;
+  EXPECT_EQ(out.find("async_captures="), std::string::npos) << out;
+
+  out = run_tool("stats bogus", &rc);
+  EXPECT_EQ(rc, 64) << out;
+}
+
 }  // namespace
 }  // namespace crpm

@@ -22,15 +22,16 @@ using crpm::chaos::MatrixConfig;
 void usage(FILE* out) {
   std::fprintf(out,
                "usage: crpm_crashmatrix [options]\n"
-               "  --scenario NAME   core | core-buffered | archive | repl "
-               "(default core)\n"
+               "  --scenario NAME   core | core-buffered | core-async | "
+               "archive | repl (default core)\n"
                "  --list            list scenarios and exit\n"
                "  --seed S          workload seed (default 1)\n"
                "  --epochs E        checkpoint epochs (default 3)\n"
                "  --ops N           writes per epoch (default 48)\n"
                "  --policy P        pending-line policy at the crash: drop |"
                " commit | random\n"
-               "  --fault F         enable a planted bug: flip-before-copy\n"
+               "  --fault F         enable a planted bug: flip-before-copy |"
+               " skip-steal-copy\n"
                "  --count           enumerate events only, print the census\n"
                "  --crash-at N      single injected run at event N\n"
                "  --shard I/N       test only events with index %% N == I\n"
@@ -89,11 +90,14 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--fault") {
       std::string f = need("--fault");
-      if (f != "flip-before-copy") {
+      if (f == "flip-before-copy") {
+        cfg.fault_flip_before_copy = true;
+      } else if (f == "skip-steal-copy") {
+        cfg.fault_skip_steal_copy = true;
+      } else {
         std::fprintf(stderr, "unknown fault '%s'\n", f.c_str());
         return 64;
       }
-      cfg.fault_flip_before_copy = true;
     } else if (a == "--count") {
       count_only = true;
     } else if (a == "--crash-at") {
