@@ -66,13 +66,18 @@ AppRun run_app(const AppSpec& app, int size, CkptBackend backend,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   BenchScale scale;
   scale.print("Figure 8: relative execution time of parallel benchmarks");
   std::printf("ranks=%d, iterations=%d, checkpoint every 5 iterations\n"
               "(overheads use the per-run measured checkpoint time, so the "
               "ratio is immune to run-to-run compute jitter)\n\n",
               scale.ranks, scale.app_iters);
+
+  JsonReport json(json_out_path(argc, argv), "bench_fig8_parallel");
+  json.meta("ranks", scale.ranks)
+      .meta("app_iters", scale.app_iters)
+      .meta("cost", scale.cost);
 
   const AppSpec apps[] = {
       {"LULESH", &run_lulesh_proxy, {20, 26}},
@@ -106,11 +111,20 @@ int main() {
           .cell(1.0 + crpm.ckpt_s / crpm_compute, 3)
           .cell(ratio)
           .cell(bytes);
+      json.row()
+          .col("workload", app.name)
+          .col("size", uint64_t(size))
+          .col("fti_rel", 1.0 + fti.ckpt_s / fti_compute)
+          .col("crpm_rel", 1.0 + crpm.ckpt_s / crpm_compute)
+          .col("ckpt_time_ratio",
+               fti.ckpt_s > 0 ? crpm.ckpt_s / fti.ckpt_s : 0.0)
+          .col("fti_ckpt_bytes", fti.ckpt_bytes)
+          .col("crpm_ckpt_bytes", crpm.ckpt_bytes);
     }
   }
   t.print();
   std::printf("\n(rel = execution time normalized to the checkpoint-free "
               "compute; 'crpm ovh / FTI ovh' = checkpoint-time ratio, "
               "paper: 44.78%% for LULESH, 18-50%% for HPCCG/CoMD)\n");
-  return 0;
+  return json.write() ? 0 : 1;
 }

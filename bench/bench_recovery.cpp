@@ -14,9 +14,12 @@
 using namespace crpm;
 using namespace crpm::bench;
 
-int main() {
+int main(int argc, char** argv) {
   BenchScale scale;
   scale.print("Section 5.5: LULESH recovery time vs problem size");
+
+  JsonReport json(json_out_path(argc, argv), "bench_recovery");
+  json.meta("ranks", scale.ranks).meta("cost", scale.cost);
 
   TablePrinter t({"size", "state", "recovery(ms)", "region sync",
                   "DRAM load", "sync share"});
@@ -58,6 +61,13 @@ int main() {
         .cell(sync_ms, 2)
         .cell(load_ms, 2)
         .cell(share);
+    json.row()
+        .col("kind", "buffered")
+        .col("size", uint64_t(size))
+        .col("state_bytes", first.state_bytes)
+        .col("recovery_ms", total_ms)
+        .col("sync_ms", sync_ms)
+        .col("dram_load_ms", load_ms);
     std::filesystem::remove_all(dir);
   }
   t.print();
@@ -101,8 +111,13 @@ int main() {
           .cell(format_bytes(mb << 20))
           .cell(touched)
           .cell(ms, 2);
+      json.row()
+          .col("kind", "default")
+          .col("main_region_mb", mb)
+          .col("dirty_segments", touched)
+          .col("recovery_ms", ms);
     }
     t2.print();
   }
-  return 0;
+  return json.write() ? 0 : 1;
 }

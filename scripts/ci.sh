@@ -12,10 +12,14 @@
 #           capped event budget per scenario; the exhaustive matrix runs
 #           as its own sharded CI job via tools/crpm_crashmatrix)
 #   bench   perf smoke: pinned-scale bench_fig7_throughput + bench_repl +
-#           the bench_fig9_interval async-stall section, 3 runs each,
-#           gated by scripts/check_bench.py against bench/baseline.json
+#           the bench_fig9_interval async-stall section + bench_kvd
+#           tail-latency-during-checkpoints, 3 runs each, gated by
+#           scripts/check_bench.py against bench/baseline.json
 #           (best-of-3 ratios, see the baseline's comment for the
 #           refresh procedure)
+#   kvd     end-to-end kvd smoke: start crpm_kvd, drive live load with a
+#           mid-run durable checkpoint, kill -9, restart on the same data
+#           dir, verify every acked durable write, crpm_inspect kvd
 #   all     every stage in sequence (default)
 #
 # If ccache is installed the builds route through it automatically
@@ -91,11 +95,62 @@ stage_bench() {
       CRPM_EPOCHS=3 \
       ./build/bench/bench_fig9_interval --json "$out/fig9_$run.json" \
       >/dev/null
+    CRPM_KVD_KEYS=1000000 CRPM_KVD_CONNS=4 CRPM_KVD_SECONDS=2 \
+      CRPM_KVD_INTERVAL_MS=25 CRPM_KVD_WORKERS=4 \
+      ./build/bench/bench_kvd --json "$out/kvd_$run.json" >/dev/null
     results+=("$out/fig7_$run.json" "$out/repl_$run.json" \
-      "$out/fig9_$run.json")
+      "$out/fig9_$run.json" "$out/kvd_$run.json")
   done
   python3 scripts/check_bench.py "${results[@]}"
   rm -rf "$out"
+}
+
+stage_kvd() {
+  echo "== kvd: serve / live load / kill -9 / recover / verify smoke =="
+  configure_build build
+  local kvd=./build/tools/crpm_kvd
+  local work
+  work="$(mktemp -d)"
+  mkdir -p "$work/data"
+
+  "$kvd" serve --dir "$work/data" --port 0 --port-file "$work/port" \
+    --interval-ms 4 --workers 4 >"$work/server1.log" 2>&1 &
+  local srv=$!
+  for _ in $(seq 1 300); do [ -s "$work/port" ] && break; sleep 0.1; done
+  [ -s "$work/port" ] || { cat "$work/server1.log"; return 1; }
+  local port
+  port="$(cat "$work/port")"
+
+  # 5 s of live load; a durable checkpoint fires mid-run, then the server
+  # is SIGKILLed while the load is still going.
+  "$kvd" load --port "$port" --threads 4 --seconds 5 --keys 50000 \
+    --durable-every 8 --get-ratio 0.5 --state-file "$work/acked" \
+    >"$work/load.log" 2>&1 &
+  local load=$!
+  sleep 2
+  "$kvd" cmd --port "$port" ckpt --durable
+  sleep 1
+  kill -9 "$srv" 2>/dev/null || true
+  wait "$load"
+  wait "$srv" 2>/dev/null || true
+  cat "$work/load.log"
+
+  rm -f "$work/port"
+  "$kvd" serve --dir "$work/data" --port 0 --port-file "$work/port" \
+    --interval-ms 8 --workers 4 >"$work/server2.log" 2>&1 &
+  srv=$!
+  for _ in $(seq 1 300); do [ -s "$work/port" ] && break; sleep 0.1; done
+  [ -s "$work/port" ] || { cat "$work/server2.log"; return 1; }
+  port="$(cat "$work/port")"
+  head -1 "$work/server2.log"
+
+  # Every acked durable write must have survived the kill.
+  "$kvd" verify --port "$port" --state-file "$work/acked"
+  kill "$srv" 2>/dev/null || true
+  wait "$srv" 2>/dev/null || true
+
+  ./build/tools/crpm_inspect kvd "$work/data"
+  rm -rf "$work"
 }
 
 case "$STAGE" in
@@ -104,15 +159,17 @@ case "$STAGE" in
   tsan) stage_tsan ;;
   chaos) stage_chaos ;;
   bench) stage_bench ;;
+  kvd) stage_kvd ;;
   all)
     stage_tier1
     stage_san
     stage_tsan
     stage_chaos
     stage_bench
+    stage_kvd
     ;;
   *)
-    echo "unknown stage '$STAGE' (tier1|san|tsan|chaos|bench|all)" >&2
+    echo "unknown stage '$STAGE' (tier1|san|tsan|chaos|bench|kvd|all)" >&2
     exit 64
     ;;
 esac

@@ -1,8 +1,11 @@
 #include "apps/state_store.h"
 
 #include <cstring>
+#include <filesystem>
 
 #include "comm/coordinated.h"
+#include "core/layout.h"
+#include "snapshot/restore.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -18,9 +21,39 @@ const char* backend_name(CkptBackend b) {
     case CkptBackend::kNone: return "no-checkpoint";
     case CkptBackend::kFti: return "FTI";
     case CkptBackend::kCrpmBuffered: return "libcrpm-Buffered";
+    case CkptBackend::kCrpmDefault: return "libcrpm-Default";
   }
   return "?";
 }
+
+const char* recovery_source_name(RecoverySource s) {
+  switch (s) {
+    case RecoverySource::kFresh: return "fresh";
+    case RecoverySource::kLocal: return "local";
+    case RecoverySource::kArchive: return "archive";
+  }
+  return "?";
+}
+
+namespace {
+
+// True if `path` plausibly holds an openable container: the file exists,
+// covers at least a MetaHeader, and the header carries the right magic and
+// the initialized flag. Container::open() aborts on structural damage, so
+// the archive fallback has to triage before opening.
+bool container_file_usable(const std::string& path) {
+  std::error_code ec;
+  auto size = std::filesystem::file_size(path, ec);
+  if (ec || size < sizeof(MetaHeader)) return false;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  MetaHeader h{};
+  size_t got = std::fread(&h, 1, sizeof(h), f);
+  std::fclose(f);
+  return got == sizeof(h) && h.magic == kMetaMagic && h.initialized != 0;
+}
+
+}  // namespace
 
 StateStore::StateStore(const Config& cfg) : cfg_(cfg) {
   switch (cfg_.backend) {
@@ -39,12 +72,39 @@ StateStore::StateStore(const Config& cfg) : cfg_(cfg) {
       fti_recover_pending_ = true;
       break;
     }
-    case CkptBackend::kCrpmBuffered: {
+    case CkptBackend::kCrpmBuffered:
+    case CkptBackend::kCrpmDefault: {
+      const bool buffered = cfg_.backend == CkptBackend::kCrpmBuffered;
       CrpmOptions opt;
-      opt.buffered = true;
+      opt.buffered = buffered;
       opt.main_region_size = cfg_.capacity_bytes;
-      std::string path =
-          cfg_.dir + "/crpm-rank" + std::to_string(cfg_.rank) + ".ctr";
+      std::string base =
+          cfg_.dir + "/crpm-rank" + std::to_string(cfg_.rank);
+      std::string path = base + ".ctr";
+      if (!buffered) {
+        opt.async_checkpoint = cfg_.async_checkpoint;
+        opt.async_workers = cfg_.async_workers;
+        if (cfg_.async_checkpoint) opt.eager_cow_segments = 0;
+        if (cfg_.archive) {
+          opt.archive_path = base + ".snap";
+          opt.archive_compact_every = cfg_.archive_compact_every;
+        }
+      }
+      recovery_source_ = container_file_usable(path)
+                             ? RecoverySource::kLocal
+                             : RecoverySource::kFresh;
+      // Second recovery level: a missing or invalid container file is
+      // rebuilt from the newest restorable archived epoch, if any.
+      if (recovery_source_ != RecoverySource::kLocal &&
+          !opt.archive_path.empty() &&
+          std::filesystem::exists(opt.archive_path)) {
+        auto res = snapshot::restore_file(
+            opt.archive_path, Container::kLatestEpoch, path, opt);
+        if (res.container != nullptr) {
+          res.container.reset();  // re-opened below through the normal path
+          recovery_source_ = RecoverySource::kArchive;
+        }
+      }
       auto dev = std::make_unique<FileNvmDevice>(
           path, Container::required_device_size(opt));
       dev->set_cost_model(cfg_.cost_model);
@@ -60,7 +120,9 @@ StateStore::StateStore(const Config& cfg) : cfg_(cfg) {
       }
       recovery_seconds_ = sw.elapsed_sec();
       heap_ = std::make_unique<Heap>(*ctr_);
+      archive_ = snapshot::ArchiveWriter::attach_if_configured(*ctr_);
       recovered_ = !ctr_->was_fresh();
+      if (!recovered_) recovery_source_ = RecoverySource::kFresh;
       if (recovered_) {
         uint64_t off = ctr_->get_root(kIterationRoot);
         CRPM_CHECK(off != 0, "recovered container missing iteration root");
@@ -76,10 +138,17 @@ StateStore::StateStore(const Config& cfg) : cfg_(cfg) {
   }
 }
 
-StateStore::~StateStore() = default;
+StateStore::~StateStore() {
+  if (ctr_ != nullptr && archive_ != nullptr) {
+    ctr_->wait_committed();
+    archive_->drain();
+    ctr_->set_epoch_sink(nullptr);
+  }
+}
 
 void* StateStore::raw_array(uint32_t slot, uint64_t bytes) {
-  if (cfg_.backend == CkptBackend::kCrpmBuffered) {
+  if (cfg_.backend == CkptBackend::kCrpmBuffered ||
+      cfg_.backend == CkptBackend::kCrpmDefault) {
     CRPM_CHECK(slot < kIterationRoot, "slot %u reserved", slot);
     void* p;
     if (recovered_) {
@@ -118,9 +187,7 @@ void StateStore::finalize_recovery_probe() {
 }
 
 void StateStore::mark_dirty(const void* p, uint64_t bytes) {
-  if (cfg_.backend == CkptBackend::kCrpmBuffered) {
-    ctr_->annotate(p, bytes);
-  }
+  if (ctr_ != nullptr) ctr_->annotate(p, bytes);
 }
 
 void StateStore::checkpoint() {
@@ -135,7 +202,8 @@ void StateStore::checkpoint() {
       if (cfg_.comm != nullptr) cfg_.comm->barrier();
       break;
     }
-    case CkptBackend::kCrpmBuffered: {
+    case CkptBackend::kCrpmBuffered:
+    case CkptBackend::kCrpmDefault: {
       uint64_t off = ctr_->get_root(kIterationRoot);
       auto* it = static_cast<uint64_t*>(ctr_->from_offset(off));
       ctr_->annotate(it, sizeof(uint64_t));
@@ -162,13 +230,14 @@ uint64_t StateStore::storage_bytes() const {
   switch (cfg_.backend) {
     case CkptBackend::kNone: return 0;
     case CkptBackend::kFti: return fti_->checkpoint_state_bytes();
-    case CkptBackend::kCrpmBuffered: return ctr_->nvm_bytes();
+    case CkptBackend::kCrpmBuffered:
+    case CkptBackend::kCrpmDefault: return ctr_->nvm_bytes();
   }
   return 0;
 }
 
 uint64_t StateStore::dram_bytes() const {
-  return cfg_.backend == CkptBackend::kCrpmBuffered ? ctr_->dram_bytes() : 0;
+  return ctr_ != nullptr ? ctr_->dram_bytes() : 0;
 }
 
 uint64_t StateStore::checkpoint_bytes() const {
@@ -176,6 +245,7 @@ uint64_t StateStore::checkpoint_bytes() const {
     case CkptBackend::kNone: return 0;
     case CkptBackend::kFti: return fti_->bytes_written();
     case CkptBackend::kCrpmBuffered:
+    case CkptBackend::kCrpmDefault:
       return ctr_->stats().snapshot().checkpoint_bytes;
   }
   return 0;

@@ -12,9 +12,20 @@
 //                  (full serialized checkpoints to files)
 //   kCrpmBuffered  arrays in a libcrpm buffered container (DRAM working
 //                  state, differential NVM checkpoints)
+//   kCrpmDefault   working state directly in the NVM container (Section
+//                  3.4), optionally with async checkpointing and a
+//                  snapshot archive attached — the configuration the
+//                  crpm_kvd server (src/net) embeds
 //
 // Multi-rank apps pass a SimComm; checkpoints are then coordinated
 // (Section 3.6) and recovery agrees on the global minimum epoch.
+//
+// Recovery for the crpm backends is multi-level: a healthy container file
+// recovers in place (kLocal); with an archive configured, a missing or
+// structurally invalid container file is re-materialized from the newest
+// restorable archived epoch (kArchive) before opening — the same
+// snapshot::restore() path replica pulls use. last_recovery() reports
+// which level ran.
 #pragma once
 
 #include <cstdint>
@@ -26,12 +37,18 @@
 #include "comm/sim_comm.h"
 #include "core/container.h"
 #include "core/heap.h"
+#include "snapshot/writer.h"
 
 namespace crpm {
 
-enum class CkptBackend { kNone, kFti, kCrpmBuffered };
+enum class CkptBackend { kNone, kFti, kCrpmBuffered, kCrpmDefault };
 
 const char* backend_name(CkptBackend b);
+
+// Which level of the recovery hierarchy produced the current state.
+enum class RecoverySource { kFresh, kLocal, kArchive };
+
+const char* recovery_source_name(RecoverySource s);
 
 class StateStore {
  public:
@@ -43,6 +60,14 @@ class StateStore {
     uint64_t capacity_bytes = 64 << 20;  // crpm container sizing (0 = let
                                          // the caller compute from state)
     CostModel cost_model = CostModel::disabled();
+
+    // kCrpmDefault extras (ignored by the other backends): concurrent
+    // background checkpointing (DESIGN §10) and a snapshot archive
+    // (DESIGN §5) that doubles as the second recovery level.
+    bool async_checkpoint = false;
+    uint32_t async_workers = 1;
+    bool archive = false;                // <dir>/crpm-rank<N>.snap
+    uint32_t archive_compact_every = 0;
   };
 
   explicit StateStore(const Config& cfg);
@@ -91,6 +116,11 @@ class StateStore {
   double last_recovery_seconds() const { return recovery_seconds_; }
 
   Container* container() { return ctr_.get(); }
+  // The allocator over the container's working state (crpm backends only;
+  // null otherwise). Exposed so servers can layer persistent containers
+  // (e.g. PHashMap via CrpmRefPolicy) over the same store.
+  Heap* heap() { return heap_.get(); }
+  RecoverySource last_recovery() const { return recovery_source_; }
 
  private:
   void* raw_array(uint32_t slot, uint64_t bytes);
@@ -109,10 +139,13 @@ class StateStore {
   std::unique_ptr<FtiLike> fti_;
   bool fti_recover_pending_ = false;
 
-  // kCrpmBuffered
+  // kCrpmBuffered / kCrpmDefault
   std::unique_ptr<NvmDevice> owned_dev_;  // when coordinated_open is used
   std::unique_ptr<Container> ctr_;
   std::unique_ptr<Heap> heap_;
+  // Declared after ctr_ so the writer detaches before the container dies.
+  std::unique_ptr<snapshot::ArchiveWriter> archive_;
+  RecoverySource recovery_source_ = RecoverySource::kFresh;
 };
 
 }  // namespace crpm

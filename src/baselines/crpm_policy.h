@@ -39,4 +39,31 @@ class CrpmPolicy {
 
 static_assert(PersistencePolicy<CrpmPolicy>);
 
+// Non-owning variant for embedding a policy-templated container into an
+// already-open Container + Heap (the crpm_kvd server owns both through
+// StateStore and layers a PHashMap on top). Both referents must outlive
+// the policy.
+class CrpmRefPolicy {
+ public:
+  CrpmRefPolicy(Container& ctr, Heap& heap) : ctr_(ctr), heap_(heap) {}
+
+  void* allocate(size_t n) { return heap_.allocate(n); }
+  void deallocate(void* p, size_t n) { heap_.deallocate(p, n); }
+  void on_write(const void* addr, size_t len) { ctr_.annotate(addr, len); }
+  void checkpoint() { ctr_.checkpoint(); }
+  void set_root(uint32_t slot, uint64_t off) { ctr_.set_root(slot, off); }
+  uint64_t get_root(uint32_t slot) { return ctr_.get_root(slot); }
+  uint64_t to_offset(const void* p) { return ctr_.to_offset(p); }
+  void* from_offset(uint64_t off) { return ctr_.from_offset(off); }
+  bool fresh() const { return ctr_.was_fresh(); }
+
+  Container& container() { return ctr_; }
+
+ private:
+  Container& ctr_;
+  Heap& heap_;
+};
+
+static_assert(PersistencePolicy<CrpmRefPolicy>);
+
 }  // namespace crpm

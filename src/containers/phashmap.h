@@ -9,7 +9,20 @@
 // recovered containers work at any mapping address.
 //
 // The bucket array is sized at construction (the paper sets the load
-// factor to avoid resizing); nodes come from the policy allocator.
+// factor to avoid resizing); nodes come from the policy allocator. For
+// long-lived stores (tools/crpm_kvd) set_max_load_factor() opts into
+// doubling rehashes, which are annotated like every other mutation and so
+// commit or roll back atomically with the epoch that performed them.
+//
+// Concurrency contract (the crpm_kvd server relies on this):
+//   * Mutations (insert/update/put/erase/rehash) require exclusive access.
+//   * Readers (find/contains/for_each/scan) may run concurrently with each
+//     other, with an async checkpoint *capture* (Section DESIGN §10 —
+//     capture snapshots dirty metadata but never touches node memory), and
+//     with the background commit pipeline (which only reads the working
+//     state). Readers must NOT run concurrently with mutations; callers
+//     provide that exclusion (e.g. a reader-writer lock where the capture
+//     only excludes writers).
 #pragma once
 
 #include <cstdint>
@@ -83,6 +96,10 @@ class PHashMap {
     p_.on_write(slot, 8);
     *slot = p_.to_offset(n);
     bump_size(+1);
+    if (max_load_ > 0.0 &&
+        double(meta_->size) > max_load_ * double(meta_->bucket_count)) {
+      rehash(meta_->bucket_count * 2);
+    }
     return true;
   }
 
@@ -131,18 +148,73 @@ class PHashMap {
   uint64_t size() const { return meta_->size; }
   uint64_t bucket_count() const { return meta_->bucket_count; }
 
+  // Enables automatic doubling rehash when size exceeds f * bucket_count
+  // (0 = never rehash, the paper's fixed-size behavior). DRAM-side,
+  // per-attach configuration — not persisted.
+  void set_max_load_factor(double f) { max_load_ = f; }
+
+  // Relinks every node into a bucket array of `new_bucket_count` slots.
+  // A mutation: requires exclusive access, like insert/erase. All stores
+  // are annotated, so a crash anywhere inside the rehash rolls the whole
+  // map (old array, links, meta) back to the previous checkpoint; the
+  // async commit pipeline may run concurrently — its write-hook steals the
+  // captured image of any segment the relinking touches.
+  void rehash(uint64_t new_bucket_count) {
+    CRPM_CHECK(new_bucket_count > 0, "bucket_count must be positive");
+    auto* old_buckets =
+        static_cast<uint64_t*>(p_.from_offset(meta_->buckets_off));
+    const uint64_t old_count = meta_->bucket_count;
+    auto* buckets =
+        static_cast<uint64_t*>(p_.allocate(new_bucket_count * 8));
+    p_.on_write(buckets, new_bucket_count * 8);
+    for (uint64_t i = 0; i < new_bucket_count; ++i) buckets[i] = 0;
+    for (uint64_t b = 0; b < old_count; ++b) {
+      for (uint64_t off = old_buckets[b]; off != 0;) {
+        Node* n = node_at(off);
+        uint64_t next = n->next;
+        uint64_t* slot = &buckets[Hash{}(n->key) % new_bucket_count];
+        p_.on_write(&n->next, 8);
+        n->next = *slot;
+        *slot = off;  // covered by the whole-array on_write above
+        off = next;
+      }
+    }
+    p_.on_write(meta_, sizeof(Meta));
+    meta_->buckets_off = p_.to_offset(buckets);
+    meta_->bucket_count = new_bucket_count;
+    p_.deallocate(old_buckets, old_count * 8);
+  }
+
   // Invokes fn(key, value) for every element (unspecified order).
   template <typename Fn>
   void for_each(Fn&& fn) const {
+    scan(0, ~uint64_t{0}, fn);
+  }
+
+  // Paged iteration for SCAN-style cursors: visits whole buckets starting
+  // at `start_bucket` until at least `limit` elements have been delivered
+  // (a bucket is never split, so the returned cursor is always a bucket
+  // boundary), and returns the bucket to resume from — bucket_count() when
+  // the table is exhausted. Reader-safe per the header contract; the
+  // cursor survives intervening mutations only as a best-effort position
+  // (a rehash renumbers buckets, exactly like dropping a SCAN cursor on a
+  // resizing server-side table).
+  template <typename Fn>
+  uint64_t scan(uint64_t start_bucket, uint64_t limit, Fn&& fn) const {
     auto* buckets =
         static_cast<uint64_t*>(p_.from_offset(meta_->buckets_off));
-    for (uint64_t b = 0; b < meta_->bucket_count; ++b) {
+    uint64_t delivered = 0;
+    uint64_t b = start_bucket;
+    for (; b < meta_->bucket_count; ++b) {
+      if (delivered >= limit) break;
       for (uint64_t off = buckets[b]; off != 0;) {
         Node* n = node_at(off);
         fn(n->key, n->value);
+        ++delivered;
         off = n->next;
       }
     }
+    return b;
   }
 
  private:
@@ -173,6 +245,7 @@ class PHashMap {
 
   P& p_;
   Meta* meta_;
+  double max_load_ = 0.0;
 };
 
 }  // namespace crpm

@@ -1,0 +1,194 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace crpm::net {
+
+namespace {
+
+bool write_all(int fd, const uint8_t* p, size_t n) {
+  while (n != 0) {
+    ssize_t w = ::write(fd, p, n);
+    if (w > 0) {
+      p += w;
+      n -= static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool read_all(int fd, uint8_t* p, size_t n) {
+  while (n != 0) {
+    ssize_t r = ::read(fd, p, n);
+    if (r > 0) {
+      p += r;
+      n -= static_cast<size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;  // EOF or error
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Client::connect(const std::string& host, uint16_t port,
+                     int timeout_ms) {
+  close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return false;
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      fd_ = fd;
+      return true;
+    }
+    ::close(fd);
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool Client::roundtrip(MsgHeader h, const uint8_t* body, size_t body_len,
+                       MsgHeader* rh, std::vector<uint8_t>* rbody) {
+  if (fd_ < 0) return false;
+  h.seq = ++seq_;
+  std::vector<uint8_t> frame = encode(h, body, body_len);
+  if (!write_all(fd_, frame.data(), frame.size())) return false;
+
+  uint8_t hdr[sizeof(MsgHeader)];
+  if (!read_all(fd_, hdr, sizeof(hdr))) return false;
+  if (!decode_header(hdr, rh)) return false;
+  if (rh->seq != h.seq) return false;  // single outstanding request
+  rbody->resize(rh->body_len);
+  if (rh->body_len != 0 && !read_all(fd_, rbody->data(), rh->body_len)) {
+    return false;
+  }
+  return body_ok(*rh, rbody->data());
+}
+
+bool Client::get(uint64_t key, KvVal* out, Status* st) {
+  MsgHeader h;
+  h.opcode = kGet;
+  h.key = key;
+  MsgHeader rh;
+  std::vector<uint8_t> body;
+  if (!roundtrip(h, nullptr, 0, &rh, &body)) return false;
+  if (st != nullptr) *st = static_cast<Status>(rh.status);
+  if (rh.status == kOk && out != nullptr) {
+    if (body.size() > kMaxValueLen) return false;
+    out->len = static_cast<uint32_t>(body.size());
+    std::memset(out->bytes, 0, sizeof(out->bytes));
+    if (!body.empty()) std::memcpy(out->bytes, body.data(), body.size());
+  }
+  return true;
+}
+
+bool Client::put(uint64_t key, const KvVal& v, bool durable, uint64_t* tag) {
+  MsgHeader h;
+  h.opcode = kPut;
+  h.key = key;
+  if (durable) h.flags |= kFlagDurable;
+  MsgHeader rh;
+  std::vector<uint8_t> body;
+  if (!roundtrip(h, v.bytes, v.len, &rh, &body)) return false;
+  if (rh.status != kOk) return false;
+  if (tag != nullptr) *tag = rh.aux;
+  return true;
+}
+
+bool Client::del(uint64_t key, bool durable, Status* st) {
+  MsgHeader h;
+  h.opcode = kDel;
+  h.key = key;
+  if (durable) h.flags |= kFlagDurable;
+  MsgHeader rh;
+  std::vector<uint8_t> body;
+  if (!roundtrip(h, nullptr, 0, &rh, &body)) return false;
+  if (st != nullptr) *st = static_cast<Status>(rh.status);
+  return true;
+}
+
+bool Client::scan(uint64_t cursor, uint64_t limit,
+                  std::vector<std::pair<uint64_t, KvVal>>* out,
+                  uint64_t* next) {
+  MsgHeader h;
+  h.opcode = kScan;
+  h.key = cursor;
+  h.aux = limit;
+  MsgHeader rh;
+  std::vector<uint8_t> body;
+  if (!roundtrip(h, nullptr, 0, &rh, &body)) return false;
+  if (rh.status != kOk) return false;
+  if (next != nullptr) *next = rh.aux;
+  if (out != nullptr) {
+    size_t off = 0;
+    while (off + 12 <= body.size()) {
+      uint64_t k;
+      uint32_t len;
+      std::memcpy(&k, body.data() + off, 8);
+      std::memcpy(&len, body.data() + off + 8, 4);
+      if (len > kMaxValueLen || off + 12 + len > body.size()) return false;
+      KvVal v;
+      v.len = len;
+      if (len != 0) std::memcpy(v.bytes, body.data() + off + 12, len);
+      out->emplace_back(k, v);
+      off += 12 + len;
+    }
+    if (off != body.size()) return false;
+  }
+  return true;
+}
+
+bool Client::ckpt(bool durable, uint64_t* epoch) {
+  MsgHeader h;
+  h.opcode = kCkpt;
+  if (durable) h.flags |= kFlagDurable;
+  MsgHeader rh;
+  std::vector<uint8_t> body;
+  if (!roundtrip(h, nullptr, 0, &rh, &body)) return false;
+  if (rh.status != kOk) return false;
+  if (epoch != nullptr) *epoch = rh.aux;
+  return true;
+}
+
+bool Client::stats(std::string* text, uint64_t* committed, uint64_t* keys) {
+  MsgHeader h;
+  h.opcode = kStats;
+  MsgHeader rh;
+  std::vector<uint8_t> body;
+  if (!roundtrip(h, nullptr, 0, &rh, &body)) return false;
+  if (rh.status != kOk) return false;
+  if (text != nullptr) text->assign(body.begin(), body.end());
+  if (committed != nullptr) *committed = rh.aux;
+  if (keys != nullptr) *keys = rh.key;
+  return true;
+}
+
+}  // namespace crpm::net

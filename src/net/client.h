@@ -1,0 +1,55 @@
+// Blocking synchronous client for the crpm_kvd wire protocol (net/wire.h).
+//
+// One Client == one TCP connection == one outstanding request at a time;
+// drive concurrency by opening more clients (bench_kvd opens one per
+// simulated connection). Not thread-safe; confine each instance to one
+// thread. All calls return false only on transport or protocol failure —
+// application-level misses (GET of an absent key) come back as kNotFound
+// through the status out-parameter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/wire.h"
+
+namespace crpm::net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Connects, retrying for up to `timeout_ms` (servers take a moment to
+  // come up; crash tests reconnect while recovery runs).
+  bool connect(const std::string& host, uint16_t port,
+               int timeout_ms = 5000);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  bool get(uint64_t key, KvVal* out, Status* st);
+  // Durable puts block until the containing epoch commits; `tag` (optional)
+  // reports the epoch that made / will make the write durable.
+  bool put(uint64_t key, const KvVal& v, bool durable, uint64_t* tag);
+  bool del(uint64_t key, bool durable, Status* st);
+  // One page of iteration; see wire.h for cursor semantics.
+  bool scan(uint64_t cursor, uint64_t limit,
+            std::vector<std::pair<uint64_t, KvVal>>* out, uint64_t* next);
+  // Triggers a checkpoint; with durable waits for it to commit. `epoch`
+  // reports the durability tag.
+  bool ckpt(bool durable, uint64_t* epoch);
+  bool stats(std::string* text, uint64_t* committed, uint64_t* keys);
+
+ private:
+  bool roundtrip(MsgHeader h, const uint8_t* body, size_t body_len,
+                 MsgHeader* rh, std::vector<uint8_t>* rbody);
+
+  int fd_ = -1;
+  uint32_t seq_ = 0;
+};
+
+}  // namespace crpm::net

@@ -1,0 +1,183 @@
+#include "net/kv_service.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace crpm::net {
+
+KvService::KvService(const Config& cfg) : cfg_(cfg) {
+  StateStore::Config sc;
+  sc.backend = CkptBackend::kCrpmDefault;
+  sc.dir = cfg_.dir;
+  sc.capacity_bytes = cfg_.capacity_bytes;
+  sc.async_checkpoint = true;
+  sc.async_workers = cfg_.async_workers == 0 ? 1 : cfg_.async_workers;
+  sc.archive = cfg_.archive;
+  sc.archive_compact_every = cfg_.archive_compact_every;
+  store_ = std::make_unique<StateStore>(sc);
+  policy_ = std::make_unique<CrpmRefPolicy>(*store_->container(),
+                                            *store_->heap());
+  map_ = std::make_unique<Map>(*policy_, cfg_.buckets);
+  map_->set_max_load_factor(cfg_.max_load_factor);
+  captured_epoch_.store(store_->container()->committed_epoch(),
+                        std::memory_order_relaxed);
+
+  // Record which recovery level produced this state, for offline
+  // inspection (crpm_inspect kvd) after the server is gone.
+  std::string marker = cfg_.dir + "/" + kRecoveryMarker;
+  if (std::FILE* f = std::fopen(marker.c_str(), "w")) {
+    std::fprintf(f, "%s\n", recovery_source_name(store_->last_recovery()));
+    std::fclose(f);
+  }
+
+  ckpt_thread_ = std::thread([this] { ckpt_loop(); });
+}
+
+KvService::~KvService() {
+  {
+    std::lock_guard<std::mutex> lk(cv_mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (ckpt_thread_.joinable()) ckpt_thread_.join();
+  // Leave uncaptured tail writes uncommitted on purpose: a shutdown is
+  // indistinguishable from a crash for anything the client was never acked
+  // for. Callers wanting a clean final epoch call flush() first.
+  // ~StateStore drains the archive and in-flight commits.
+}
+
+bool KvService::get(uint64_t key, KvVal* out) const {
+  std::shared_lock<std::shared_mutex> rl(rw_mu_);
+  return map_->find(key, out);
+}
+
+uint64_t KvService::put(uint64_t key, const KvVal& v) {
+  std::lock_guard<std::mutex> wl(write_mu_);
+  {
+    std::unique_lock<std::shared_mutex> ul(rw_mu_);
+    map_->put(key, v);
+  }
+  dirty_ = true;
+  return captured_epoch_.load(std::memory_order_relaxed) + 1;
+}
+
+uint64_t KvService::del(uint64_t key, bool* found) {
+  std::lock_guard<std::mutex> wl(write_mu_);
+  bool erased;
+  {
+    std::unique_lock<std::shared_mutex> ul(rw_mu_);
+    erased = map_->erase(key);
+  }
+  if (found != nullptr) *found = erased;
+  if (!erased) return 0;
+  dirty_ = true;
+  return captured_epoch_.load(std::memory_order_relaxed) + 1;
+}
+
+uint64_t KvService::scan(
+    uint64_t cursor, uint64_t limit,
+    const std::function<void(uint64_t, const KvVal&)>& fn) const {
+  std::shared_lock<std::shared_mutex> rl(rw_mu_);
+  return map_->scan(cursor, limit, fn);
+}
+
+uint64_t KvService::key_count() const {
+  std::shared_lock<std::shared_mutex> rl(rw_mu_);
+  return map_->size();
+}
+
+uint64_t KvService::bucket_count() const {
+  std::shared_lock<std::shared_mutex> rl(rw_mu_);
+  return map_->bucket_count();
+}
+
+uint64_t KvService::committed_epoch() const {
+  return store_->container()->committed_epoch();
+}
+
+uint64_t KvService::request_checkpoint() {
+  uint64_t tag;
+  {
+    std::lock_guard<std::mutex> wl(write_mu_);
+    if (!dirty_) return store_->container()->committed_epoch();
+    tag = captured_epoch_.load(std::memory_order_relaxed) + 1;
+  }
+  kick();
+  return tag;
+}
+
+void KvService::kick() {
+  {
+    std::lock_guard<std::mutex> lk(cv_mu_);
+    kicked_ = true;
+  }
+  cv_.notify_one();
+}
+
+void KvService::set_commit_callback(std::function<void(uint64_t)> cb) {
+  std::lock_guard<std::mutex> lk(cb_mu_);
+  commit_cb_ = std::move(cb);
+}
+
+void KvService::flush() {
+  uint64_t target = request_checkpoint();
+  while (committed_epoch() < target) {
+    kick();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void KvService::ckpt_loop() {
+  const bool timed = cfg_.interval_ms > 0;
+  const auto interval = std::chrono::duration<double, std::milli>(
+      timed ? cfg_.interval_ms : 1.0);
+  std::unique_lock<std::mutex> lk(cv_mu_);
+  while (!stop_) {
+    if (timed) {
+      cv_.wait_for(lk, interval, [this] { return stop_ || kicked_; });
+    } else {
+      cv_.wait(lk, [this] { return stop_ || kicked_; });
+    }
+    if (stop_) break;
+    kicked_ = false;
+    lk.unlock();
+    capture_once();
+    lk.lock();
+  }
+}
+
+void KvService::capture_once() {
+  {
+    std::lock_guard<std::mutex> wl(write_mu_);
+    if (!dirty_) return;
+    dirty_ = false;
+    // Capture: stop-the-world for writers only; readers keep running.
+    store_->container()->checkpoint();
+    captured_epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Commit happens on the pipeline workers; wait so (a) captured ==
+  // committed between cycles, keeping tag arithmetic exact, and (b) the
+  // group of parked durable responses is released as one batch.
+  store_->container()->wait_committed();
+  std::function<void(uint64_t)> cb;
+  {
+    std::lock_guard<std::mutex> lk(cb_mu_);
+    cb = commit_cb_;
+  }
+  if (cb) cb(store_->container()->committed_epoch());
+}
+
+std::string KvService::stats_text() const {
+  auto snap = store_->container()->stats().snapshot();
+  std::string out = "recovery=" +
+                    std::string(recovery_source_name(store_->last_recovery()));
+  out += " committed_epoch=" + std::to_string(committed_epoch());
+  out += " keys=" + std::to_string(key_count());
+  out += " ";
+  out += snap.to_string();
+  return out;
+}
+
+}  // namespace crpm::net

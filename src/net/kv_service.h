@@ -1,0 +1,148 @@
+// KvService: the persistent heart of the crpm_kvd server.
+//
+// A PHashMap<u64, KvVal> layered (via CrpmRefPolicy) over a StateStore in
+// kCrpmDefault mode with async checkpointing — working state in NVM,
+// stop-the-world *capture* decoupled from background *commit* (DESIGN §10),
+// optionally with a snapshot archive as the second recovery level.
+//
+// Locking — the contract that makes checkpoints invisible to readers:
+//
+//   write_mu_ (plain mutex)    taken by every mutation AND by the capture
+//                              phase of a checkpoint.
+//   rw_mu_ (shared mutex)      readers shared, mutations unique.
+//
+// Mutations take write_mu_ then rw_mu_-unique; reads take rw_mu_-shared
+// only; the capture takes write_mu_ only. So a capture excludes writers
+// (its stop-the-world set is exactly the mutators) but GETs and SCANs keep
+// flowing through it — capture snapshots dirty metadata and never touches
+// node memory (phashmap.h's concurrency contract), and the background
+// commit pipeline only reads the working state. That asymmetry is the
+// whole point: checkpoint cost shows up as a bounded write stall, never as
+// read-tail latency.
+//
+// Durability — group commit by epoch tag: every mutation returns a tag
+// (the epoch the next capture will commit). The write is durable once
+// committed_epoch() >= tag. Durable requests park their response on the
+// tag and kick() the checkpoint thread; one capture then acknowledges the
+// whole batch. Captures are gated on a service-level dirty flag because an
+// empty container checkpoint deliberately skips the epoch bump — tags are
+// only ever handed out for epochs that will actually commit.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+
+#include "apps/state_store.h"
+#include "baselines/crpm_policy.h"
+#include "containers/phashmap.h"
+#include "net/wire.h"
+
+namespace crpm::net {
+
+class KvService {
+ public:
+  struct Config {
+    std::string dir;
+    uint64_t capacity_bytes = 256ull << 20;
+    uint64_t buckets = 1 << 16;      // initial; grows via max_load_factor
+    double max_load_factor = 1.5;    // 0 = never rehash
+    double interval_ms = 0;          // 0 = checkpoint only on kick/request
+    uint32_t async_workers = 1;
+    bool archive = false;
+    uint32_t archive_compact_every = 0;
+  };
+
+  explicit KvService(const Config& cfg);
+  ~KvService();
+
+  KvService(const KvService&) = delete;
+  KvService& operator=(const KvService&) = delete;
+
+  // --- data plane ---------------------------------------------------------
+
+  bool get(uint64_t key, KvVal* out) const;
+
+  // Insert-or-assign / erase. Return the durability tag of the mutation
+  // (for del: 0 when the key was absent — nothing to persist). Durable once
+  // committed_epoch() >= tag.
+  uint64_t put(uint64_t key, const KvVal& v);
+  uint64_t del(uint64_t key, bool* found);
+
+  // Paged iteration from `cursor` (a bucket index; start at 0), delivering
+  // at most `limit` entries to fn(key, value). Returns the next cursor;
+  // done when it equals bucket_count(). Runs under the shared reader lock.
+  uint64_t scan(uint64_t cursor, uint64_t limit,
+                const std::function<void(uint64_t, const KvVal&)>& fn) const;
+
+  uint64_t key_count() const;
+  uint64_t bucket_count() const;
+
+  // --- checkpoint plane ---------------------------------------------------
+
+  uint64_t committed_epoch() const;
+
+  // Requests an immediate checkpoint. Returns the tag that will satisfy
+  // tag <= committed_epoch() once it lands; if nothing is dirty the state
+  // is already durable and the current committed epoch is returned.
+  uint64_t request_checkpoint();
+
+  // Wakes the checkpoint thread (after parking a durable response).
+  void kick();
+
+  // Invoked from the checkpoint thread after every commit with the new
+  // committed epoch. At most one callback; installed before serving.
+  void set_commit_callback(std::function<void(uint64_t)> cb);
+
+  // Blocks until all handed-out tags have committed.
+  void flush();
+
+  // --- introspection ------------------------------------------------------
+
+  std::string stats_text() const;
+  bool recovered() const { return store_->last_recovery() !=
+                                  RecoverySource::kFresh; }
+  RecoverySource last_recovery() const { return store_->last_recovery(); }
+  StateStore& store() { return *store_; }
+
+  // Name of the marker file recording which recovery level produced the
+  // current state (written into cfg.dir at open; read by crpm_inspect kvd).
+  static constexpr const char* kRecoveryMarker = "LAST_RECOVERY";
+
+ private:
+  using Map = PHashMap<uint64_t, KvVal, CrpmRefPolicy>;
+
+  void ckpt_loop();
+  // One capture + commit cycle; no-op when nothing is dirty.
+  void capture_once();
+
+  Config cfg_;
+  std::unique_ptr<StateStore> store_;
+  std::unique_ptr<CrpmRefPolicy> policy_;
+  std::unique_ptr<Map> map_;
+
+  mutable std::mutex write_mu_;         // writers + capture
+  mutable std::shared_mutex rw_mu_;     // readers vs writers
+  bool dirty_ = false;                  // guarded by write_mu_
+  // Highest epoch handed out as a tag == highest epoch captured (the
+  // checkpoint thread commits each capture before the next). Mutated only
+  // under write_mu_; read lock-free by committed_epoch pollers.
+  std::atomic<uint64_t> captured_epoch_{0};
+
+  std::mutex cv_mu_;
+  std::condition_variable cv_;
+  bool kicked_ = false;
+  bool stop_ = false;
+
+  std::mutex cb_mu_;
+  std::function<void(uint64_t)> commit_cb_;
+
+  std::thread ckpt_thread_;
+};
+
+}  // namespace crpm::net

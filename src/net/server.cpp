@@ -1,0 +1,436 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace crpm::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  int fl = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+struct Parked {
+  uint64_t tag;
+  std::vector<uint8_t> resp;
+};
+
+struct Conn {
+  int fd = -1;
+  std::vector<uint8_t> in;   // unparsed request bytes
+  std::vector<uint8_t> out;  // unsent response bytes
+  size_t out_off = 0;        // sent prefix of out
+  bool want_write = false;   // EPOLLOUT currently armed
+  std::deque<Parked> parked;
+};
+
+}  // namespace
+
+struct Server::Worker {
+  int epfd = -1;
+  int wake_fd = -1;    // new connections / stop
+  int commit_fd = -1;  // checkpoint committed
+  std::thread th;
+  std::mutex mu;
+  std::vector<int> pending;  // fds handed over by the accept thread
+  std::unordered_map<int, Conn> conns;
+};
+
+Server::Server(KvService& svc, const ServerConfig& cfg)
+    : svc_(svc), cfg_(cfg) {
+  if (cfg_.workers == 0) cfg_.workers = 1;
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* err) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (err) *err = "socket: " + std::string(std::strerror(errno));
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  if (::inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr) != 1) {
+    if (err) *err = "bad host " + cfg_.host;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 256) != 0) {
+    if (err) *err = "bind/listen: " + std::string(std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t alen = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  port_ = ntohs(addr.sin_port);
+
+  for (uint32_t i = 0; i < cfg_.workers; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->epfd = ::epoll_create1(0);
+    w->wake_fd = ::eventfd(0, EFD_NONBLOCK);
+    w->commit_fd = ::eventfd(0, EFD_NONBLOCK);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = w->wake_fd;
+    ::epoll_ctl(w->epfd, EPOLL_CTL_ADD, w->wake_fd, &ev);
+    ev.data.fd = w->commit_fd;
+    ::epoll_ctl(w->epfd, EPOLL_CTL_ADD, w->commit_fd, &ev);
+    workers_.push_back(std::move(w));
+  }
+
+  // Fan the commit signal out to every worker so parked durable responses
+  // are released no matter which worker owns the connection.
+  svc_.set_commit_callback([this](uint64_t) {
+    uint64_t v = 1;
+    for (auto& w : workers_) {
+      [[maybe_unused]] ssize_t n = ::write(w->commit_fd, &v, 8);
+    }
+  });
+
+  for (auto& w : workers_) {
+    Worker* wp = w.get();
+    w->th = std::thread([this, wp] { worker_loop(*wp); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  started_ = true;
+  return true;
+}
+
+void Server::stop() {
+  if (!started_) return;
+  started_ = false;
+  stopping_.store(true, std::memory_order_release);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  uint64_t v = 1;
+  for (auto& w : workers_) {
+    [[maybe_unused]] ssize_t n = ::write(w->wake_fd, &v, 8);
+  }
+  for (auto& w : workers_) {
+    if (w->th.joinable()) w->th.join();
+  }
+  svc_.set_commit_callback(nullptr);
+  for (auto& w : workers_) {
+    for (auto& [fd, c] : w->conns) ::close(fd);
+    ::close(w->commit_fd);
+    ::close(w->wake_fd);
+    ::close(w->epfd);
+  }
+  workers_.clear();
+  listen_fd_ = -1;
+}
+
+void Server::accept_loop() {
+  size_t next = 0;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket closed by stop()
+    }
+    set_nonblocking(fd);
+    set_nodelay(fd);
+    Worker& w = *workers_[next];
+    next = (next + 1) % workers_.size();
+    {
+      std::lock_guard<std::mutex> lk(w.mu);
+      w.pending.push_back(fd);
+    }
+    uint64_t v = 1;
+    [[maybe_unused]] ssize_t n = ::write(w.wake_fd, &v, 8);
+  }
+}
+
+namespace {
+
+// Builds the response for one fully-received request frame. Returns true
+// and fills `resp` for an immediate response; returns false (filling
+// `parked_tag` and `resp`) when the response must wait for a commit.
+bool process_frame(KvService& svc, const MsgHeader& req, const uint8_t* body,
+                   std::vector<uint8_t>* resp, uint64_t* parked_tag) {
+  *parked_tag = 0;
+  MsgHeader r;
+  r.opcode = req.opcode;
+  r.seq = req.seq;
+  r.key = req.key;
+
+  auto immediate = [&](Status st, const uint8_t* b, size_t blen) {
+    r.status = st;
+    encode_into(*resp, r, b, blen);
+    return true;
+  };
+
+  switch (req.opcode) {
+    case kGet: {
+      KvVal v;
+      if (!svc.get(req.key, &v)) return immediate(kNotFound, nullptr, 0);
+      r.aux = v.len;
+      return immediate(kOk, v.bytes, v.len);
+    }
+    case kPut: {
+      if (req.body_len > kMaxValueLen) {
+        return immediate(kBadRequest, nullptr, 0);
+      }
+      KvVal v;
+      v.len = req.body_len;
+      if (v.len != 0) std::memcpy(v.bytes, body, v.len);
+      uint64_t tag = svc.put(req.key, v);
+      r.aux = tag;
+      if ((req.flags & kFlagDurable) == 0) {
+        return immediate(kOk, nullptr, 0);
+      }
+      r.status = kOk;
+      encode_into(*resp, r, nullptr, 0);
+      *parked_tag = tag;
+      svc.kick();
+      return false;
+    }
+    case kDel: {
+      bool found = false;
+      uint64_t tag = svc.del(req.key, &found);
+      if (!found) return immediate(kNotFound, nullptr, 0);
+      r.aux = tag;
+      if ((req.flags & kFlagDurable) == 0) {
+        return immediate(kOk, nullptr, 0);
+      }
+      r.status = kOk;
+      encode_into(*resp, r, nullptr, 0);
+      *parked_tag = tag;
+      svc.kick();
+      return false;
+    }
+    case kScan: {
+      uint64_t limit = req.aux == 0 ? kMaxScanEntries
+                                    : std::min(req.aux, kMaxScanEntries);
+      std::vector<uint8_t> packed;
+      uint64_t count = 0;
+      uint64_t next = svc.scan(
+          req.key, limit, [&](uint64_t k, const KvVal& v) {
+            size_t at = packed.size();
+            packed.resize(at + 12 + v.len);
+            std::memcpy(packed.data() + at, &k, 8);
+            std::memcpy(packed.data() + at + 8, &v.len, 4);
+            if (v.len != 0) {
+              std::memcpy(packed.data() + at + 12, v.bytes, v.len);
+            }
+            ++count;
+          });
+      r.aux = next;
+      r.key = count;
+      return immediate(kOk, packed.data(), packed.size());
+    }
+    case kCkpt: {
+      uint64_t tag = svc.request_checkpoint();
+      r.aux = tag;
+      if ((req.flags & kFlagDurable) == 0 || tag <= svc.committed_epoch()) {
+        return immediate(kOk, nullptr, 0);
+      }
+      r.status = kOk;
+      encode_into(*resp, r, nullptr, 0);
+      *parked_tag = tag;
+      svc.kick();
+      return false;
+    }
+    case kStats: {
+      std::string text = svc.stats_text();
+      r.aux = svc.committed_epoch();
+      r.key = svc.key_count();
+      return immediate(
+          kOk, reinterpret_cast<const uint8_t*>(text.data()), text.size());
+    }
+    default:
+      return immediate(kBadRequest, nullptr, 0);
+  }
+}
+
+// Flushes c.out; returns false if the connection died.
+bool flush_out(Conn& c) {
+  while (c.out_off < c.out.size()) {
+    ssize_t n = ::write(c.fd, c.out.data() + c.out_off,
+                        c.out.size() - c.out_off);
+    if (n > 0) {
+      c.out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  c.out.clear();
+  c.out_off = 0;
+  return true;
+}
+
+void update_write_interest(int epfd, Conn& c) {
+  bool want = c.out_off < c.out.size();
+  if (want == c.want_write) return;
+  c.want_write = want;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.data.fd = c.fd;
+  ::epoll_ctl(epfd, EPOLL_CTL_MOD, c.fd, &ev);
+}
+
+}  // namespace
+
+void Server::worker_loop(Worker& w) {
+  epoll_event events[64];
+  std::vector<int> dead;
+  for (;;) {
+    int n = ::epoll_wait(w.epfd, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      uint32_t evs = events[i].events;
+
+      if (fd == w.wake_fd) {
+        uint64_t v;
+        while (::read(w.wake_fd, &v, 8) == 8) {
+        }
+        if (stopping_.load(std::memory_order_acquire)) return;
+        std::vector<int> fresh;
+        {
+          std::lock_guard<std::mutex> lk(w.mu);
+          fresh.swap(w.pending);
+        }
+        for (int cfd : fresh) {
+          Conn c;
+          c.fd = cfd;
+          w.conns.emplace(cfd, std::move(c));
+          epoll_event ev{};
+          ev.events = EPOLLIN;
+          ev.data.fd = cfd;
+          ::epoll_ctl(w.epfd, EPOLL_CTL_ADD, cfd, &ev);
+        }
+        continue;
+      }
+
+      if (fd == w.commit_fd) {
+        uint64_t v;
+        while (::read(w.commit_fd, &v, 8) == 8) {
+        }
+        uint64_t committed = svc_.committed_epoch();
+        for (auto& [cfd, c] : w.conns) {
+          bool any = false;
+          while (!c.parked.empty() && c.parked.front().tag <= committed) {
+            c.out.insert(c.out.end(), c.parked.front().resp.begin(),
+                         c.parked.front().resp.end());
+            c.parked.pop_front();
+            any = true;
+          }
+          if (any) {
+            if (!flush_out(c)) {
+              dead.push_back(cfd);
+            } else {
+              update_write_interest(w.epfd, c);
+            }
+          }
+        }
+        for (int dfd : dead) {
+          ::close(dfd);
+          w.conns.erase(dfd);
+        }
+        dead.clear();
+        continue;
+      }
+
+      auto it = w.conns.find(fd);
+      if (it == w.conns.end()) continue;
+      Conn& c = it->second;
+      bool ok = (evs & (EPOLLERR | EPOLLHUP)) == 0;
+
+      if (ok && (evs & EPOLLIN)) {
+        uint8_t buf[16 * 1024];
+        for (;;) {
+          ssize_t r = ::read(fd, buf, sizeof(buf));
+          if (r > 0) {
+            c.in.insert(c.in.end(), buf, buf + r);
+            continue;
+          }
+          if (r == 0) ok = false;  // peer closed
+          if (r < 0 && errno == EINTR) continue;
+          if (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK) ok = false;
+          break;
+        }
+        // Parse complete frames.
+        size_t off = 0;
+        while (ok && c.in.size() - off >= sizeof(MsgHeader)) {
+          MsgHeader h;
+          if (!decode_header(c.in.data() + off, &h)) {
+            ok = false;  // protocol error: drop the connection
+            break;
+          }
+          if (c.in.size() - off < sizeof(MsgHeader) + h.body_len) break;
+          const uint8_t* body = c.in.data() + off + sizeof(MsgHeader);
+          if (!body_ok(h, body)) {
+            ok = false;
+            break;
+          }
+          off += sizeof(MsgHeader) + h.body_len;
+          std::vector<uint8_t> resp;
+          uint64_t tag = 0;
+          if (process_frame(svc_, h, body, &resp, &tag)) {
+            c.out.insert(c.out.end(), resp.begin(), resp.end());
+          } else {
+            // Tag may already have committed by now (tiny race between
+            // process_frame and here); parking is still correct — the
+            // kick() guarantees a commit signal is coming.
+            c.parked.push_back({tag, std::move(resp)});
+          }
+        }
+        if (off != 0) c.in.erase(c.in.begin(), c.in.begin() + off);
+        // Close the park/commit race: if the kicked checkpoint committed
+        // before the response was parked, its commit_fd signal may already
+        // have been consumed — release anything that is already covered.
+        uint64_t committed = svc_.committed_epoch();
+        while (!c.parked.empty() && c.parked.front().tag <= committed) {
+          c.out.insert(c.out.end(), c.parked.front().resp.begin(),
+                       c.parked.front().resp.end());
+          c.parked.pop_front();
+        }
+      }
+
+      if (ok && ((evs & EPOLLOUT) != 0 || !c.out.empty())) {
+        ok = flush_out(c);
+      }
+      if (ok) {
+        update_write_interest(w.epfd, c);
+      } else {
+        ::close(fd);
+        w.conns.erase(it);
+      }
+    }
+  }
+}
+
+}  // namespace crpm::net

@@ -1,0 +1,69 @@
+// Multi-threaded epoll front end for KvService.
+//
+// Threading model (DESIGN §11):
+//   * one accept thread owns the listening socket and hands each accepted
+//     fd to a worker (round-robin) through a small mutex-guarded queue,
+//     waking it via an eventfd;
+//   * N worker threads each own one epoll instance and the full lifetime
+//     of every connection assigned to them — a connection's buffers are
+//     only ever touched by its worker, so the data plane needs no locks of
+//     its own (KvService provides the store-level locking);
+//   * the KvService checkpoint thread signals every worker's commit eventfd
+//     after every committed epoch; the worker then releases any parked
+//     durable responses whose tag the commit covered.
+//
+// Durable writes park their fully-encoded response on the connection,
+// keyed by the durability tag, and are flushed in tag order once
+// committed_epoch catches up — the wire-visible form of group commit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/kv_service.h"
+
+namespace crpm::net {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; read the bound port via port()
+  uint32_t workers = 4;
+};
+
+class Server {
+ public:
+  Server(KvService& svc, const ServerConfig& cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, installs the commit callback, spawns accept + worker threads.
+  bool start(std::string* err);
+  // Stops accepting, closes every connection, joins all threads.
+  // Idempotent; also run by the destructor.
+  void stop();
+
+  uint16_t port() const { return port_; }
+
+ private:
+  struct Worker;
+
+  void accept_loop();
+  void worker_loop(Worker& w);
+
+  KvService& svc_;
+  ServerConfig cfg_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+};
+
+}  // namespace crpm::net

@@ -1,0 +1,161 @@
+// Wire protocol of the crpm_kvd networked KV service.
+//
+// Every message — request or response — is one fixed MsgHeader followed by
+// an optional body, length-prefixed by the header's body_len. The header
+// and body carry independent CRC32s computed exactly like the snapshot
+// archive's on-disk frames (snapshot/format.h), so a truncated or bit-
+// flipped frame is detected before it is acted on, in flight as at rest.
+//
+// Requests:
+//   kGet    key = key                              -> body = value bytes
+//   kPut    key = key, body = value bytes (<= 60)  -> aux = durability tag
+//   kDel    key = key                              -> aux = durability tag
+//   kScan   key = cursor bucket, aux = max entries -> body = packed records,
+//           aux = next cursor (== table bucket count when exhausted),
+//           key = records delivered
+//   kCkpt   trigger a checkpoint                   -> aux = durability tag
+//   kStats  -> body = human-readable CrpmStats, aux = committed epoch,
+//           key = live key count
+//
+// kFlagDurable on kPut/kDel/kCkpt withholds the response until the epoch
+// containing the mutation has committed (group commit): the returned aux
+// tag satisfies tag <= committed_epoch. Without the flag the response is
+// immediate and aux names the epoch that WILL make the write durable.
+//
+// Scan records are packed back to back as {u64 key, u32 len, u8 bytes[len]}.
+//
+// The value helpers at the bottom build self-verifying values
+// (key + stamp + CRC) so crash harnesses can distinguish a torn value from
+// a merely stale one.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "snapshot/format.h"
+
+namespace crpm::net {
+
+inline constexpr uint32_t kKvdMagic = 0x636b7664u;  // "ckvd"
+inline constexpr uint16_t kWireVersion = 1;
+
+// Values are small fixed-capacity blobs: one PHashMap node stays well under
+// a tracking block, so a single PUT dirties O(1) blocks.
+inline constexpr uint32_t kMaxValueLen = 60;
+
+// Upper bound a peer will accept for one frame's body (bounds SCAN replies
+// and guards against nonsense lengths from a corrupt header).
+inline constexpr uint32_t kMaxBody = 64 * 1024;
+inline constexpr uint64_t kMaxScanEntries = 256;
+
+enum Opcode : uint16_t {
+  kGet = 1,
+  kPut = 2,
+  kDel = 3,
+  kScan = 4,
+  kCkpt = 5,
+  kStats = 6,
+};
+
+enum Status : uint16_t {
+  kOk = 0,
+  kNotFound = 1,
+  kBadRequest = 2,
+  kServerError = 3,
+};
+
+enum Flags : uint16_t {
+  kFlagDurable = 1u,
+};
+
+// Fixed-size, naturally aligned, zero-padded — CRC over the raw bytes is
+// deterministic, mirroring repl/protocol.h and the archive structs.
+struct MsgHeader {
+  uint32_t magic = kKvdMagic;
+  uint16_t version = kWireVersion;
+  uint16_t opcode = 0;
+  uint16_t status = 0;
+  uint16_t flags = 0;
+  uint32_t seq = 0;       // echoed verbatim in the response
+  uint32_t body_len = 0;
+  uint32_t reserved = 0;
+  uint64_t key = 0;
+  uint64_t aux = 0;
+  uint32_t body_crc = 0;
+  uint32_t header_crc = 0;
+};
+static_assert(sizeof(MsgHeader) == 48);
+
+// The value type stored in the server's PHashMap. Trivially copyable and
+// fixed-size so node updates are single annotated stores.
+struct KvVal {
+  uint32_t len = 0;
+  uint8_t bytes[kMaxValueLen] = {};
+};
+static_assert(sizeof(KvVal) == 64);
+
+// Fills both CRCs and appends header + body to `out`.
+inline void encode_into(std::vector<uint8_t>& out, MsgHeader h,
+                        const uint8_t* body, size_t body_len) {
+  h.body_len = static_cast<uint32_t>(body_len);
+  h.body_crc = body_len == 0 ? 0 : snapshot::crc32(body, body_len);
+  h.header_crc = snapshot::crc32(&h, offsetof(MsgHeader, header_crc));
+  const auto* hp = reinterpret_cast<const uint8_t*>(&h);
+  out.insert(out.end(), hp, hp + sizeof(h));
+  if (body_len != 0) out.insert(out.end(), body, body + body_len);
+}
+
+inline std::vector<uint8_t> encode(const MsgHeader& h, const uint8_t* body,
+                                   size_t body_len) {
+  std::vector<uint8_t> out;
+  encode_into(out, h, body, body_len);
+  return out;
+}
+
+// Validates magic, version, body-length bound and the header CRC of the
+// sizeof(MsgHeader) bytes at `p`. A failure is a protocol error: unlike the
+// lossy repl transport there is no retransmit, the connection is dropped.
+inline bool decode_header(const uint8_t* p, MsgHeader* h) {
+  std::memcpy(h, p, sizeof(MsgHeader));
+  if (h->magic != kKvdMagic || h->version != kWireVersion) return false;
+  if (h->body_len > kMaxBody) return false;
+  return h->header_crc ==
+         snapshot::crc32(h, offsetof(MsgHeader, header_crc));
+}
+
+inline bool body_ok(const MsgHeader& h, const uint8_t* body) {
+  uint32_t crc =
+      h.body_len == 0 ? 0 : snapshot::crc32(body, h.body_len);
+  return crc == h.body_crc;
+}
+
+// --- self-verifying values ------------------------------------------------
+//
+// 20-byte payload: {u64 key, u64 stamp, u32 crc-of-first-16}. A value that
+// decodes is provably untorn and provably written for this key; the stamp
+// dates it (load generators use a per-op sequence number).
+
+inline KvVal make_value(uint64_t key, uint64_t stamp) {
+  KvVal v;
+  v.len = 20;
+  std::memcpy(v.bytes, &key, 8);
+  std::memcpy(v.bytes + 8, &stamp, 8);
+  uint32_t crc = snapshot::crc32(v.bytes, 16);
+  std::memcpy(v.bytes + 16, &crc, 4);
+  return v;
+}
+
+inline bool check_value(const KvVal& v, uint64_t key, uint64_t* stamp_out) {
+  if (v.len != 20) return false;
+  uint32_t crc;
+  std::memcpy(&crc, v.bytes + 16, 4);
+  if (crc != snapshot::crc32(v.bytes, 16)) return false;
+  uint64_t k;
+  std::memcpy(&k, v.bytes, 8);
+  if (k != key) return false;
+  if (stamp_out != nullptr) std::memcpy(stamp_out, v.bytes + 8, 8);
+  return true;
+}
+
+}  // namespace crpm::net

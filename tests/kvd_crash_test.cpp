@@ -1,0 +1,230 @@
+// Crash-kill harness for the crpm_kvd daemon: SIGKILL the real server
+// process under live durable load, restart it on the same data directory,
+// and require every acknowledged PUT back — present, untorn (the
+// self-verifying value decodes), and at least as new as the acked stamp.
+// A second test exercises the archive recovery level: lose the container
+// file entirely and recover from the snapshot archive.
+//
+// The server binary path is injected by CMake (CRPM_KVD_BINARY); the load
+// runs in-process through net/client.h so acks are recorded in the test's
+// own memory — an ack written down is an ack the server really sent.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/client.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+#ifndef CRPM_KVD_BINARY
+#define CRPM_KVD_BINARY "crpm_kvd"
+#endif
+
+namespace crpm::net {
+namespace {
+
+namespace fs = std::filesystem;
+
+pid_t spawn_server(const std::vector<std::string>& extra_args,
+                   const fs::path& dir, const fs::path& port_file,
+                   const fs::path& log) {
+  std::error_code ec;
+  fs::remove(port_file, ec);
+  pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  int logfd = ::open(log.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (logfd >= 0) {
+    ::dup2(logfd, 1);
+    ::dup2(logfd, 2);
+    ::close(logfd);
+  }
+  std::vector<std::string> args = {CRPM_KVD_BINARY, "serve",
+                                   "--dir",         dir.string(),
+                                   "--port",        "0",
+                                   "--port-file",   port_file.string(),
+                                   "--workers",     "2"};
+  args.insert(args.end(), extra_args.begin(), extra_args.end());
+  std::vector<char*> argv;
+  for (auto& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  ::execv(CRPM_KVD_BINARY, argv.data());
+  _exit(127);
+}
+
+uint16_t wait_port(const fs::path& port_file, double timeout_s = 20.0) {
+  Stopwatch sw;
+  while (sw.elapsed_sec() < timeout_s) {
+    std::ifstream in(port_file);
+    unsigned p = 0;
+    if (in >> p && p != 0) return static_cast<uint16_t>(p);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return 0;
+}
+
+void reap(pid_t pid) {
+  int st = 0;
+  ::waitpid(pid, &st, 0);
+}
+
+// Acked durable writes: key -> highest acked stamp.
+using AckedMap = std::unordered_map<uint64_t, uint64_t>;
+
+// Drives durable puts from `threads` connections until the server dies or
+// `seconds` elapse. Only acks the server actually sent are recorded.
+// `stamp_base` must strictly increase across calls that reuse a data dir:
+// the verify invariant (recovered stamp >= acked stamp) relies on stamps
+// never going backwards between load rounds.
+void durable_load(uint16_t port, int threads, double seconds,
+                  uint64_t stamp_base, AckedMap* acked, std::mutex* mu) {
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      Client cl;
+      if (!cl.connect("127.0.0.1", port)) return;
+      Xoshiro256 rng(500 + t);
+      const uint64_t base = uint64_t(t) << 32;
+      uint64_t stamp = stamp_base + 1;
+      Stopwatch sw;
+      uint64_t ops = 0;
+      while (sw.elapsed_sec() < seconds) {
+        uint64_t key = base + rng.next_below(2000);
+        bool durable = (ops % 4) == 0;
+        if (!cl.put(key, make_value(key, stamp), durable, nullptr)) {
+          break;  // server killed mid-roundtrip: unacked, not recorded
+        }
+        if (durable) {
+          std::lock_guard<std::mutex> lk(*mu);
+          uint64_t& cur = (*acked)[key];
+          if (stamp > cur) cur = stamp;
+        }
+        ++stamp;
+        ++ops;
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+}
+
+// Every acked write must be present, untorn, and >= the acked stamp.
+void verify_acked(uint16_t port, const AckedMap& acked) {
+  Client cl;
+  ASSERT_TRUE(cl.connect("127.0.0.1", port));
+  for (const auto& [key, stamp] : acked) {
+    Status st;
+    KvVal v;
+    ASSERT_TRUE(cl.get(key, &v, &st));
+    ASSERT_EQ(st, kOk) << "acked key " << key << " missing";
+    uint64_t got = 0;
+    ASSERT_TRUE(check_value(v, key, &got)) << "key " << key << " torn";
+    EXPECT_GE(got, stamp) << "key " << key << " lost acked stamp";
+  }
+}
+
+std::string read_marker(const fs::path& dir) {
+  std::ifstream in(dir / "LAST_RECOVERY");
+  std::string s;
+  in >> s;
+  return s;
+}
+
+TEST(KvdCrash, SigkillUnderLoadLosesNoAckedWrite) {
+  fs::path dir = fs::temp_directory_path() / "crpm_kvd_crash";
+  fs::path port_file = dir.string() + ".port";
+  fs::path log = dir.string() + ".log";
+  fs::remove_all(dir);
+  fs::remove(log);
+  fs::create_directories(dir);
+
+  AckedMap acked;
+  std::mutex mu;
+  // Shrinking checkpoint intervals push the kill toward landing inside a
+  // capture or mid-commit; the guarantee must hold regardless.
+  const char* intervals[] = {"8", "2", "1"};
+  uint64_t round = 0;
+  for (const char* interval : intervals) {
+    pid_t pid =
+        spawn_server({"--interval-ms", interval}, dir, port_file, log);
+    ASSERT_GT(pid, 0);
+    uint16_t port = wait_port(port_file);
+    ASSERT_NE(port, 0) << "server never came up (see " << log << ")";
+
+    std::thread killer([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+      ::kill(pid, SIGKILL);
+    });
+    durable_load(port, /*threads=*/2, /*seconds=*/5.0,
+                 /*stamp_base=*/(++round) << 32, &acked, &mu);
+    killer.join();
+    reap(pid);
+    ASSERT_FALSE(acked.empty());
+
+    pid_t pid2 = spawn_server({"--interval-ms", "8"}, dir, port_file, log);
+    ASSERT_GT(pid2, 0);
+    uint16_t port2 = wait_port(port_file);
+    ASSERT_NE(port2, 0);
+    EXPECT_EQ(read_marker(dir), "local");
+    verify_acked(port2, acked);
+    ::kill(pid2, SIGKILL);
+    reap(pid2);
+  }
+  fs::remove_all(dir);
+  fs::remove(port_file);
+  fs::remove(log);
+}
+
+TEST(KvdCrash, ArchiveRecoversAfterContainerLoss) {
+  fs::path dir = fs::temp_directory_path() / "crpm_kvd_crash_arch";
+  fs::path port_file = dir.string() + ".port";
+  fs::path log = dir.string() + ".log";
+  fs::remove_all(dir);
+  fs::remove(log);
+  fs::create_directories(dir);
+
+  AckedMap acked;
+  std::mutex mu;
+  pid_t pid = spawn_server({"--interval-ms", "4", "--archive"}, dir,
+                           port_file, log);
+  ASSERT_GT(pid, 0);
+  uint16_t port = wait_port(port_file);
+  ASSERT_NE(port, 0) << "server never came up (see " << log << ")";
+
+  durable_load(port, /*threads=*/2, /*seconds=*/0.5, /*stamp_base=*/0,
+               &acked, &mu);
+  ASSERT_FALSE(acked.empty());
+  // Graceful stop: the service drains the archive writer on shutdown, so
+  // the archive holds every committed epoch — including every acked write.
+  ::kill(pid, SIGTERM);
+  reap(pid);
+
+  // Lose the working container entirely; only the archive remains.
+  ASSERT_TRUE(fs::remove(dir / "crpm-rank0.ctr"));
+
+  pid_t pid2 = spawn_server({"--interval-ms", "8", "--archive"}, dir,
+                            port_file, log);
+  ASSERT_GT(pid2, 0);
+  uint16_t port2 = wait_port(port_file);
+  ASSERT_NE(port2, 0);
+  EXPECT_EQ(read_marker(dir), "archive");
+  verify_acked(port2, acked);
+  ::kill(pid2, SIGKILL);
+  reap(pid2);
+  fs::remove_all(dir);
+  fs::remove(port_file);
+  fs::remove(log);
+}
+
+}  // namespace
+}  // namespace crpm::net

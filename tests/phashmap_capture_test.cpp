@@ -1,0 +1,190 @@
+// PHashMap's concurrency contract under an async checkpoint (`ctest -L
+// tsan` runs this under ThreadSanitizer): readers may race the capture
+// phase and the background commit pipeline, writers and captures exclude
+// each other via the caller's locks — the exact two-lock scheme the
+// crpm_kvd server uses (net/kv_service.h). The stress test drives all
+// three roles at once across automatic doubling rehashes, then compares
+// the surviving map against a golden std::unordered_map, both live and
+// after a crash-style reopen; a second, deterministic test pins the
+// rehash-while-commit-inflight interleaving (write-hook steal path).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/crpm_policy.h"
+#include "containers/phashmap.h"
+#include "core/container.h"
+#include "nvm/device.h"
+#include "util/rng.h"
+
+namespace crpm {
+namespace {
+
+using Map = PHashMap<uint64_t, uint64_t, CrpmPolicy>;
+
+CrpmOptions async_opts() {
+  CrpmOptions o;
+  o.segment_size = 4096;
+  o.block_size = 256;
+  o.main_region_size = 8 << 20;
+  o.eager_cow_segments = 0;
+  o.async_checkpoint = true;
+  o.async_workers = 1;
+  return o;
+}
+
+TEST(PHashMapCapture, ReadersRaceCaptureAndRehash) {
+  HeapNvmDevice dev(Container::required_device_size(async_opts()));
+  std::unordered_map<uint64_t, uint64_t> golden;
+  uint64_t final_buckets = 0;
+
+  {
+    CrpmPolicy p(&dev, async_opts());
+    Map m(p, 64);
+    m.set_max_load_factor(1.0);  // many doubling rehashes under load
+
+    // The server's locking: writers take write_mu then rw-unique, the
+    // capture takes write_mu only, readers take rw-shared only.
+    std::mutex write_mu;
+    std::shared_mutex rw_mu;
+    std::atomic<bool> stop{false};
+
+    constexpr uint64_t kOps = 20000;
+    constexpr uint64_t kKeys = 4000;
+
+    std::thread writer([&] {
+      Xoshiro256 rng(1);
+      for (uint64_t i = 0; i < kOps; ++i) {
+        uint64_t key = rng.next_below(kKeys);
+        uint64_t val = (key << 20) ^ i;
+        std::lock_guard<std::mutex> wl(write_mu);
+        std::unique_lock<std::shared_mutex> ul(rw_mu);
+        if (i % 13 == 0) {
+          if (m.erase(key)) golden.erase(key);
+        } else {
+          m.put(key, val);
+          golden[key] = val;
+        }
+      }
+      stop.store(true, std::memory_order_release);
+    });
+
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 2; ++r) {
+      readers.emplace_back([&, r] {
+        Xoshiro256 rng(100 + r);
+        uint64_t cursor = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+          std::shared_lock<std::shared_mutex> sl(rw_mu);
+          if (r == 0) {
+            uint64_t key = rng.next_below(kKeys);
+            uint64_t v = 0;
+            if (m.find(key, &v)) {
+              // Any committed-or-in-progress value for this key has the
+              // key in its high bits; anything else is a torn read.
+              EXPECT_EQ(v >> 20, key);
+            }
+          } else {
+            uint64_t n = 0;
+            cursor = m.scan(cursor, 64, [&](uint64_t k, uint64_t v) {
+              EXPECT_EQ(v >> 20, k);
+              ++n;
+            });
+            if (cursor >= m.bucket_count()) cursor = 0;
+          }
+        }
+      });
+    }
+
+    // The checkpoint role: capture under write_mu (stop-the-world set =
+    // writers only; the readers above keep running through it), commit in
+    // the container's background pipeline.
+    std::thread ckpt([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        {
+          std::lock_guard<std::mutex> wl(write_mu);
+          p.checkpoint();
+        }
+        p.container().wait_committed();
+      }
+    });
+
+    writer.join();
+    for (auto& t : readers) t.join();
+    ckpt.join();
+
+    // Make the final state the committed state, then compare live.
+    p.checkpoint();
+    p.container().wait_committed();
+    ASSERT_EQ(m.size(), golden.size());
+    for (const auto& [k, v] : golden) {
+      uint64_t got = 0;
+      ASSERT_TRUE(m.find(k, &got)) << "key " << k;
+      EXPECT_EQ(got, v);
+    }
+    EXPECT_GT(m.bucket_count(), 64u) << "load never triggered a rehash";
+    final_buckets = m.bucket_count();
+  }
+
+  // Crash-style reopen (no clean shutdown path exists for Container):
+  // everything up to the last committed epoch — including the rehashes —
+  // must be there.
+  CrpmPolicy p(&dev, async_opts());
+  Map m(p, 64);
+  EXPECT_EQ(m.size(), golden.size());
+  EXPECT_EQ(m.bucket_count(), final_buckets);
+  uint64_t seen = 0;
+  m.for_each([&](uint64_t k, uint64_t v) {
+    auto it = golden.find(k);
+    ASSERT_NE(it, golden.end()) << "resurrected key " << k;
+    EXPECT_EQ(it->second, v);
+    ++seen;
+  });
+  EXPECT_EQ(seen, golden.size());
+}
+
+// Rehash while the previous epoch's commit is still in flight: every store
+// the relink makes must go through the write-hook steal so the captured
+// image stays consistent, and the rehash itself must commit atomically.
+TEST(PHashMapCapture, RehashDuringInflightCommit) {
+  CrpmOptions o = async_opts();
+  o.async_workers = 0;  // cooperative: commit happens inside wait_committed
+  HeapNvmDevice dev(Container::required_device_size(o));
+  constexpr uint64_t kKeys = 1000;
+
+  {
+    CrpmPolicy p(&dev, o);
+    Map m(p, 64);
+    for (uint64_t k = 0; k < kKeys; ++k) m.put(k, k * 3 + 1);
+    p.checkpoint();
+    p.container().wait_committed();
+
+    // Dirty a slice, capture it, then rehash with the commit pending.
+    for (uint64_t k = 0; k < kKeys; k += 7) m.put(k, k * 5 + 2);
+    p.checkpoint();  // capture returns; commit has not run yet
+    m.rehash(4096);
+    p.container().wait_committed();
+
+    // Commit the rehash itself, then "crash".
+    p.checkpoint();
+    p.container().wait_committed();
+  }
+
+  CrpmPolicy p(&dev, o);
+  Map m(p, 64);
+  EXPECT_EQ(m.bucket_count(), 4096u);
+  EXPECT_EQ(m.size(), kKeys);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    uint64_t v = 0;
+    ASSERT_TRUE(m.find(k, &v)) << "key " << k;
+    EXPECT_EQ(v, k % 7 == 0 ? k * 5 + 2 : k * 3 + 1);
+  }
+}
+
+}  // namespace
+}  // namespace crpm

@@ -5,6 +5,7 @@
 //   crpm_inspect archive verify <archive-file>
 //   crpm_inspect archive dump <archive-file> <epoch> <out-file>
 //   crpm_inspect repl status <replica-store-dir>
+//   crpm_inspect kvd <server-data-dir>
 //   crpm_inspect stats [sync|async]
 //
 // Container form: prints the persistent metadata (header, committed epoch,
@@ -23,6 +24,12 @@
 // Repl form: audits a replication store (src/repl) — one snapshot archive
 // per peer rank — reporting each peer's newest restorable epoch and any
 // corruption. Exits non-zero if any peer file is damaged.
+//
+// Kvd form: reports a crpm_kvd server data directory — container committed
+// epoch, live key count (read straight out of the committed PHashMap meta,
+// no recovery), the last-recovery source recorded by the server, and the
+// archive's newest restorable epoch if one is configured. Exit 0 = healthy,
+// 1 = not a kvd data directory, 2 = structurally damaged.
 //
 // Stats form: runs a fixed seeded micro-workload on an in-memory container
 // and prints the CrpmStats line it produces — a quick way to see what the
@@ -363,6 +370,105 @@ int repl_status(const char* dir) {
   return damaged == 0 ? 0 : 2;
 }
 
+// --- kvd server data directory --------------------------------------------
+
+// Reads the committed key count without opening (and thus recovering) the
+// container: committed roots -> PHashMap meta {buckets_off, bucket_count,
+// size} inside the main region. Mirrors src/net/kv_service.h's layout.
+int kvd_status(const char* dir) {
+  const std::string ctr_path = std::string(dir) + "/crpm-rank0.ctr";
+  const std::string snap_path = std::string(dir) + "/crpm-rank0.snap";
+  const std::string marker = std::string(dir) + "/LAST_RECOVERY";
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    std::fprintf(stderr, "%s: not a directory\n", dir);
+    return 1;
+  }
+  if (!std::filesystem::exists(ctr_path, ec)) {
+    std::fprintf(stderr, "%s: no crpm-rank0.ctr — not a kvd data dir\n",
+                 dir);
+    return 1;
+  }
+
+  int fd = ::open(ctr_path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    std::perror("open");
+    return 1;
+  }
+  struct stat st{};
+  ::fstat(fd, &st);
+  auto size = static_cast<size_t>(st.st_size);
+  if (size < sizeof(MetaHeader)) {
+    std::fprintf(stderr, "container file truncated\n");
+    ::close(fd);
+    return 2;
+  }
+  void* mem = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (mem == MAP_FAILED) {
+    std::perror("mmap");
+    return 1;
+  }
+  const auto* h = static_cast<const MetaHeader*>(mem);
+  const auto* base = static_cast<const uint8_t*>(mem);
+  if (h->magic != kMetaMagic || h->initialized == 0) {
+    std::fprintf(stderr, "container is not initialized (magic/flag)\n");
+    ::munmap(mem, size);
+    return 2;
+  }
+
+  std::printf("kvd data dir:      %s\n", dir);
+  std::printf("committed epoch:   %llu\n",
+              (unsigned long long)h->committed_epoch);
+
+  int rc = 0;
+  const auto* roots =
+      reinterpret_cast<const uint64_t*>(base + h->roots_offset) +
+      (h->committed_epoch & 1) * kNumRoots;
+  const uint64_t main_size = h->nr_main_segs * h->segment_size;
+  if (roots[0] == 0) {
+    std::printf("key count:         (no map root committed yet)\n");
+  } else if (roots[0] + 24 > main_size ||
+             h->main_region_offset + roots[0] + 24 > size) {
+    std::printf("key count:         ERROR: map root out of range\n");
+    rc = 2;
+  } else {
+    const auto* meta = reinterpret_cast<const uint64_t*>(
+        base + h->main_region_offset + roots[0]);
+    std::printf("key count:         %llu (in %llu buckets)\n",
+                (unsigned long long)meta[2], (unsigned long long)meta[1]);
+  }
+
+  std::string src = "(unknown: no LAST_RECOVERY marker)";
+  if (std::FILE* f = std::fopen(marker.c_str(), "r")) {
+    char buf[64] = {0};
+    if (std::fgets(buf, sizeof(buf), f) != nullptr) {
+      buf[std::strcspn(buf, "\n")] = '\0';
+      src = buf;
+    }
+    std::fclose(f);
+  }
+  std::printf("last recovery:     %s\n", src.c_str());
+
+  if (std::filesystem::exists(snap_path, ec)) {
+    snapshot::ArchiveReader reader(snap_path);
+    uint64_t newest = 0;
+    if (reader.scan().valid && reader.latest_restorable(&newest)) {
+      std::printf("archive:           newest restorable epoch %llu\n",
+                  (unsigned long long)newest);
+    } else {
+      std::printf("archive:           present but NOT restorable\n");
+      rc = 2;
+    }
+  } else {
+    std::printf("archive:           none\n");
+  }
+  ::munmap(mem, size);
+  std::printf("%s\n", rc == 0 ? "kvd data dir is consistent"
+                              : "KVD DATA DIR IS DAMAGED");
+  return rc;
+}
+
 // --- stats demo -----------------------------------------------------------
 
 // Deterministic micro-workload: 6 epochs of 48 seeded 8-byte writes on a
@@ -424,8 +530,9 @@ int usage(const char* argv0) {
                "       %s archive verify <archive-file>\n"
                "       %s archive dump <archive-file> <epoch> <out-file>\n"
                "       %s repl status <replica-store-dir>\n"
+               "       %s kvd <server-data-dir>\n"
                "       %s stats [sync|async]\n",
-               argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 64;
 }
 
@@ -444,6 +551,10 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "repl") == 0) {
     if (argc == 4 && std::strcmp(argv[2], "status") == 0)
       return repl_status(argv[3]);
+    return usage(argv[0]);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "kvd") == 0) {
+    if (argc == 3) return kvd_status(argv[2]);
     return usage(argv[0]);
   }
   if (argc >= 2 && std::strcmp(argv[1], "stats") == 0) {

@@ -1,0 +1,404 @@
+// crpm_kvd: the networked persistent-KV daemon and its workload CLI.
+//
+//   crpm_kvd serve  --dir <d> [--port 0] [--port-file <f>] [--workers 4]
+//                   [--interval-ms 8] [--async-workers 1]
+//                   [--capacity-mb 256] [--buckets 65536] [--archive]
+//                   [--preload <n>]
+//   crpm_kvd load   --port <p> [--host 127.0.0.1] [--threads 4]
+//                   [--seconds 5] [--ops <n>] [--keys 100000]
+//                   [--durable-every 16] [--get-ratio 0.5]
+//                   [--state-file <f>]
+//   crpm_kvd verify --port <p> [--host 127.0.0.1] --state-file <f>
+//   crpm_kvd cmd    --port <p> [--host 127.0.0.1]
+//                   (ckpt [--durable] | stats | get <k> | put <k> <v> |
+//                    del <k>)
+//
+// serve runs a KvService + epoll Server over <dir> until SIGINT/SIGTERM.
+// The bound port (0 = ephemeral) is printed and, with --port-file, written
+// to a file scripts can poll — that write is the readiness signal.
+// Shutdown does NOT force a final checkpoint: like a crash, only acked
+// durable writes are guaranteed to survive, which is exactly the contract
+// the crash harness verifies.
+//
+// load drives puts/gets from `--threads` connections. Keys are partitioned
+// per thread (thread t owns keys t*2^32 + [0, keys)) and every put carries
+// a self-verifying value (wire.h) with a per-thread monotonically
+// increasing stamp. Every `--durable-every`-th put is durable; each ack is
+// appended to --state-file as "key stamp" AFTER the server acknowledged it.
+//
+// verify replays a state file against a (recovered) server: every acked
+// key must be present, decode cleanly (torn-value check), and carry a
+// stamp >= the acked one. Exit 1 on any violation.
+#include <signal.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+using namespace crpm;
+using namespace crpm::net;
+
+namespace {
+
+volatile sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+const char* flag_value(int argc, char** argv, const char* name) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+bool flag_present(int argc, char** argv, const char* name) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+uint64_t flag_u64(int argc, char** argv, const char* name, uint64_t dflt) {
+  const char* v = flag_value(argc, argv, name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : dflt;
+}
+
+double flag_double(int argc, char** argv, const char* name, double dflt) {
+  const char* v = flag_value(argc, argv, name);
+  return v != nullptr ? std::strtod(v, nullptr) : dflt;
+}
+
+std::string flag_str(int argc, char** argv, const char* name,
+                     const std::string& dflt) {
+  const char* v = flag_value(argc, argv, name);
+  return v != nullptr ? std::string(v) : dflt;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s serve  --dir <d> [--port 0] [--port-file <f>]\n"
+      "                 [--workers 4] [--interval-ms 8] [--async-workers 1]\n"
+      "                 [--capacity-mb 256] [--buckets 65536] [--archive]\n"
+      "                 [--preload <n>]\n"
+      "       %s load   --port <p> [--host <h>] [--threads 4] [--seconds 5]\n"
+      "                 [--ops <n>] [--keys 100000] [--durable-every 16]\n"
+      "                 [--get-ratio 0.5] [--state-file <f>]\n"
+      "       %s verify --port <p> [--host <h>] --state-file <f>\n"
+      "       %s cmd    --port <p> [--host <h>] (ckpt [--durable] | stats |\n"
+      "                 get <k> | put <k> <v> | del <k>)\n",
+      argv0, argv0, argv0, argv0);
+  return 64;
+}
+
+// --- serve ----------------------------------------------------------------
+
+int cmd_serve(int argc, char** argv) {
+  const char* dir = flag_value(argc, argv, "--dir");
+  if (dir == nullptr) return usage(argv[0]);
+
+  KvService::Config sc;
+  sc.dir = dir;
+  sc.capacity_bytes = flag_u64(argc, argv, "--capacity-mb", 256) << 20;
+  sc.buckets = flag_u64(argc, argv, "--buckets", 65536);
+  sc.interval_ms = flag_double(argc, argv, "--interval-ms", 8.0);
+  sc.async_workers =
+      static_cast<uint32_t>(flag_u64(argc, argv, "--async-workers", 1));
+  sc.archive = flag_present(argc, argv, "--archive");
+  KvService svc(sc);
+
+  uint64_t preload = flag_u64(argc, argv, "--preload", 0);
+  if (preload != 0 && !svc.recovered()) {
+    for (uint64_t k = 0; k < preload; ++k) {
+      svc.put(k, make_value(k, 0));
+    }
+    svc.flush();
+    std::printf("crpm_kvd: preloaded %llu keys\n",
+                (unsigned long long)preload);
+  }
+
+  ServerConfig nc;
+  nc.host = flag_str(argc, argv, "--host", "127.0.0.1");
+  nc.port = static_cast<uint16_t>(flag_u64(argc, argv, "--port", 0));
+  nc.workers = static_cast<uint32_t>(flag_u64(argc, argv, "--workers", 4));
+  Server server(svc, nc);
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "crpm_kvd: %s\n", err.c_str());
+    return 1;
+  }
+
+  std::printf("crpm_kvd: serving %s on %s:%u (recovery=%s, epoch=%llu, "
+              "keys=%llu)\n",
+              dir, nc.host.c_str(), server.port(),
+              recovery_source_name(svc.last_recovery()),
+              (unsigned long long)svc.committed_epoch(),
+              (unsigned long long)svc.key_count());
+  std::fflush(stdout);
+
+  // The port file doubles as the readiness signal: written only once the
+  // socket is accepting.
+  std::string port_file = flag_str(argc, argv, "--port-file", "");
+  if (!port_file.empty()) {
+    if (std::FILE* f = std::fopen(port_file.c_str(), "w")) {
+      std::fprintf(f, "%u\n", server.port());
+      std::fclose(f);
+    }
+  }
+
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+  std::printf("crpm_kvd: shut down; %s\n", svc.stats_text().c_str());
+  return 0;
+}
+
+// --- load -----------------------------------------------------------------
+
+int cmd_load(int argc, char** argv) {
+  const char* port_s = flag_value(argc, argv, "--port");
+  if (port_s == nullptr) return usage(argv[0]);
+  uint16_t port = static_cast<uint16_t>(std::strtoul(port_s, nullptr, 10));
+  std::string host = flag_str(argc, argv, "--host", "127.0.0.1");
+  uint64_t threads = flag_u64(argc, argv, "--threads", 4);
+  double seconds = flag_double(argc, argv, "--seconds", 5.0);
+  uint64_t max_ops = flag_u64(argc, argv, "--ops", 0);  // 0 = time-bound
+  uint64_t keys = flag_u64(argc, argv, "--keys", 100000);
+  uint64_t durable_every = flag_u64(argc, argv, "--durable-every", 16);
+  double get_ratio = flag_double(argc, argv, "--get-ratio", 0.5);
+  std::string state_file = flag_str(argc, argv, "--state-file", "");
+
+  std::FILE* sf = nullptr;
+  std::mutex sf_mu;
+  if (!state_file.empty()) {
+    sf = std::fopen(state_file.c_str(), "a");
+    if (sf == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", state_file.c_str());
+      return 1;
+    }
+  }
+
+  std::atomic<uint64_t> total_ops{0}, total_acked{0}, total_errors{0};
+  std::vector<std::thread> ts;
+  for (uint64_t t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      Client cl;
+      if (!cl.connect(host, port)) {
+        total_errors.fetch_add(1);
+        return;
+      }
+      Xoshiro256 rng(0x9e3779b9 + t);
+      const uint64_t base = t << 32;
+      uint64_t stamp = 1;
+      uint64_t ops = 0, acked = 0;
+      Stopwatch sw;
+      uint64_t per_thread_ops = max_ops == 0 ? 0 : max_ops / threads;
+      while ((per_thread_ops == 0 || ops < per_thread_ops) &&
+             (max_ops != 0 || sw.elapsed_sec() < seconds)) {
+        uint64_t key = base + rng.next_below(keys);
+        bool is_get =
+            get_ratio > 0 &&
+            double(rng.next_below(1000)) < get_ratio * 1000.0;
+        if (is_get) {
+          Status st;
+          KvVal v;
+          if (!cl.get(key, &v, &st)) {
+            total_errors.fetch_add(1);
+            break;  // transport error: server likely gone
+          }
+        } else {
+          bool durable =
+              durable_every != 0 && (ops % durable_every) == 0;
+          KvVal v = make_value(key, stamp);
+          if (!cl.put(key, v, durable, nullptr)) {
+            total_errors.fetch_add(1);
+            break;
+          }
+          if (durable) {
+            ++acked;
+            if (sf != nullptr) {
+              std::lock_guard<std::mutex> lk(sf_mu);
+              std::fprintf(sf, "%llu %llu\n", (unsigned long long)key,
+                           (unsigned long long)stamp);
+              std::fflush(sf);
+            }
+          }
+          ++stamp;
+        }
+        ++ops;
+      }
+      total_ops.fetch_add(ops);
+      total_acked.fetch_add(acked);
+    });
+  }
+  for (auto& th : ts) th.join();
+  if (sf != nullptr) std::fclose(sf);
+  std::printf("load: %llu ops, %llu durable acks, %llu errors\n",
+              (unsigned long long)total_ops.load(),
+              (unsigned long long)total_acked.load(),
+              (unsigned long long)total_errors.load());
+  return total_ops.load() == 0 ? 1 : 0;
+}
+
+// --- verify ---------------------------------------------------------------
+
+int cmd_verify(int argc, char** argv) {
+  const char* port_s = flag_value(argc, argv, "--port");
+  std::string state_file = flag_str(argc, argv, "--state-file", "");
+  if (port_s == nullptr || state_file.empty()) return usage(argv[0]);
+  uint16_t port = static_cast<uint16_t>(std::strtoul(port_s, nullptr, 10));
+  std::string host = flag_str(argc, argv, "--host", "127.0.0.1");
+
+  std::map<uint64_t, uint64_t> acked;  // key -> max acked stamp
+  std::FILE* f = std::fopen(state_file.c_str(), "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", state_file.c_str());
+    return 1;
+  }
+  unsigned long long k, s;
+  while (std::fscanf(f, "%llu %llu", &k, &s) == 2) {
+    uint64_t& cur = acked[k];
+    if (s > cur) cur = s;
+  }
+  std::fclose(f);
+
+  Client cl;
+  if (!cl.connect(host, port)) {
+    std::fprintf(stderr, "verify: cannot connect to %s:%u\n", host.c_str(),
+                 port);
+    return 1;
+  }
+  uint64_t bad = 0;
+  for (const auto& [key, stamp] : acked) {
+    Status st;
+    KvVal v;
+    if (!cl.get(key, &v, &st)) {
+      std::fprintf(stderr, "verify: transport error on key %llu\n",
+                   (unsigned long long)key);
+      return 1;
+    }
+    if (st != kOk) {
+      std::fprintf(stderr, "verify: acked key %llu MISSING\n",
+                   (unsigned long long)key);
+      ++bad;
+      continue;
+    }
+    uint64_t got = 0;
+    if (!check_value(v, key, &got)) {
+      std::fprintf(stderr, "verify: key %llu has a TORN/ALIEN value\n",
+                   (unsigned long long)key);
+      ++bad;
+      continue;
+    }
+    if (got < stamp) {
+      std::fprintf(stderr,
+                   "verify: key %llu lost acked stamp %llu (has %llu)\n",
+                   (unsigned long long)key, (unsigned long long)stamp,
+                   (unsigned long long)got);
+      ++bad;
+    }
+  }
+  std::printf("verify: %zu acked keys checked, %llu violations\n",
+              acked.size(), (unsigned long long)bad);
+  return bad == 0 ? 0 : 1;
+}
+
+// --- cmd ------------------------------------------------------------------
+
+int cmd_cmd(int argc, char** argv) {
+  const char* port_s = flag_value(argc, argv, "--port");
+  if (port_s == nullptr) return usage(argv[0]);
+  uint16_t port = static_cast<uint16_t>(std::strtoul(port_s, nullptr, 10));
+  std::string host = flag_str(argc, argv, "--host", "127.0.0.1");
+
+  // The verb is the first non-flag argument after the subcommand.
+  std::vector<const char*> pos;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      if (std::strcmp(argv[i], "--durable") != 0) ++i;  // skip flag value
+      continue;
+    }
+    pos.push_back(argv[i]);
+  }
+  if (pos.empty()) return usage(argv[0]);
+
+  Client cl;
+  if (!cl.connect(host, port)) {
+    std::fprintf(stderr, "cannot connect to %s:%u\n", host.c_str(), port);
+    return 1;
+  }
+  const std::string verb = pos[0];
+  if (verb == "ckpt") {
+    uint64_t epoch = 0;
+    if (!cl.ckpt(flag_present(argc, argv, "--durable"), &epoch)) return 1;
+    std::printf("checkpoint tag %llu (committed %s)\n",
+                (unsigned long long)epoch,
+                flag_present(argc, argv, "--durable") ? "yes" : "async");
+    return 0;
+  }
+  if (verb == "stats") {
+    std::string text;
+    uint64_t epoch = 0, keys = 0;
+    if (!cl.stats(&text, &epoch, &keys)) return 1;
+    std::printf("%s\n", text.c_str());
+    return 0;
+  }
+  if (verb == "get" && pos.size() == 2) {
+    uint64_t key = std::strtoull(pos[1], nullptr, 10);
+    Status st;
+    KvVal v;
+    if (!cl.get(key, &v, &st)) return 1;
+    if (st != kOk) {
+      std::printf("(not found)\n");
+      return 1;
+    }
+    std::fwrite(v.bytes, 1, v.len, stdout);
+    std::printf("\n");
+    return 0;
+  }
+  if (verb == "put" && pos.size() == 3) {
+    uint64_t key = std::strtoull(pos[1], nullptr, 10);
+    size_t len = std::strlen(pos[2]);
+    if (len > kMaxValueLen) {
+      std::fprintf(stderr, "value too long (max %u)\n", kMaxValueLen);
+      return 64;
+    }
+    KvVal v;
+    v.len = static_cast<uint32_t>(len);
+    std::memcpy(v.bytes, pos[2], len);
+    return cl.put(key, v, true, nullptr) ? 0 : 1;
+  }
+  if (verb == "del" && pos.size() == 2) {
+    uint64_t key = std::strtoull(pos[1], nullptr, 10);
+    Status st;
+    if (!cl.del(key, true, &st)) return 1;
+    return st == kOk ? 0 : 1;
+  }
+  return usage(argv[0]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  if (std::strcmp(argv[1], "serve") == 0) return cmd_serve(argc, argv);
+  if (std::strcmp(argv[1], "load") == 0) return cmd_load(argc, argv);
+  if (std::strcmp(argv[1], "verify") == 0) return cmd_verify(argc, argv);
+  if (std::strcmp(argv[1], "cmd") == 0) return cmd_cmd(argc, argv);
+  return usage(argv[0]);
+}
