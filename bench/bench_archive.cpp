@@ -12,6 +12,15 @@
 //   archive      archiving, fdatasync per epoch
 //   arch+nosync  archiving, no per-epoch fdatasync
 //   arch+compact archiving with compaction every 8 epochs
+//   arch+tier    archiving through src/tier: lzb codec, four-epoch group
+//                commit (50 ms flush deadline), threaded writeback
+//
+// The tier row also reports the archive's device-traffic economics:
+// bytes/epoch on disk, fdatasyncs/epoch (group commit amortizes the sync),
+// and 'vs raw' — on-disk bytes over the plain-frame-equivalent bytes, the
+// compression win the cold tier inherits. CI gates arch+tier on
+// bytes_per_epoch_vs_raw (the codec must keep winning) and cpu_vs_off
+// (tiering must stay off the commit path).
 //
 // and reports the writer-side stats (bytes appended, queue high-water mark,
 // producer stall time). Expect the archive columns within ~10% of off: the
@@ -47,6 +56,7 @@
 #include "nvm/cost_model.h"
 #include "nvm/device.h"
 #include "snapshot/writer.h"
+#include "tier/codec.h"
 #include "util/env.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
@@ -90,6 +100,13 @@ Result run_mode(const std::string& mode, uint64_t epochs, uint64_t dirty_kb,
       // which committed epochs keep arriving; a queue deep enough to hold
       // them rides the fold out without backpressure (the leader stages
       // frames itself while the writer is compacting).
+      sopt.queue_depth = 32;
+    }
+    if (mode == "arch+tier") {
+      sopt.tier.codec = tier::kCodecLzb;
+      sopt.tier.group_epochs = 4;
+      sopt.tier.flush_deadline_us = 50'000;
+      sopt.tier.writeback = "threads";
       sopt.queue_depth = 32;
     }
   }
@@ -174,14 +191,24 @@ int main(int argc, char** argv) {
       (unsigned long long)region_mb, interval_ms, cost ? "on" : "off");
 
   TablePrinter t({"mode", "wall mean ms", "wall max ms", "cpu mean ms",
-                  "vs off", "archived", "bytes", "q hwm", "stall ms",
-                  "capture ms"});
+                  "vs off", "archived", "bytes", "B/epoch", "sync/ep",
+                  "vs raw", "q hwm", "stall ms", "capture ms"});
   double off_cpu = 0;
   for (const char* mode :
-       {"off", "archive", "arch+nosync", "arch+compact"}) {
+       {"off", "archive", "arch+nosync", "arch+compact", "arch+tier"}) {
     Result r = run_mode(mode, epochs, dirty_kb, region_mb, interval_ms, cost);
     if (std::string(mode) == "off") off_cpu = r.mean_ckpt_cpu_ms;
     const double vs_off = off_cpu > 0 ? r.mean_ckpt_cpu_ms / off_cpu : 1.0;
+    const double n_arch =
+        r.arch.epochs_appended > 0 ? double(r.arch.epochs_appended) : 1.0;
+    const double bytes_per_epoch = double(r.arch.bytes_appended) / n_arch;
+    const double sync_per_epoch = double(r.arch.fsyncs) / n_arch;
+    // On-disk bytes over plain-frame-equivalent bytes: < 1.0 means the
+    // codec is winning; the plain modes sit at exactly 1.0.
+    const double vs_raw = r.arch.raw_bytes > 0
+                              ? double(r.arch.bytes_appended) /
+                                    double(r.arch.raw_bytes)
+                              : 1.0;
     t.row()
         .cell(mode)
         .cell(r.mean_ckpt_ms, 3)
@@ -190,6 +217,9 @@ int main(int argc, char** argv) {
         .cell(vs_off, 3)
         .cell(r.arch.epochs_appended)
         .cell(format_bytes(r.arch.bytes_appended))
+        .cell(format_bytes(static_cast<uint64_t>(bytes_per_epoch)).c_str())
+        .cell(sync_per_epoch, 3)
+        .cell(vs_raw, 3)
         .cell(r.arch.queue_hwm)
         .cell(static_cast<double>(r.arch.stall_ns) / 1e6, 3)
         .cell(static_cast<double>(r.capture_ns) / 1e6, 3);
@@ -201,6 +231,11 @@ int main(int argc, char** argv) {
         .col("cpu_vs_off", vs_off)
         .col("epochs_appended", r.arch.epochs_appended)
         .col("bytes_appended", r.arch.bytes_appended)
+        .col("bytes_per_epoch", bytes_per_epoch)
+        .col("archive_sync_per_epoch", sync_per_epoch)
+        .col("bytes_per_epoch_vs_raw", vs_raw)
+        .col("coded_frames", r.arch.coded_frames)
+        .col("batches", r.arch.batches)
         .col("queue_hwm", r.arch.queue_hwm)
         .col("stall_ms", static_cast<double>(r.arch.stall_ns) / 1e6)
         .col("capture_ms", static_cast<double>(r.capture_ns) / 1e6);

@@ -98,8 +98,13 @@ stage_bench() {
     CRPM_KVD_KEYS=1000000 CRPM_KVD_CONNS=4 CRPM_KVD_SECONDS=2 \
       CRPM_KVD_INTERVAL_MS=25 CRPM_KVD_WORKERS=4 \
       ./build/bench/bench_kvd --json "$out/kvd_$run.json" >/dev/null
+    # Tiered-archive economics: the arch+tier row gates the codec win
+    # (bytes_per_epoch_vs_raw) and the commit-path overhead (cpu_vs_off).
+    CRPM_ARCH_EPOCHS=16 CRPM_ARCH_DIRTY_KB=1024 CRPM_ARCH_MB=32 \
+      CRPM_ARCH_INTERVAL_MS=4 \
+      ./build/bench/bench_archive --json "$out/arch_$run.json" >/dev/null
     results+=("$out/fig7_$run.json" "$out/repl_$run.json" \
-      "$out/fig9_$run.json" "$out/kvd_$run.json")
+      "$out/fig9_$run.json" "$out/kvd_$run.json" "$out/arch_$run.json")
   done
   python3 scripts/check_bench.py "${results[@]}"
   rm -rf "$out"

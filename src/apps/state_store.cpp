@@ -88,6 +88,26 @@ StateStore::StateStore(const Config& cfg) : cfg_(cfg) {
         if (cfg_.archive) {
           opt.archive_path = base + ".snap";
           opt.archive_compact_every = cfg_.archive_compact_every;
+          if (cfg_.archive_tier) {
+            opt.archive_codec = "lzb";
+            opt.archive_group_epochs = 4;
+            opt.archive_writeback = "threads";
+            // Checkpoint cadences are tens of ms; a deadline shorter than
+            // the cadence degenerates group commit to one fsync per epoch.
+            // The archive is the second recovery level (durable acks wait
+            // on the container epoch, not on archive writeback), so a
+            // 100 ms archive-durability lag trades nothing the service
+            // promised away.
+            opt.archive_flush_deadline_us = 100'000;
+            // Group commit parks frames until the batch cuts; a queue
+            // deep enough to hold several batches keeps the committing
+            // thread from stalling against the writer (the stall lands
+            // inside the capture window and shows up as serving tail).
+            opt.archive_queue_depth = 32;
+            // Compaction needs somewhere to retire folded epochs; keep
+            // the cold tier on whenever the fold is.
+            opt.archive_cold = cfg_.archive_compact_every != 0;
+          }
         }
       }
       recovery_source_ = container_file_usable(path)

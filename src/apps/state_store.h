@@ -68,6 +68,10 @@ class StateStore {
     uint32_t async_workers = 1;
     bool archive = false;                // <dir>/crpm-rank<N>.snap
     uint32_t archive_compact_every = 0;
+    // Route the archive through src/tier: lzb codec, four-epoch group
+    // commit (bounded by the default flush deadline, so a lone durable
+    // epoch still reaches the device promptly), threaded writeback.
+    bool archive_tier = false;
   };
 
   explicit StateStore(const Config& cfg);
@@ -120,6 +124,9 @@ class StateStore {
   // null otherwise). Exposed so servers can layer persistent containers
   // (e.g. PHashMap via CrpmRefPolicy) over the same store.
   Heap* heap() { return heap_.get(); }
+  // The attached archive writer (null unless cfg.archive); exposed for
+  // stats reporting — benches read writer_stats() after draining.
+  snapshot::ArchiveWriter* archive_writer() { return archive_.get(); }
   RecoverySource last_recovery() const { return recovery_source_; }
 
  private:

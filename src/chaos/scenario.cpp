@@ -25,6 +25,8 @@
 #include "repl/replicator.h"
 #include "snapshot/archive.h"
 #include "snapshot/writer.h"
+#include "tier/cold.h"
+#include "tier/codec.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -165,6 +167,41 @@ bool check_chain_prefix(const std::string& path, const Golden& g,
     if (!image_matches(image.data(), g.at[e], what, e, why)) return false;
     if (roots[0] != e) {
       *why = std::string(what) + " epoch " + std::to_string(e) +
+             " carries root " + std::to_string(roots[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+// Cold-tier oracle: every cold base beside `path` must be a readable
+// one-frame archive whose state is bit-identical to its golden epoch, and
+// no cold base may hold an unreachable epoch. A mid-store kill leaves only
+// the tmp file behind (never listed), so a listed entry has no excuse.
+bool check_cold_tier(const std::string& path, const Golden& g,
+                     uint64_t max_epoch, std::string* why) {
+  for (const auto& e : tier::ColdTier::list_for_archive(path)) {
+    if (e.epoch > max_epoch) {
+      *why = "cold tier holds epoch " + std::to_string(e.epoch) +
+             " beyond reachable epoch " + std::to_string(max_epoch);
+      return false;
+    }
+    snapshot::ArchiveReader reader(e.path);
+    std::vector<uint8_t> image;
+    std::array<uint64_t, kNumRoots> roots{};
+    std::string err;
+    if (!reader.ok() || !reader.state_at(e.epoch, &image, &roots, &err)) {
+      *why = "cold base for epoch " + std::to_string(e.epoch) +
+             " unreadable: " + err;
+      return false;
+    }
+    if (e.epoch >= g.at.size()) continue;
+    if (!image_matches(image.data(), g.at[e.epoch], "cold base", e.epoch,
+                       why)) {
+      return false;
+    }
+    if (roots[0] != e.epoch) {
+      *why = "cold base epoch " + std::to_string(e.epoch) +
              " carries root " + std::to_string(roots[0]);
       return false;
     }
@@ -376,12 +413,19 @@ class CoreAsyncScenario final : public Scenario {
 };
 
 // ---------------------------------------------------------------------------
-// archive: commit loop + background archive append + compaction. The
-// event axis is device events [0, D) then writer file ops [D, D+F).
+// archive / archive-tier: commit loop + background archive append +
+// compaction. The event axis is device events [0, D) then writer file ops
+// [D, D+F). The tiered variant layers the full src/tier stack on top —
+// lzb-coded frames, two-epoch group commit (drain every second epoch so
+// batches actually span a sync boundary), threaded writeback and the cold
+// tier — which adds the tier.encode / archive.frame / tier.cold /
+// archive.compact sites to the file-op axis.
 // ---------------------------------------------------------------------------
 
 class ArchiveScenario final : public Scenario {
  public:
+  explicit ArchiveScenario(bool tiered) : tiered_(tiered) {}
+
   EventCensus enumerate(const MatrixConfig& cfg) override {
     Paths p = make_paths();
     const CrpmOptions opt = scenario_opts(cfg, false);
@@ -399,8 +443,9 @@ class ArchiveScenario final : public Scenario {
     for (uint64_t e = 1; e <= cfg.epochs; ++e) {
       apply_epoch_to_container(cfg, *c, e);
       c->checkpoint();
-      w->drain();
+      if (e % drain_every() == 0) w->drain();
     }
+    w->drain();
     c->set_epoch_sink(nullptr);
     w->set_file_op_hook({});
     w.reset();
@@ -424,22 +469,36 @@ class ArchiveScenario final : public Scenario {
     std::string archive;
   };
 
-  static Paths make_paths() {
+  // Batches must span a sync boundary for the tiered variant's crash axis
+  // to cover them, so it drains every second epoch (group_epochs = 2).
+  uint64_t drain_every() const { return tiered_ ? 2 : 1; }
+
+  Paths make_paths() const {
     Paths p;
     p.dir = fs::temp_directory_path() /
-            ("crpm_chaos_archive_" + std::to_string(::getpid()));
+            (std::string("crpm_chaos_archive_") + (tiered_ ? "tier_" : "") +
+             std::to_string(::getpid()));
     fs::remove_all(p.dir);
     fs::create_directories(p.dir);
     p.archive = (p.dir / "a.crpmsnap").string();
     return p;
   }
 
-  static std::unique_ptr<snapshot::ArchiveWriter> make_writer(
-      const Paths& p) {
+  std::unique_ptr<snapshot::ArchiveWriter> make_writer(
+      const Paths& p) const {
     snapshot::SnapshotOptions s;
     s.compact_every = 3;
     s.queue_depth = 4;
     s.fsync_each_epoch = true;
+    if (tiered_) {
+      s.tier.codec = tier::kCodecLzb;
+      s.tier.group_epochs = 2;
+      // Batch-full or drain only: a timer-driven flush would make the
+      // file-op census depend on wall-clock scheduling.
+      s.tier.flush_deadline_us = 3'600'000'000ull;
+      s.tier.writeback = "threads";
+      s.tier.cold_enabled = true;
+    }
     return std::make_unique<snapshot::ArchiveWriter>(p.archive, s);
   }
 
@@ -466,7 +525,7 @@ class ArchiveScenario final : public Scenario {
       for (uint64_t e = 1; e <= cfg.epochs; ++e) {
         apply_epoch_to_container(cfg, *c, e);
         c->checkpoint();
-        w->drain();
+        if (e % drain_every() == 0) w->drain();
         last_committed = e;
       }
     } catch (const SimulatedCrash&) {
@@ -493,7 +552,8 @@ class ArchiveScenario final : public Scenario {
     std::string why;
     if (!check_recovered(*c, g, last_committed, &why) ||
         !check_chain_prefix(p.archive, g, last_committed + 1, "archive",
-                            &why)) {
+                            &why) ||
+        !check_cold_tier(p.archive, g, last_committed + 1, &why)) {
       out.violation = true;
       out.detail = why;
       return out;
@@ -533,8 +593,9 @@ class ArchiveScenario final : public Scenario {
     for (uint64_t e = 1; e <= cfg.epochs; ++e) {
       apply_epoch_to_container(cfg, *c, e);
       c->checkpoint();
-      w->drain();
+      if (e % drain_every() == 0) w->drain();
     }
+    w->drain();
     c->set_epoch_sink(nullptr);
     w->set_file_op_hook({});
     w.reset();
@@ -542,7 +603,8 @@ class ArchiveScenario final : public Scenario {
     std::string why;
     if (!image_matches(c->data(), g.at[cfg.epochs], "main region",
                        cfg.epochs, &why) ||
-        !check_chain_prefix(p.archive, g, cfg.epochs, "archive", &why)) {
+        !check_chain_prefix(p.archive, g, cfg.epochs, "archive", &why) ||
+        !check_cold_tier(p.archive, g, cfg.epochs, &why)) {
       out.violation = true;
       out.detail = why;
       return out;
@@ -570,8 +632,9 @@ class ArchiveScenario final : public Scenario {
     for (uint64_t e = from + 1; e <= final_epoch; ++e) {
       apply_epoch_to_container(cfg, *c, e);
       c->checkpoint();
-      w->drain();
+      if (e % drain_every() == 0) w->drain();
     }
+    w->drain();
     c->set_epoch_sink(nullptr);
     w.reset();
     std::string why;
@@ -593,12 +656,14 @@ class ArchiveScenario final : public Scenario {
                     std::to_string(latest) + " after committing " +
                     std::to_string(final_epoch);
     } else if (!check_chain_prefix(p.archive, g, final_epoch, "archive",
-                                   &why)) {
+                                   &why) ||
+               !check_cold_tier(p.archive, g, final_epoch, &why)) {
       out->violation = true;
       out->detail = why;
     }
   }
 
+  bool tiered_;
   uint64_t device_events_ = ~uint64_t{0};
 };
 
@@ -792,13 +857,17 @@ std::unique_ptr<Scenario> make_scenario(const std::string& name) {
   if (name == "core") return std::make_unique<CoreScenario>(false);
   if (name == "core-buffered") return std::make_unique<CoreScenario>(true);
   if (name == "core-async") return std::make_unique<CoreAsyncScenario>();
-  if (name == "archive") return std::make_unique<ArchiveScenario>();
+  if (name == "archive") return std::make_unique<ArchiveScenario>(false);
+  if (name == "archive-tier") {
+    return std::make_unique<ArchiveScenario>(true);
+  }
   if (name == "repl") return std::make_unique<ReplScenario>();
   return nullptr;
 }
 
 std::vector<std::string> scenario_names() {
-  return {"core", "core-buffered", "core-async", "archive", "repl"};
+  return {"core",    "core-buffered", "core-async",
+          "archive", "archive-tier",  "repl"};
 }
 
 CrpmOptions scenario_options(const MatrixConfig& cfg, bool buffered) {

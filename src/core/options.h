@@ -94,9 +94,31 @@ struct CrpmOptions {
   // thread blocks on the background writer (backpressure).
   uint32_t archive_queue_depth = 8;
 
-  // fdatasync the archive after each appended epoch. Off, durability of
-  // archived epochs lags the OS page cache.
+  // fdatasync the archive after each appended batch (a batch is one epoch
+  // unless archive_group_epochs raises it). Off, durability of archived
+  // epochs lags the OS page cache.
   bool archive_fsync = true;
+
+  // Per-frame codec negotiated by the tiering layer (src/tier): "" or
+  // "none" appends plain frames; "lzb" tries LZ4-style compression and
+  // keeps whichever form is smaller.
+  std::string archive_codec;
+
+  // Group commit: epochs batched into one device write + fdatasync. 0/1
+  // keeps the one-batch-per-epoch behavior.
+  uint32_t archive_group_epochs = 1;
+
+  // Bound on how long a partial batch waits for more epochs before it is
+  // flushed anyway (durable-ack latency bound for group commit).
+  uint64_t archive_flush_deadline_us = 2000;
+
+  // Writeback engine draining the batch ring: "sync" (default), "threads",
+  // "uring", or "auto" (uring when available, else threads).
+  std::string archive_writeback;
+
+  // Store a compressed base frame under <archive>.cold/ at every
+  // compaction fold, keeping folded-away epochs restorable.
+  bool archive_cold = false;
 
   // --- test-only fault injection ---------------------------------------
 

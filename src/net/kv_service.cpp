@@ -16,6 +16,7 @@ KvService::KvService(const Config& cfg) : cfg_(cfg) {
   sc.async_workers = cfg_.async_workers == 0 ? 1 : cfg_.async_workers;
   sc.archive = cfg_.archive;
   sc.archive_compact_every = cfg_.archive_compact_every;
+  sc.archive_tier = cfg_.archive_tier;
   store_ = std::make_unique<StateStore>(sc);
   policy_ = std::make_unique<CrpmRefPolicy>(*store_->container(),
                                             *store_->heap());

@@ -56,6 +56,8 @@ class KvService {
     uint32_t async_workers = 1;
     bool archive = false;
     uint32_t archive_compact_every = 0;
+    bool archive_tier = false;       // tiered archive I/O (codec + group
+                                     // commit + threaded writeback)
   };
 
   explicit KvService(const Config& cfg);

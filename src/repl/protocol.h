@@ -18,6 +18,10 @@
 //                restore `epoch`". Idempotent: a retry resends all frames.
 //   kPullFrame   one frame of a pull response; `aux` = frame index,
 //                `aux2` = total frames (0 = cannot serve).
+//   kColdBase    sender → partner: a cold-tier base frame of rank
+//                `origin` (the state its local compaction folded away).
+//                Stored under the replica's peer cold directory and acked
+//                exactly like kFrame.
 //
 // The transport may drop, duplicate, delay and reorder arbitrarily
 // (comm/channel.h). Every handler is therefore idempotent, every request
@@ -42,6 +46,7 @@ enum MsgType : uint32_t {
   kNewestResp = 4,
   kPull = 5,
   kPullFrame = 6,
+  kColdBase = 7,
 };
 
 // Fixed-size, naturally aligned, zero-padded — CRC over the raw bytes is

@@ -10,6 +10,8 @@
 
 #include "snapshot/archive.h"
 #include "snapshot/format.h"
+#include "tier/coded.h"
+#include "tier/cold.h"
 #include "util/logging.h"
 
 namespace crpm::repl {
@@ -27,6 +29,21 @@ bool parse_frame(const uint8_t* frame, size_t len, uint64_t block_size,
   if (fh.header_crc !=
       snapshot::crc32(&fh, offsetof(FrameHeader, header_crc))) {
     return false;
+  }
+  if (!snapshot::known_kind(fh.kind)) return false;
+  if (snapshot::is_coded_kind(fh.kind)) {
+    // Coded frames arrive in their on-disk (encoded) form; the extent's
+    // dual CRC validates them without a decode, and the raw size must
+    // match the advertised block count so the store's chain bookkeeping
+    // can trust the header.
+    snapshot::CodedExtent ce;
+    if (!tier::coded_frame_valid(frame, len, &ce)) return false;
+    if (ce.raw_bytes != snapshot::frame_bytes(fh.block_count, block_size)) {
+      return false;
+    }
+    *kind = fh.kind;
+    *epoch = fh.epoch;
+    return true;
   }
   const uint64_t want = snapshot::frame_bytes(fh.block_count, block_size);
   if (want != len) return false;
@@ -172,7 +189,7 @@ AppendVerdict ReplicaStore::append(int origin, uint64_t epoch,
   PeerFile* pf = open_peer(origin, block_size, region_size, segment_size);
   if (pf == nullptr) return AppendVerdict::kError;
   if (epoch <= pf->newest) return AppendVerdict::kStale;
-  if (kind == snapshot::kDeltaFrame && epoch != pf->newest + 1) {
+  if (snapshot::is_delta_kind(kind) && epoch != pf->newest + 1) {
     // An earlier delta is still in flight; storing this one would leave an
     // unrestorable gap the archive format cannot express.
     return AppendVerdict::kGap;
@@ -194,6 +211,54 @@ AppendVerdict ReplicaStore::append(int origin, uint64_t epoch,
   ++frames_stored_;
   bytes_stored_ += len;
   return AppendVerdict::kStored;
+}
+
+bool ReplicaStore::store_cold(int origin, uint64_t epoch,
+                              uint64_t block_size, uint64_t region_size,
+                              uint64_t segment_size, const uint8_t* frame,
+                              size_t len, uint32_t keep) {
+  uint32_t kind = 0;
+  uint64_t frame_epoch = 0;
+  if (!parse_frame(frame, len, block_size, &kind, &frame_epoch) ||
+      frame_epoch != epoch || !snapshot::is_base_kind(kind)) {
+    return false;
+  }
+  snapshot::ArchiveHeader h =
+      snapshot::make_header(block_size, region_size, segment_size);
+  tier::ColdTier cold(tier::ColdTier::dir_for(peer_path(origin)));
+  std::string err;
+  bool ok = cold.store(
+      epoch, &h, sizeof(h), frame, len,
+      [](int fd, const void* buf, size_t n) {
+        const auto* p = static_cast<const uint8_t*>(buf);
+        size_t done = 0;
+        while (done < n) {
+          ssize_t w = ::write(fd, p + done, n - done);
+          if (w < 0) {
+            if (errno == EINTR) continue;
+            return false;
+          }
+          done += static_cast<size_t>(w);
+        }
+        return true;
+      },
+      keep, &err);
+  if (!ok) {
+    CRPM_LOG_WARN("replica store %s: cold store for peer %d epoch %llu "
+                  "failed: %s",
+                  dir_.c_str(), origin, (unsigned long long)epoch,
+                  err.c_str());
+    return false;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  ++cold_stored_;
+  bytes_stored_ += len;
+  return true;
+}
+
+uint64_t ReplicaStore::cold_stored() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cold_stored_;
 }
 
 uint64_t ReplicaStore::newest_epoch(int origin) const {

@@ -1,12 +1,14 @@
 // Replica-side persistence of partner frames.
 //
 // A ReplicaStore is a directory holding one snapshot-archive file per peer
-// rank (`peer_<rank>.crpmsnap`), byte-compatible with the PR 1 archive
-// format: ArchiveReader reads it, snapshot::restore() restores from it,
-// and `crpm_inspect repl status` audits it. Frames arrive over the
-// transport already in archive frame encoding; append() validates them
-// and appends + fdatasyncs, so a stored frame survives a replica crash
-// exactly like a locally archived one (same torn-tail argument).
+// rank (`peer_<rank>.crpmsnap`) in the standard archive format — plain or
+// codec-compressed frames alike (the frame header names the codec, so a
+// replica never needs the origin's tier configuration): ArchiveReader
+// reads it, snapshot::restore() restores from it, and `crpm_inspect repl
+// status` audits it. Frames arrive over the transport already in archive
+// frame encoding; append() validates them and appends + fdatasyncs, so a
+// stored frame survives a replica crash exactly like a locally archived
+// one (same torn-tail argument).
 //
 // Acceptance rules keep every stored chain restorable under a transport
 // that reorders and duplicates:
@@ -53,6 +55,16 @@ class ReplicaStore {
                        uint64_t region_size, uint64_t segment_size,
                        const uint8_t* frame, size_t len, bool fsync);
 
+  // Persists a shipped cold-tier base (the writer's cold observer feed)
+  // under `peer_<origin>.crpmsnap.cold/` with the same tmp + fsync +
+  // atomic-rename protocol the origin uses locally. The frame must be a
+  // (possibly coded) base frame for `epoch`; `keep` bounds retained cold
+  // bases (0 = keep all). Idempotent: re-storing an epoch atomically
+  // replaces an identical file.
+  bool store_cold(int origin, uint64_t epoch, uint64_t block_size,
+                  uint64_t region_size, uint64_t segment_size,
+                  const uint8_t* frame, size_t len, uint32_t keep);
+
   // Newest epoch stored for `origin` whose chain is intact (0 = none).
   uint64_t newest_epoch(int origin) const;
 
@@ -65,6 +77,7 @@ class ReplicaStore {
 
   uint64_t frames_stored() const;
   uint64_t bytes_stored() const;
+  uint64_t cold_stored() const;
 
  private:
   struct PeerFile {
@@ -83,10 +96,13 @@ class ReplicaStore {
   std::map<int, PeerFile> peers_;
   uint64_t frames_stored_ = 0;
   uint64_t bytes_stored_ = 0;
+  uint64_t cold_stored_ = 0;
 };
 
 // Parses an archive-encoded frame's kind and epoch and verifies all of its
-// CRCs (header, records, footer). Used by the store before appending and
+// CRCs — header, records and footer for plain frames; header, extent and
+// encoded payload for coded ones (which stay encoded: their per-record
+// CRCs are re-verified at decode). Used by the store before appending and
 // by anything that needs to sanity-check frame bytes in flight.
 bool parse_frame(const uint8_t* frame, size_t len, uint64_t block_size,
                  uint32_t* kind, uint64_t* epoch);

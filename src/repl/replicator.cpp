@@ -65,6 +65,10 @@ void ReplNode::attach(Container& c, snapshot::ArchiveWriter& w) {
   w.set_frame_observer(
       [this](uint64_t epoch, uint32_t kind, const uint8_t* frame,
              size_t len) { on_frame(epoch, kind, frame, len); });
+  w.set_cold_observer(
+      [this](uint64_t epoch, const uint8_t* frame, size_t len) {
+        on_cold_base(epoch, frame, len);
+      });
 }
 
 void ReplNode::on_frame(uint64_t epoch, uint32_t kind, const uint8_t* frame,
@@ -75,7 +79,21 @@ void ReplNode::on_frame(uint64_t epoch, uint32_t kind, const uint8_t* frame,
   o.kind = kind;
   o.bytes.assign(frame, frame + len);
   o.per_partner.resize(partners_.size());
+  enqueue(std::move(o));
+}
 
+void ReplNode::on_cold_base(uint64_t epoch, const uint8_t* frame,
+                            size_t len) {
+  if (partners_.empty()) return;
+  Outgoing o;
+  o.epoch = epoch;
+  o.cold = true;
+  o.bytes.assign(frame, frame + len);
+  o.per_partner.resize(partners_.size());
+  enqueue(std::move(o));
+}
+
+void ReplNode::enqueue(Outgoing&& o) {
   std::unique_lock<std::mutex> lk(mu_);
   if (out_.size() >= cfg_.queue_depth) {
     Stopwatch sw;
@@ -130,7 +148,7 @@ void ReplNode::sender() {
           continue;
         }
         ReplMsgHeader h;
-        h.type = kFrame;
+        h.type = o.cold ? kColdBase : kFrame;
         h.origin = static_cast<uint32_t>(rank_);
         h.epoch = o.epoch;
         h.block_size = block_size_;
@@ -223,6 +241,9 @@ void ReplNode::handle(Message&& m) {
     case kFrame:
       handle_frame(h, body, len, m.src);
       break;
+    case kColdBase:
+      handle_cold(h, body, len, m.src);
+      break;
     case kAck:
       handle_ack(h, m.src);
       break;
@@ -277,6 +298,30 @@ void ReplNode::handle_frame(const ReplMsgHeader& h, const uint8_t* body,
   st_acks_sent_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void ReplNode::handle_cold(const ReplMsgHeader& h, const uint8_t* body,
+                           size_t len, int src) {
+  if (body == nullptr || len == 0) {
+    st_invalid_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Idempotent: re-storing an epoch atomically replaces an identical cold
+  // base, so duplicates are stored-and-acked rather than special-cased.
+  if (!store_.store_cold(static_cast<int>(h.origin), h.epoch, h.block_size,
+                         h.region_size, h.segment_size, body, len,
+                         cfg_.cold_keep)) {
+    st_invalid_.fetch_add(1, std::memory_order_relaxed);
+    return;  // no ack: validation or I/O failure, sender retries
+  }
+  st_cold_stored_.fetch_add(1, std::memory_order_relaxed);
+  ReplMsgHeader ack;
+  ack.type = kAck;
+  ack.origin = h.origin;
+  ack.epoch = h.epoch;
+  ack.aux = h.aux;  // echo the sender's sequence number
+  send_msg(src, ack, nullptr, 0);
+  st_acks_sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void ReplNode::handle_ack(const ReplMsgHeader& h, int src) {
   if (static_cast<int>(h.origin) != rank_) return;  // not our frame
   const int pi = partner_index(src);
@@ -285,7 +330,9 @@ void ReplNode::handle_ack(const ReplMsgHeader& h, int src) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     for (Outgoing& o : out_) {
-      if (o.epoch != h.epoch) continue;
+      // Match by echoed sequence number, not epoch: a cold base shares its
+      // epoch with the (long-acked) frame of the fold point.
+      if (o.seq != h.aux || o.epoch != h.epoch) continue;
       PartnerState& p = o.per_partner[static_cast<size_t>(pi)];
       if (!p.acked) {
         p.acked = true;
@@ -544,6 +591,7 @@ ReplNodeStats ReplNode::stats() const {
   s.queue_stall_ns = st_stall_ns_.load(std::memory_order_relaxed);
   s.queue_hwm = st_qhwm_.load(std::memory_order_relaxed);
   s.frames_stored = st_stored_.load(std::memory_order_relaxed);
+  s.cold_stored = st_cold_stored_.load(std::memory_order_relaxed);
   s.stale_frames = st_stale_.load(std::memory_order_relaxed);
   s.gap_rejects = st_gap_.load(std::memory_order_relaxed);
   s.invalid_msgs = st_invalid_.load(std::memory_order_relaxed);

@@ -70,6 +70,9 @@ struct ReplConfig {
   uint32_t max_attempts = 0;
   // fdatasync replica-store appends (the durable-replica guarantee).
   bool fsync_store = true;
+  // Cold-tier bases retained per peer when the partner ships them
+  // (0 = keep all).
+  uint32_t cold_keep = 0;
 };
 
 struct ReplNodeStats {
@@ -83,6 +86,7 @@ struct ReplNodeStats {
   uint64_t queue_hwm = 0;
   // Receiver.
   uint64_t frames_stored = 0;
+  uint64_t cold_stored = 0;    // cold-tier bases persisted
   uint64_t stale_frames = 0;   // duplicates re-acked
   uint64_t gap_rejects = 0;    // out-of-order deltas refused
   uint64_t invalid_msgs = 0;   // CRC/parse failures ignored
@@ -135,6 +139,9 @@ class ReplNode {
   // Direct enqueue, used by the writer observer and by tests.
   void on_frame(uint64_t epoch, uint32_t kind, const uint8_t* frame,
                 size_t len);
+  // Cold-tier feed (the writer's cold observer): ships the fold base to
+  // every partner with the same ack/retry machinery as epoch frames.
+  void on_cold_base(uint64_t epoch, const uint8_t* frame, size_t len);
 
  private:
   struct PartnerState {
@@ -148,6 +155,7 @@ class ReplNode {
     uint64_t seq = 0;
     uint64_t epoch = 0;
     uint32_t kind = kReplMagic;  // frame kind, not msg type
+    bool cold = false;           // ships as kColdBase instead of kFrame
     std::vector<uint8_t> bytes;
     std::vector<PartnerState> per_partner;
     bool done() const {
@@ -177,11 +185,14 @@ class ReplNode {
     std::map<uint64_t, std::vector<uint8_t>> frames;  // idx -> bytes
   };
 
+  void enqueue(Outgoing&& o);
   void sender();
   void service();
   void handle(Message&& m);
   void handle_frame(const ReplMsgHeader& h, const uint8_t* body, size_t len,
                     int src);
+  void handle_cold(const ReplMsgHeader& h, const uint8_t* body, size_t len,
+                   int src);
   void handle_ack(const ReplMsgHeader& h, int src);
   void handle_query(const ReplMsgHeader& h, int src);
   void handle_pull(const ReplMsgHeader& h, int src);
@@ -224,8 +235,8 @@ class ReplNode {
   // Stats (several updater threads).
   std::atomic<uint64_t> st_sent_{0}, st_bytes_{0}, st_acked_{0},
       st_retries_{0}, st_given_up_{0}, st_stall_ns_{0}, st_qhwm_{0},
-      st_stored_{0}, st_stale_{0}, st_gap_{0}, st_invalid_{0},
-      st_acks_sent_{0}, st_pulls_{0}, st_pull_frames_{0};
+      st_stored_{0}, st_cold_stored_{0}, st_stale_{0}, st_gap_{0},
+      st_invalid_{0}, st_acks_sent_{0}, st_pulls_{0}, st_pull_frames_{0};
 };
 
 }  // namespace crpm::repl

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "tier/coded.h"
 #include "util/logging.h"
 
 namespace crpm::snapshot {
@@ -79,19 +80,11 @@ void ArchiveReader::run_scan(const std::string& path) {
           off, file_size - off));
       break;
     }
-    if ((fh.kind != kDeltaFrame && fh.kind != kBaseFrame) ||
-        fh.block_count > nr_blocks || fh.epoch <= prev_epoch) {
+    if (!known_kind(fh.kind) || fh.block_count > nr_blocks ||
+        fh.epoch <= prev_epoch) {
       scan_.warnings.push_back(warnf(
           "implausible frame at offset %llu (epoch %llu): stopping scan",
           off, fh.epoch));
-      break;
-    }
-    const uint64_t total = frame_bytes(fh.block_count, h.block_size);
-    if (off + total > file_size) {
-      scan_.warnings.push_back(warnf(
-          "frame for epoch %llu truncated mid-append: dropping %llu tail "
-          "bytes",
-          fh.epoch, file_size - off));
       break;
     }
 
@@ -100,32 +93,83 @@ void ArchiveReader::run_scan(const std::string& path) {
     info.kind = fh.kind;
     info.file_offset = off;
     info.block_count = fh.block_count;
-    info.frame_bytes = total;
 
-    // Verify records and footer.
+    uint64_t total = 0;
     bool intact = true;
-    const uint64_t rec = record_bytes(h.block_size);
-    std::vector<uint8_t> buf(total - sizeof(FrameHeader));
-    if (!pread_exact(fd_, buf.data(), buf.size(), off + sizeof(FrameHeader))) {
-      break;
+    if (is_coded_kind(fh.kind)) {
+      // Coded frame: the length comes from the CodedExtent, which must
+      // itself verify before we trust it. A torn extent is the tail shape
+      // of a crash mid-append, exactly like a torn header.
+      CodedExtent ce;
+      if (off + sizeof(FrameHeader) + sizeof(ce) > file_size ||
+          !pread_exact(fd_, &ce, sizeof(ce), off + sizeof(FrameHeader))) {
+        scan_.warnings.push_back(warnf(
+            "coded frame for epoch %llu truncated mid-append: dropping "
+            "%llu tail bytes",
+            fh.epoch, file_size - off));
+        break;
+      }
+      if (ce.marker != kExtentMarker ||
+          ce.extent_crc != crc32(&ce, offsetof(CodedExtent, extent_crc)) ||
+          ce.raw_bytes != frame_bytes(fh.block_count, h.block_size) ||
+          ce.encoded_bytes >= ce.raw_bytes) {
+        scan_.warnings.push_back(warnf(
+            "unparseable coded extent at offset %llu: dropping %llu tail "
+            "bytes (torn append)",
+            off, file_size - off));
+        break;
+      }
+      total = coded_frame_bytes(ce.encoded_bytes);
+      if (off + total > file_size) {
+        scan_.warnings.push_back(warnf(
+            "coded frame for epoch %llu truncated mid-append: dropping "
+            "%llu tail bytes",
+            fh.epoch, file_size - off));
+        break;
+      }
+      info.codec = ce.codec;
+      info.raw_bytes = ce.raw_bytes;
+      // Full structural + encoded-CRC verification (no decode needed).
+      std::vector<uint8_t> buf(total);
+      if (!pread_exact(fd_, buf.data(), buf.size(), off)) break;
+      intact = tier::coded_frame_valid(buf.data(), buf.size());
+    } else {
+      total = frame_bytes(fh.block_count, h.block_size);
+      if (off + total > file_size) {
+        scan_.warnings.push_back(warnf(
+            "frame for epoch %llu truncated mid-append: dropping %llu tail "
+            "bytes",
+            fh.epoch, file_size - off));
+        break;
+      }
+      info.raw_bytes = total;
+
+      // Verify records and footer.
+      const uint64_t rec = record_bytes(h.block_size);
+      std::vector<uint8_t> buf(total - sizeof(FrameHeader));
+      if (!pread_exact(fd_, buf.data(), buf.size(),
+                       off + sizeof(FrameHeader))) {
+        break;
+      }
+      uint32_t payload_crc = 0;
+      const uint8_t* p = buf.data();
+      for (uint64_t i = 0; i < fh.block_count && intact; ++i, p += rec) {
+        uint32_t stored = 0;
+        std::memcpy(&stored, p + rec - 4, 4);
+        uint64_t idx = 0;
+        std::memcpy(&idx, p, 8);
+        if (stored != crc32(p, rec - 4) || idx >= nr_blocks) intact = false;
+        payload_crc = crc32(&stored, 4, payload_crc);
+      }
+      FrameFooter ff;
+      std::memcpy(&ff, buf.data() + buf.size() - sizeof(ff), sizeof(ff));
+      if (ff.marker != kFooterMarker || ff.epoch != fh.epoch ||
+          ff.frame_bytes != total || ff.payload_crc != payload_crc ||
+          ff.footer_crc != crc32(&ff, offsetof(FrameFooter, footer_crc))) {
+        intact = false;
+      }
     }
-    uint32_t payload_crc = 0;
-    const uint8_t* p = buf.data();
-    for (uint64_t i = 0; i < fh.block_count && intact; ++i, p += rec) {
-      uint32_t stored = 0;
-      std::memcpy(&stored, p + rec - 4, 4);
-      uint64_t idx = 0;
-      std::memcpy(&idx, p, 8);
-      if (stored != crc32(p, rec - 4) || idx >= nr_blocks) intact = false;
-      payload_crc = crc32(&stored, 4, payload_crc);
-    }
-    FrameFooter ff;
-    std::memcpy(&ff, buf.data() + buf.size() - sizeof(ff), sizeof(ff));
-    if (ff.marker != kFooterMarker || ff.epoch != fh.epoch ||
-        ff.frame_bytes != total || ff.payload_crc != payload_crc ||
-        ff.footer_crc != crc32(&ff, offsetof(FrameFooter, footer_crc))) {
-      intact = false;
-    }
+    info.frame_bytes = total;
     info.intact = intact;
     if (!intact) {
       scan_.warnings.push_back(warnf(
@@ -157,7 +201,7 @@ int ArchiveReader::chain_start(uint64_t epoch) const {
   for (int j = i; j >= 0; --j) {
     const EpochInfo& f = scan_.epochs[j];
     if (!f.intact) return -1;
-    if (f.kind == kBaseFrame) return j;
+    if (is_base_kind(f.kind)) return j;
     if (j == 0) {
       // A delta chain at the head of the file starts from the implicit
       // all-zero image only if it begins at the container's first epoch.
@@ -184,19 +228,13 @@ bool ArchiveReader::latest_restorable(uint64_t* epoch) const {
   return false;
 }
 
-bool ArchiveReader::apply_frame(const EpochInfo& info,
-                                std::vector<uint8_t>* image,
-                                std::string* err) const {
+bool ArchiveReader::apply_records(const uint8_t* recs, uint64_t block_count,
+                                  std::vector<uint8_t>* image,
+                                  std::string* err) const {
   const uint64_t bs = scan_.header.block_size;
   const uint64_t rec = record_bytes(bs);
-  std::vector<uint8_t> buf(info.block_count * rec);
-  if (!pread_exact(fd_, buf.data(), buf.size(),
-                   info.file_offset + sizeof(FrameHeader))) {
-    if (err) *err = "archive read failed while applying epoch frame";
-    return false;
-  }
-  const uint8_t* p = buf.data();
-  for (uint64_t i = 0; i < info.block_count; ++i, p += rec) {
+  const uint8_t* p = recs;
+  for (uint64_t i = 0; i < block_count; ++i, p += rec) {
     uint64_t idx = 0;
     std::memcpy(&idx, p, 8);
     uint32_t stored = 0;
@@ -209,6 +247,33 @@ bool ArchiveReader::apply_frame(const EpochInfo& info,
     std::memcpy(image->data() + idx * bs, p + 8, bs);
   }
   return true;
+}
+
+bool ArchiveReader::apply_frame(const EpochInfo& info,
+                                std::vector<uint8_t>* image,
+                                std::string* err) const {
+  if (is_coded_kind(info.kind)) {
+    std::vector<uint8_t> buf(info.frame_bytes);
+    if (!pread_exact(fd_, buf.data(), buf.size(), info.file_offset)) {
+      if (err) *err = "archive read failed while applying coded frame";
+      return false;
+    }
+    std::vector<uint8_t> plain;
+    if (!tier::decode_frame(buf.data(), buf.size(), &plain)) {
+      if (err) *err = "coded frame failed CRC verification or decode";
+      return false;
+    }
+    return apply_records(plain.data() + sizeof(FrameHeader),
+                         info.block_count, image, err);
+  }
+  const uint64_t rec = record_bytes(scan_.header.block_size);
+  std::vector<uint8_t> buf(info.block_count * rec);
+  if (!pread_exact(fd_, buf.data(), buf.size(),
+                   info.file_offset + sizeof(FrameHeader))) {
+    if (err) *err = "archive read failed while applying epoch frame";
+    return false;
+  }
+  return apply_records(buf.data(), info.block_count, image, err);
 }
 
 bool ArchiveReader::state_at(uint64_t epoch, std::vector<uint8_t>* image,

@@ -28,8 +28,10 @@ struct EpochInfo {
   uint32_t kind = kDeltaFrame;
   uint64_t file_offset = 0;  // of the FrameHeader
   uint64_t block_count = 0;
-  uint64_t frame_bytes = 0;
-  bool intact = false;  // every CRC (header, records, footer) verified
+  uint64_t frame_bytes = 0;  // on-disk bytes (encoded size for coded frames)
+  uint32_t codec = 0;        // tier codec id; 0 for plain frames
+  uint64_t raw_bytes = 0;    // plain-frame equivalent bytes
+  bool intact = false;  // every CRC (header, extent/records, footer) verified
 };
 
 struct ScanResult {
@@ -73,10 +75,14 @@ class ArchiveReader {
   // Index into scan_.epochs of the chain start for `epoch`, or -1.
   int chain_start(uint64_t epoch) const;
   int index_of(uint64_t epoch) const;
-  // Applies the records of frame `info` to `image`; returns false on CRC or
-  // I/O failure (the scan may have raced a concurrent writer's truncation).
+  // Applies the records of frame `info` to `image` (decoding coded frames
+  // first); returns false on CRC or I/O failure (the scan may have raced a
+  // concurrent writer's truncation).
   bool apply_frame(const EpochInfo& info, std::vector<uint8_t>* image,
                    std::string* err) const;
+  // Record-region apply shared by the plain and decoded paths.
+  bool apply_records(const uint8_t* recs, uint64_t block_count,
+                     std::vector<uint8_t>* image, std::string* err) const;
 
   int fd_ = -1;
   ScanResult scan_;

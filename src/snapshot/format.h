@@ -11,7 +11,7 @@
 //   [ record ]*        block index (8 B) + payload (block_size B) + CRC32
 //   [ FrameFooter   ]  marker, epoch, frame byte count, payload CRC, CRC32
 //
-// Two frame kinds:
+// Two plain frame kinds:
 //   * kDeltaFrame — the blocks modified during exactly one epoch. A delta
 //     chain beginning at epoch 1 implicitly starts from the all-zero image
 //     of a freshly formatted container.
@@ -19,6 +19,23 @@
 //     state at that epoch. Written when the writer attaches mid-history and
 //     by compaction; restore starts from the newest base at or below the
 //     target epoch.
+//
+// Version 2 adds *coded* frames (kCodedDeltaFrame/kCodedBaseFrame): the
+// complete serialized plain frame is run through a per-frame codec
+// (src/tier) and stored as
+//
+//   [ FrameHeader  ]  same struct; kind names the coded variant
+//   [ CodedExtent  ]  codec id, raw/encoded byte counts, dual CRC
+//   [ encoded bytes]  codec output; decodes to the exact plain frame
+//   [ FrameFooter  ]  frame_bytes covers the coded frame,
+//                     payload_crc == CodedExtent::encoded_crc
+//
+// The codec is negotiated per frame: an incompressible epoch is simply
+// appended as a plain frame, so readers of either version-1 or version-2
+// archives handle every frame by looking at its kind. The dual CRC —
+// encoded_crc over the bytes on disk, raw_crc over the decoded plain
+// frame (whose records carry their own per-record CRCs) — keeps both the
+// scan (no decode needed) and the restore path independently verifiable.
 //
 // Crash-safety argument (see DESIGN.md): frames are appended with a single
 // buffered write followed by fdatasync, and nothing before the append point
@@ -34,18 +51,42 @@
 #include <vector>
 
 #include "core/layout.h"
+#include "util/crc32.h"
 
 namespace crpm::snapshot {
 
 inline constexpr uint64_t kArchiveMagic = 0x6372706d2d617263ull;  // "crpm-arc"
-inline constexpr uint32_t kArchiveVersion = 1;
+inline constexpr uint32_t kArchiveVersion = 2;
+inline constexpr uint32_t kArchiveMinVersion = 1;  // still readable
 inline constexpr uint32_t kFrameMarker = 0xF0A3C0DEu;
 inline constexpr uint32_t kFooterMarker = 0xF007E4Du;
+inline constexpr uint32_t kExtentMarker = 0xC0DEC5E1u;
 
 enum FrameKind : uint32_t {
   kDeltaFrame = 1,
   kBaseFrame = 2,
+  kCodedDeltaFrame = 3,  // CodedExtent + encoded plain delta frame
+  kCodedBaseFrame = 4,   // CodedExtent + encoded plain base frame
 };
+
+inline constexpr bool is_coded_kind(uint32_t k) {
+  return k == kCodedDeltaFrame || k == kCodedBaseFrame;
+}
+inline constexpr bool is_delta_kind(uint32_t k) {
+  return k == kDeltaFrame || k == kCodedDeltaFrame;
+}
+inline constexpr bool is_base_kind(uint32_t k) {
+  return k == kBaseFrame || k == kCodedBaseFrame;
+}
+inline constexpr bool known_kind(uint32_t k) {
+  return k >= kDeltaFrame && k <= kCodedBaseFrame;
+}
+// The plain equivalent of any kind (identity for plain kinds).
+inline constexpr uint32_t plain_kind(uint32_t k) {
+  return k == kCodedDeltaFrame ? kDeltaFrame
+         : k == kCodedBaseFrame ? kBaseFrame
+                                : k;
+}
 
 // All structs are written to disk verbatim; every field group is naturally
 // aligned and padding bytes are zero (value-initialized), so the CRC over
@@ -83,19 +124,40 @@ struct FrameFooter {
 };
 static_assert(sizeof(FrameFooter) == 32);
 
+// Sits between the FrameHeader and the encoded bytes of a coded frame.
+// raw_* describes the decoded plain frame; encoded_* the bytes on disk.
+// Both are CRC'd so a coded frame is verifiable without decoding (scan)
+// and after decoding (restore) — see the dual-CRC note above.
+struct CodedExtent {
+  uint32_t marker = kExtentMarker;
+  uint32_t codec = 0;          // tier codec id (tier::kCodecNone forbidden)
+  uint64_t raw_bytes = 0;      // decoded plain-frame bytes
+  uint64_t encoded_bytes = 0;  // bytes following this struct
+  uint32_t raw_crc = 0;        // CRC32 of the decoded plain frame
+  uint32_t encoded_crc = 0;    // CRC32 of the encoded bytes
+  uint32_t extent_crc = 0;     // CRC32 of the preceding bytes
+  uint32_t pad = 0;
+};
+static_assert(sizeof(CodedExtent) == 40);
+
 // Bytes of one record for a given block size.
 inline constexpr uint64_t record_bytes(uint64_t block_size) {
   return 8 + block_size + 4;
 }
 
-// Total frame bytes for `blocks` records of `block_size`.
+// Total frame bytes for `blocks` records of `block_size` (plain frames).
 inline constexpr uint64_t frame_bytes(uint64_t blocks, uint64_t block_size) {
   return sizeof(FrameHeader) + blocks * record_bytes(block_size) +
          sizeof(FrameFooter);
 }
 
-// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), seedable for running CRCs.
-uint32_t crc32(const void* data, size_t len, uint32_t seed = 0);
+// Total on-disk bytes of a coded frame carrying `encoded` codec bytes.
+inline constexpr uint64_t coded_frame_bytes(uint64_t encoded) {
+  return sizeof(FrameHeader) + sizeof(CodedExtent) + encoded +
+         sizeof(FrameFooter);
+}
+
+using ::crpm::crc32;
 
 // Serializes one complete frame (header, records, footer) into `out`.
 // `blocks[i]`'s payload is payload + i * block_size. `out` is overwritten.

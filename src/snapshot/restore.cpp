@@ -4,45 +4,83 @@
 #include <cstring>
 
 #include "snapshot/archive.h"
+#include "tier/cold.h"
 #include "util/logging.h"
 
 namespace crpm::snapshot {
 
 namespace {
 
+// Cold-tier fallback: serve `epoch` (or the newest cold base when asked
+// for kLatestEpoch) from `<archive>.cold/`. Each cold file is a standalone
+// one-frame archive, so the regular reader handles it; only exact fold
+// epochs are servable (a cold base carries no deltas to replay forward).
+bool read_cold_state(const std::string& archive_path, uint64_t epoch,
+                     uint64_t* chosen, std::vector<uint8_t>* image,
+                     std::array<uint64_t, kNumRoots>* roots) {
+  auto entries = tier::ColdTier::list_for_archive(archive_path);
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    if (epoch != Container::kLatestEpoch && it->epoch != epoch) continue;
+    ArchiveReader cr(it->path);
+    std::string cerr;
+    if (cr.ok() && cr.state_at(it->epoch, image, roots, &cerr)) {
+      *chosen = it->epoch;
+      return true;
+    }
+  }
+  return false;
+}
+
 RestoreResult restore_impl(const std::string& archive_path, uint64_t epoch,
                            NvmDevice* dev,
                            std::unique_ptr<NvmDevice> owned_dev,
                            const CrpmOptions& opt) {
   RestoreResult r;
-  ArchiveReader reader(archive_path);
-  if (!reader.ok()) {
-    r.error = "not a valid snapshot archive: " + archive_path;
-    r.warnings = reader.scan().warnings;
-    return r;
-  }
-  r.warnings = reader.scan().warnings;
-
-  uint64_t target = epoch;
-  if (target == Container::kLatestEpoch) {
-    if (!reader.latest_restorable(&target)) {
-      r.error = "archive holds no restorable epoch";
-      return r;
-    }
-    const auto& epochs = reader.scan().epochs;
-    if (!epochs.empty() && epochs.back().epoch != target) {
-      r.warnings.push_back(
-          "newest archived epoch " + std::to_string(epochs.back().epoch) +
-          " is not restorable; falling back to epoch " +
-          std::to_string(target));
-    }
-  }
-
   std::vector<uint8_t> image;
   std::array<uint64_t, kNumRoots> roots{};
-  std::string err;
-  if (!reader.state_at(target, &image, &roots, &err)) {
-    r.error = err;
+  uint64_t target = epoch;
+  bool loaded = false;
+  std::string hot_error;
+  {
+    ArchiveReader reader(archive_path);
+    r.warnings = reader.scan().warnings;
+    if (!reader.ok()) {
+      hot_error = "not a valid snapshot archive: " + archive_path;
+    } else {
+      bool have_target = true;
+      if (target == Container::kLatestEpoch) {
+        if (reader.latest_restorable(&target)) {
+          const auto& epochs = reader.scan().epochs;
+          if (!epochs.empty() && epochs.back().epoch != target) {
+            r.warnings.push_back(
+                "newest archived epoch " +
+                std::to_string(epochs.back().epoch) +
+                " is not restorable; falling back to epoch " +
+                std::to_string(target));
+          }
+        } else {
+          have_target = false;
+          target = Container::kLatestEpoch;  // let the cold tier pick
+          hot_error = "archive holds no restorable epoch";
+        }
+      }
+      if (have_target &&
+          reader.state_at(target, &image, &roots, &hot_error)) {
+        loaded = true;
+      }
+    }
+  }
+  if (!loaded) {
+    // The hot archive cannot serve this epoch (compaction folded it away,
+    // a corrupt chain, or the file is gone) — try the cold tier.
+    if (read_cold_state(archive_path, epoch, &target, &image, &roots)) {
+      loaded = true;
+      r.warnings.push_back("epoch " + std::to_string(target) +
+                           " served from the cold tier");
+    }
+  }
+  if (!loaded) {
+    r.error = hot_error;
     return r;
   }
 
@@ -102,18 +140,29 @@ RestoreResult restore_file(const std::string& archive_path, uint64_t epoch,
 bool read_state(const std::string& archive_path, uint64_t epoch,
                 std::vector<uint8_t>* image,
                 std::array<uint64_t, kNumRoots>* roots, std::string* err) {
-  ArchiveReader reader(archive_path);
-  if (!reader.ok()) {
-    if (err) *err = "not a valid snapshot archive: " + archive_path;
-    return false;
+  std::string hot_error;
+  {
+    ArchiveReader reader(archive_path);
+    if (!reader.ok()) {
+      hot_error = "not a valid snapshot archive: " + archive_path;
+    } else {
+      uint64_t target = epoch;
+      if (target == Container::kLatestEpoch &&
+          !reader.latest_restorable(&target)) {
+        hot_error = "archive holds no restorable epoch";
+      } else if (reader.state_at(target, image, roots, &hot_error)) {
+        return true;
+      }
+    }
   }
-  uint64_t target = epoch;
-  if (target == Container::kLatestEpoch &&
-      !reader.latest_restorable(&target)) {
-    if (err) *err = "archive holds no restorable epoch";
-    return false;
+  std::array<uint64_t, kNumRoots> cold_roots{};
+  uint64_t chosen = 0;
+  if (read_cold_state(archive_path, epoch, &chosen,
+                      image, roots != nullptr ? roots : &cold_roots)) {
+    return true;
   }
-  return reader.state_at(target, image, roots, err);
+  if (err) *err = hot_error;
+  return false;
 }
 
 }  // namespace crpm::snapshot

@@ -1,0 +1,120 @@
+#include "tier/coded.h"
+
+#include <cstring>
+
+#include "tier/codec.h"
+
+namespace crpm::tier {
+
+using snapshot::CodedExtent;
+using snapshot::FrameFooter;
+using snapshot::FrameHeader;
+
+bool encode_frame(const uint8_t* plain, size_t plain_len, uint32_t codec_id,
+                  double min_ratio, std::vector<uint8_t>* out) {
+  const Codec* codec = codec_by_id(codec_id);
+  if (codec == nullptr || plain_len < sizeof(FrameHeader) + sizeof(FrameFooter)) {
+    return false;
+  }
+  FrameHeader fh;
+  std::memcpy(&fh, plain, sizeof(fh));
+  if (snapshot::is_coded_kind(fh.kind)) return false;  // never double-code
+
+  std::vector<uint8_t> enc(codec->max_encoded_bytes(plain_len));
+  const size_t enc_len = codec->encode(plain, plain_len, enc.data(), enc.size());
+  if (enc_len == 0) return false;
+  const uint64_t total = snapshot::coded_frame_bytes(enc_len);
+  // The whole coded frame (framing overhead included) must beat the plain
+  // frame by the configured margin, or the plain frame wins.
+  if (double(total) > min_ratio * double(plain_len)) return false;
+
+  out->resize(total);
+  uint8_t* p = out->data();
+
+  fh.kind = fh.kind == snapshot::kDeltaFrame ? snapshot::kCodedDeltaFrame
+                                             : snapshot::kCodedBaseFrame;
+  fh.header_crc = crc32(&fh, offsetof(FrameHeader, header_crc));
+  std::memcpy(p, &fh, sizeof(fh));
+  p += sizeof(fh);
+
+  CodedExtent ce;
+  ce.codec = codec_id;
+  ce.raw_bytes = plain_len;
+  ce.encoded_bytes = enc_len;
+  ce.raw_crc = crc32(plain, plain_len);
+  ce.encoded_crc = crc32(enc.data(), enc_len);
+  ce.extent_crc = crc32(&ce, offsetof(CodedExtent, extent_crc));
+  std::memcpy(p, &ce, sizeof(ce));
+  p += sizeof(ce);
+
+  std::memcpy(p, enc.data(), enc_len);
+  p += enc_len;
+
+  FrameFooter ff;
+  ff.epoch = fh.epoch;
+  ff.frame_bytes = total;
+  ff.payload_crc = ce.encoded_crc;
+  ff.footer_crc = crc32(&ff, offsetof(FrameFooter, footer_crc));
+  std::memcpy(p, &ff, sizeof(ff));
+  return true;
+}
+
+namespace {
+
+// Shared structural walk: header/extent/footer parse + CRC checks. Fills
+// `ce` and returns a pointer to the encoded bytes, or nullptr.
+const uint8_t* parse_coded(const uint8_t* frame, size_t len, CodedExtent* ce) {
+  if (len < sizeof(FrameHeader) + sizeof(CodedExtent) + sizeof(FrameFooter)) {
+    return nullptr;
+  }
+  FrameHeader fh;
+  std::memcpy(&fh, frame, sizeof(fh));
+  if (fh.marker != snapshot::kFrameMarker ||
+      !snapshot::is_coded_kind(fh.kind) ||
+      fh.header_crc != crc32(&fh, offsetof(FrameHeader, header_crc))) {
+    return nullptr;
+  }
+  std::memcpy(ce, frame + sizeof(fh), sizeof(*ce));
+  if (ce->marker != snapshot::kExtentMarker ||
+      ce->extent_crc != crc32(ce, offsetof(CodedExtent, extent_crc))) {
+    return nullptr;
+  }
+  if (snapshot::coded_frame_bytes(ce->encoded_bytes) != len) return nullptr;
+  const uint8_t* enc = frame + sizeof(FrameHeader) + sizeof(CodedExtent);
+  if (ce->encoded_crc != crc32(enc, ce->encoded_bytes)) return nullptr;
+  FrameFooter ff;
+  std::memcpy(&ff, frame + len - sizeof(ff), sizeof(ff));
+  if (ff.marker != snapshot::kFooterMarker || ff.epoch != fh.epoch ||
+      ff.frame_bytes != len || ff.payload_crc != ce->encoded_crc ||
+      ff.footer_crc != crc32(&ff, offsetof(FrameFooter, footer_crc))) {
+    return nullptr;
+  }
+  return enc;
+}
+
+}  // namespace
+
+bool coded_frame_valid(const uint8_t* frame, size_t len,
+                       CodedExtent* extent_out) {
+  CodedExtent ce;
+  if (parse_coded(frame, len, &ce) == nullptr) return false;
+  if (extent_out != nullptr) *extent_out = ce;
+  return true;
+}
+
+bool decode_frame(const uint8_t* frame, size_t len,
+                  std::vector<uint8_t>* plain_out) {
+  CodedExtent ce;
+  const uint8_t* enc = parse_coded(frame, len, &ce);
+  if (enc == nullptr) return false;
+  const Codec* codec = codec_by_id(ce.codec);
+  if (codec == nullptr) return false;
+  plain_out->resize(ce.raw_bytes);
+  if (!codec->decode(enc, ce.encoded_bytes, plain_out->data(),
+                     ce.raw_bytes)) {
+    return false;
+  }
+  return crc32(plain_out->data(), plain_out->size()) == ce.raw_crc;
+}
+
+}  // namespace crpm::tier

@@ -1,0 +1,43 @@
+// Coded archive frames: per-frame codec negotiation over the snapshot
+// archive format (snapshot/format.h, version 2).
+//
+// encode_frame() takes the exact serialized bytes of a plain frame and
+// produces a coded frame — outer FrameHeader (same epoch/roots/block
+// count, kind switched to the coded variant), a CodedExtent carrying the
+// codec id and the dual CRC (raw_crc over the plain frame, encoded_crc
+// over the codec output), the encoded bytes, and a FrameFooter whose
+// payload_crc repeats encoded_crc. It refuses (returns false) whenever
+// coding would not shrink the frame to at most min_ratio of its plain
+// size — negotiation, not failure: the caller appends the plain frame.
+//
+// decode_frame() is the exact inverse and verifies every CRC on the way:
+// header, extent, encoded bytes, and — after decoding — the raw CRC of
+// the reconstructed plain frame, whose records still carry their own
+// per-record CRCs for the reader's existing verification.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "snapshot/format.h"
+
+namespace crpm::tier {
+
+// Plain frame bytes -> coded frame bytes. False when codec_id is
+// none/unknown or the encode does not reach min_ratio.
+bool encode_frame(const uint8_t* plain, size_t plain_len, uint32_t codec_id,
+                  double min_ratio, std::vector<uint8_t>* out);
+
+// Validates a complete coded frame in memory (header CRC, extent CRC,
+// encoded CRC, footer) without decoding. `len` must be the exact frame
+// size. Optionally reports the extent.
+bool coded_frame_valid(const uint8_t* frame, size_t len,
+                       snapshot::CodedExtent* extent_out = nullptr);
+
+// Coded frame bytes -> the exact plain frame bytes. Verifies the dual CRC
+// (encoded before decode, raw after). False on any damage.
+bool decode_frame(const uint8_t* frame, size_t len,
+                  std::vector<uint8_t>* plain_out);
+
+}  // namespace crpm::tier

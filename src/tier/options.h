@@ -1,0 +1,49 @@
+// Knobs for the archive tiering layer (codec negotiation, group commit,
+// async writeback, cold tier). Defaults reproduce the pre-tiering archive
+// behavior exactly: plain frames, one device write + fdatasync per epoch,
+// synchronous writeback, no cold tier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tier/codec.h"
+
+namespace crpm::tier {
+
+struct TierOptions {
+  // Codec tried for every frame (kCodecNone = always plain). A frame is
+  // coded only when the whole coded frame is at most codec_min_ratio of
+  // the plain frame; otherwise the plain frame is appended.
+  uint32_t codec = kCodecNone;
+  double codec_min_ratio = 0.90;
+
+  // Group commit: staged frames accumulate into one batch flushed with a
+  // single device write + fdatasync once `group_epochs` frames or
+  // `group_bytes` bytes are pending — or when the oldest pending frame
+  // has waited `flush_deadline_us`, which bounds the durability latency
+  // of a lone small epoch (crpm_kvd's durable-PUT ack path).
+  uint32_t group_epochs = 1;
+  uint64_t group_bytes = 4ull << 20;
+  uint64_t flush_deadline_us = 2000;
+
+  // Writeback engine draining the batch ring: "sync" (write+fsync on the
+  // writer thread), "threads" (worker-pool pwritev), "uring" (raw io_uring
+  // syscalls; falls back to threads when the kernel refuses), or "auto"
+  // (uring if available, else threads).
+  std::string writeback = "sync";
+  uint32_t writeback_workers = 2;
+  // Submitted-but-incomplete batches before the writer thread blocks on
+  // the oldest completion (the staging ring bound).
+  uint32_t ring_depth = 4;
+
+  // Cold tier: at every compaction fold, the state at the fold epoch is
+  // also written as a (codec-negotiated) base frame into `<archive>.cold/`
+  // via tmp + fsync + atomic rename, so epochs the fold retires from the
+  // hot archive stay restorable. cold_keep bounds retained cold bases
+  // (0 = keep all).
+  bool cold_enabled = false;
+  uint32_t cold_keep = 0;
+};
+
+}  // namespace crpm::tier

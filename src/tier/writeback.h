@@ -1,0 +1,83 @@
+// Async writeback engines for the archive batch ring.
+//
+// The archive writer submits one job per group-commit batch: a vector of
+// frame buffers written contiguously at an explicit file offset, followed
+// (optionally) by an fdatasync. Jobs complete strictly in submission
+// order — an engine may perform the I/O out of order internally, but
+// done()/wait() expose a contiguous completion watermark, so the caller
+// can fire its frame observers and stats in epoch order and never ahead
+// of durability.
+//
+// Engines:
+//   * sync     write + fdatasync inline on the submitting thread; the
+//              ticket is complete when submit() returns. The default, and
+//              bit-for-bit the pre-tiering archive behavior.
+//   * threads  a small worker pool performing pwritev + fdatasync; the
+//              submitting (SCHED_IDLE) writer thread never blocks on
+//              device latency until the ring fills.
+//   * uring    io_uring via raw syscalls (no liburing): one WRITEV SQE
+//              hard-linked to an FSYNC(DATASYNC) SQE per batch, completions
+//              harvested by a reaper thread. Built only when
+//              <linux/io_uring.h> exists; construction falls back to the
+//              worker pool when the kernel or sandbox refuses the setup
+//              syscall (EPERM/ENOSYS are common in containers).
+//
+// Single submitter: submit() must be called from one thread (the archive
+// writer thread). done()/wait()/stats() are safe from any thread.
+#pragma once
+
+#include <sys/uio.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace crpm::tier {
+
+struct WritebackStats {
+  uint64_t jobs = 0;
+  uint64_t bytes = 0;
+  uint64_t syncs = 0;
+  uint64_t inflight_hwm = 0;
+};
+
+class WritebackEngine {
+ public:
+  virtual ~WritebackEngine() = default;
+
+  // The engine actually running ("sync", "threads", "uring") — may differ
+  // from the requested kind after fallback.
+  virtual const char* name() const = 0;
+
+  // Writes `iov` (totalling `bytes`) at `offset` on `fd`, then fdatasyncs
+  // when `sync`. The iovec base memory must stay valid until the returned
+  // ticket completes. Tickets start at 1 and ascend by 1.
+  virtual uint64_t submit(int fd, uint64_t offset, std::vector<iovec> iov,
+                          uint64_t bytes, bool sync) = 0;
+
+  // True once every ticket <= `ticket` has completed.
+  virtual bool done(uint64_t ticket) const = 0;
+
+  // Blocks until done(ticket); returns ok().
+  virtual bool wait(uint64_t ticket) = 0;
+
+  // False after any job failed (I/O error or short write). A failed
+  // engine still completes tickets so waiters make progress.
+  virtual bool ok() const = 0;
+
+  // Invoked (from an engine thread) every time the completion watermark
+  // advances; wake the writer's condition variable here. Set before the
+  // first submit.
+  virtual void set_signal(std::function<void()> fn) = 0;
+
+  virtual WritebackStats stats() const = 0;
+
+  // kind: "sync" | "threads" | "uring" | "auto". Never fails: unknown
+  // kinds and unavailable backends degrade (uring -> threads -> sync).
+  static std::unique_ptr<WritebackEngine> create(const std::string& kind,
+                                                 uint32_t workers);
+};
+
+}  // namespace crpm::tier

@@ -1,0 +1,37 @@
+#include "util/crc32.h"
+
+namespace crpm {
+
+namespace {
+
+struct Crc32Table {
+  uint32_t t[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+  }
+};
+
+const Crc32Table& table() {
+  static const Crc32Table tbl;
+  return tbl;
+}
+
+}  // namespace
+
+uint32_t crc32(const void* data, size_t len, uint32_t seed) {
+  const auto& t = table().t;
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    c = t[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace crpm

@@ -1,0 +1,15 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), seedable for running CRCs.
+//
+// Lives in util so both the archive format layer (src/snapshot) and the
+// tiering layer below it (src/tier) can share one implementation without a
+// dependency cycle between their libraries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace crpm {
+
+uint32_t crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace crpm

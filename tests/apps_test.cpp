@@ -29,8 +29,13 @@ const AppCase kApps[] = {
 class AppsTest : public ::testing::TestWithParam<int> {
  protected:
   void SetUp() override {
+    // Unique per test: the suite's tests run as concurrent ctest
+    // processes, and a shared directory would let one test's remove_all
+    // delete another's live checkpoint store.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
     dir_ = std::filesystem::temp_directory_path() /
-           ("crpm_apps_test_" + std::string(app().name));
+           ("crpm_apps_test_" + std::string(info->name()) + "_" +
+            std::string(app().name));
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
   }

@@ -247,7 +247,12 @@ TEST(Dali, GcBoundsChainGrowth) {
 class FtiTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "crpm_fti_test";
+    // Unique per test: ctest runs the suite's cases as concurrent
+    // processes, and a shared directory would let one case's remove_all
+    // delete another's live checkpoint set.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("crpm_fti_test_" + std::string(info->name()));
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
   }

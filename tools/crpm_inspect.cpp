@@ -56,6 +56,8 @@
 #include "nvm/device.h"
 #include "snapshot/archive.h"
 #include "snapshot/restore.h"
+#include "tier/codec.h"
+#include "tier/cold.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -240,20 +242,58 @@ int archive_list(const char* path, bool verify_only) {
                 (unsigned long long)scan.truncated_bytes);
   std::printf("\n");
 
-  uint64_t corrupt = 0, unrestorable = 0;
+  // The cold tier beside the archive is part of its restorability story:
+  // list/verify both, and a damaged cold base is archive damage (exit 2).
+  const auto cold = tier::ColdTier::list_for_archive(path);
+
+  auto ratio_of = [](const snapshot::EpochInfo& e) {
+    char buf[16];
+    if (e.codec == tier::kCodecNone || e.raw_bytes == 0) return std::string("-");
+    std::snprintf(buf, sizeof(buf), "%.2f",
+                  static_cast<double>(e.frame_bytes) /
+                      static_cast<double>(e.raw_bytes));
+    return std::string(buf);
+  };
+
+  uint64_t corrupt = 0, unrestorable = 0, cold_epochs = 0;
   if (!verify_only) {
-    TablePrinter t({"epoch", "kind", "blocks", "bytes", "crc", "restorable"});
+    TablePrinter t({"epoch", "tier", "kind", "blocks", "bytes", "codec",
+                    "ratio", "crc", "restorable"});
     for (const auto& e : scan.epochs) {
       bool r = reader.restorable(e.epoch);
       if (!e.intact) ++corrupt;
       if (!r) ++unrestorable;
       t.row()
           .cell(e.epoch)
-          .cell(e.kind == snapshot::kBaseFrame ? "base" : "delta")
+          .cell("hot")
+          .cell(snapshot::is_base_kind(e.kind) ? "base" : "delta")
           .cell(e.block_count)
           .cell(format_bytes(e.frame_bytes))
+          .cell(tier::codec_name(e.codec))
+          .cell(ratio_of(e))
           .cell(e.intact ? "ok" : "CORRUPT")
           .cell(r ? "yes" : "NO");
+    }
+    for (const auto& ce : cold) {
+      snapshot::ArchiveReader cr(ce.path);
+      const auto& cs = cr.scan();
+      const snapshot::EpochInfo* info = nullptr;
+      for (const auto& e : cs.epochs)
+        if (e.epoch == ce.epoch) info = &e;
+      bool ok = cr.ok() && info != nullptr && info->intact &&
+                cr.restorable(ce.epoch);
+      if (!ok) ++corrupt;
+      ++cold_epochs;
+      auto& row = t.row().cell(ce.epoch).cell("cold").cell("base");
+      if (info != nullptr) {
+        row.cell(info->block_count)
+            .cell(format_bytes(info->frame_bytes))
+            .cell(tier::codec_name(info->codec))
+            .cell(ratio_of(*info));
+      } else {
+        row.cell("?").cell(format_bytes(ce.bytes)).cell("?").cell("-");
+      }
+      row.cell(ok ? "ok" : "CORRUPT").cell(ok ? "yes" : "NO");
     }
     t.print();
   } else {
@@ -265,6 +305,15 @@ int archive_list(const char* path, bool verify_only) {
       }
       if (!reader.restorable(e.epoch)) ++unrestorable;
     }
+    for (const auto& ce : cold) {
+      ++cold_epochs;
+      snapshot::ArchiveReader cr(ce.path);
+      if (!cr.ok() || !cr.restorable(ce.epoch)) {
+        ++corrupt;
+        std::printf("cold epoch %llu: CORRUPT (%s)\n",
+                    (unsigned long long)ce.epoch, ce.path.c_str());
+      }
+    }
   }
 
   uint64_t latest = 0;
@@ -272,12 +321,16 @@ int archive_list(const char* path, bool verify_only) {
     std::printf("latest restorable: epoch %llu\n", (unsigned long long)latest);
   else
     std::printf("latest restorable: NONE\n");
+  if (cold_epochs != 0)
+    std::printf("cold tier:         %llu base%s under %s\n",
+                (unsigned long long)cold_epochs, cold_epochs == 1 ? "" : "s",
+                tier::ColdTier::dir_for(path).c_str());
 
   bool bad = corrupt != 0 || scan.truncated_bytes != 0;
-  std::printf("%s (%llu corrupt, %llu unrestorable of %zu)\n",
+  std::printf("%s (%llu corrupt, %llu unrestorable of %zu hot + %llu cold)\n",
               bad ? "ARCHIVE HAS DAMAGE" : "archive is fully intact",
               (unsigned long long)corrupt, (unsigned long long)unrestorable,
-              scan.epochs.size());
+              scan.epochs.size(), (unsigned long long)cold_epochs);
   return bad ? 2 : 0;
 }
 

@@ -3,7 +3,7 @@
 //   crpm_kvd serve  --dir <d> [--port 0] [--port-file <f>] [--workers 4]
 //                   [--interval-ms 8] [--async-workers 1]
 //                   [--capacity-mb 256] [--buckets 65536] [--archive]
-//                   [--preload <n>]
+//                   [--archive-tier] [--preload <n>]
 //   crpm_kvd load   --port <p> [--host 127.0.0.1] [--threads 4]
 //                   [--seconds 5] [--ops <n>] [--keys 100000]
 //                   [--durable-every 16] [--get-ratio 0.5]
@@ -90,7 +90,7 @@ int usage(const char* argv0) {
       "usage: %s serve  --dir <d> [--port 0] [--port-file <f>]\n"
       "                 [--workers 4] [--interval-ms 8] [--async-workers 1]\n"
       "                 [--capacity-mb 256] [--buckets 65536] [--archive]\n"
-      "                 [--preload <n>]\n"
+      "                 [--archive-tier] [--preload <n>]\n"
       "       %s load   --port <p> [--host <h>] [--threads 4] [--seconds 5]\n"
       "                 [--ops <n>] [--keys 100000] [--durable-every 16]\n"
       "                 [--get-ratio 0.5] [--state-file <f>]\n"
@@ -114,7 +114,8 @@ int cmd_serve(int argc, char** argv) {
   sc.interval_ms = flag_double(argc, argv, "--interval-ms", 8.0);
   sc.async_workers =
       static_cast<uint32_t>(flag_u64(argc, argv, "--async-workers", 1));
-  sc.archive = flag_present(argc, argv, "--archive");
+  sc.archive_tier = flag_present(argc, argv, "--archive-tier");
+  sc.archive = flag_present(argc, argv, "--archive") || sc.archive_tier;
   KvService svc(sc);
 
   uint64_t preload = flag_u64(argc, argv, "--preload", 0);
