@@ -78,12 +78,28 @@ def describe(gate):
     return f'{gate["bench"]}[{sel}].{gate["metric"]}'
 
 
+def write_summary(path, rows, n_reports):
+    """Append a GitHub-flavored markdown gate table (job summary file)."""
+    with open(path, "a") as f:
+        f.write(f"### Perf gates (best of {n_reports} report(s))\n\n")
+        f.write("| gate | best | baseline | bound | status |\n")
+        f.write("|---|---|---|---|---|\n")
+        for name, have, want, bound, ok in rows:
+            mark = "✅" if ok else "❌"
+            f.write(f"| `{name}` | {have:.4f} | {want:.4f} "
+                    f"| {bound} | {mark} |\n")
+        f.write("\n")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("results", nargs="+", help="bench --json output files")
     ap.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
     ap.add_argument("--update", action="store_true",
                     help="rewrite baseline gate values from the results")
+    ap.add_argument("--summary", type=Path, default=None,
+                    help="append a markdown gate table to this file "
+                         "(e.g. $GITHUB_STEP_SUMMARY)")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -93,6 +109,7 @@ def main():
 
     failures = []
     missing = []
+    summary_rows = []
     for gate in baseline["gates"]:
         have = best_value(reports, gate)
         if have is None:
@@ -115,8 +132,12 @@ def main():
         status = "ok  " if ok else "FAIL"
         print(f"{status} {describe(gate)}: {have:.4f} "
               f"(baseline {want:.4f}, need {bound})")
+        summary_rows.append((describe(gate), have, want, bound, ok))
         if not ok:
             failures.append(describe(gate))
+
+    if args.summary is not None and not args.update:
+        write_summary(args.summary, summary_rows, len(reports))
 
     if args.update:
         if missing:

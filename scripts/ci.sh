@@ -13,10 +13,14 @@
 #           as its own sharded CI job via tools/crpm_crashmatrix)
 #   bench   perf smoke: pinned-scale bench_fig7_throughput + bench_repl +
 #           the bench_fig9_interval async-stall section + bench_kvd
-#           tail-latency-during-checkpoints, 3 runs each, gated by
-#           scripts/check_bench.py against bench/baseline.json
-#           (best-of-3 ratios, see the baseline's comment for the
-#           refresh procedure)
+#           tail-latency-during-checkpoints + bench_archive tiering +
+#           the bench_fig8_parallel multi-window pipeline section,
+#           3 runs each, gated by scripts/check_bench.py against
+#           bench/baseline.json (best-of-3 ratios, see the baseline's
+#           comment for the refresh procedure). Set CRPM_BENCH_OUT to
+#           keep the per-run JSON reports (CI uploads them as artifacts);
+#           when GITHUB_STEP_SUMMARY is set the gate table lands in the
+#           job summary.
 #   kvd     end-to-end kvd smoke: start crpm_kvd, drive live load with a
 #           mid-run durable checkpoint, kill -9, restart on the same data
 #           dir, verify every acked durable write, crpm_inspect kvd
@@ -79,8 +83,14 @@ stage_chaos() {
 stage_bench() {
   echo "== bench: perf smoke + regression gate =="
   configure_build build
-  local out
-  out="$(mktemp -d)"
+  local out keep_out=1
+  if [ -n "${CRPM_BENCH_OUT:-}" ]; then
+    out="$CRPM_BENCH_OUT"
+    mkdir -p "$out"
+  else
+    out="$(mktemp -d)"
+    keep_out=0
+  fi
   local results=()
   for run in 1 2 3; do
     CRPM_KEYS=60000 CRPM_INSERT_OPS=20000 CRPM_INTERVAL_MS=8 CRPM_EPOCHS=3 \
@@ -103,24 +113,54 @@ stage_bench() {
     CRPM_ARCH_EPOCHS=16 CRPM_ARCH_DIRTY_KB=1024 CRPM_ARCH_MB=32 \
       CRPM_ARCH_INTERVAL_MS=4 \
       ./build/bench/bench_archive --json "$out/arch_$run.json" >/dev/null
+    # Multi-window pipeline section only: flush-bandwidth scaling and
+    # capture-stall gates for the sharded async commit pipeline.
+    CRPM_FIG8_MW_ONLY=1 CRPM_FIG8_MW_EPOCHS=24 \
+      ./build/bench/bench_fig8_parallel --json "$out/fig8mw_$run.json" \
+      >/dev/null
     results+=("$out/fig7_$run.json" "$out/repl_$run.json" \
-      "$out/fig9_$run.json" "$out/kvd_$run.json" "$out/arch_$run.json")
+      "$out/fig9_$run.json" "$out/kvd_$run.json" "$out/arch_$run.json" \
+      "$out/fig8mw_$run.json")
   done
-  python3 scripts/check_bench.py "${results[@]}"
-  rm -rf "$out"
+  local summary_args=()
+  if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    summary_args=(--summary "$GITHUB_STEP_SUMMARY")
+  fi
+  python3 scripts/check_bench.py \
+    ${summary_args[@]+"${summary_args[@]}"} "${results[@]}"
+  if [ "$keep_out" -eq 0 ]; then rm -rf "$out"; fi
+}
+
+# stage_kvd leaves background processes and a mktemp dir behind if any
+# step between spawn and cleanup fails (set -e aborts the function mid
+# way); the EXIT trap reaps whatever is still registered here. Cleared on
+# the stage's normal exit path, so a green run traps a no-op.
+KVD_SRV=""
+KVD_LOAD=""
+KVD_WORK=""
+cleanup_kvd() {
+  if [ -n "$KVD_LOAD" ]; then kill "$KVD_LOAD" 2>/dev/null || true; fi
+  if [ -n "$KVD_SRV" ]; then kill -9 "$KVD_SRV" 2>/dev/null || true; fi
+  if [ -n "$KVD_LOAD" ]; then wait "$KVD_LOAD" 2>/dev/null || true; fi
+  if [ -n "$KVD_SRV" ]; then wait "$KVD_SRV" 2>/dev/null || true; fi
+  if [ -n "$KVD_WORK" ]; then rm -rf "$KVD_WORK"; fi
+  KVD_SRV="" KVD_LOAD="" KVD_WORK=""
 }
 
 stage_kvd() {
   echo "== kvd: serve / live load / kill -9 / recover / verify smoke =="
   configure_build build
   local kvd=./build/tools/crpm_kvd
+  trap cleanup_kvd EXIT
   local work
   work="$(mktemp -d)"
+  KVD_WORK="$work"
   mkdir -p "$work/data"
 
   "$kvd" serve --dir "$work/data" --port 0 --port-file "$work/port" \
     --interval-ms 4 --workers 4 >"$work/server1.log" 2>&1 &
   local srv=$!
+  KVD_SRV="$srv"
   for _ in $(seq 1 300); do [ -s "$work/port" ] && break; sleep 0.1; done
   [ -s "$work/port" ] || { cat "$work/server1.log"; return 1; }
   local port
@@ -132,18 +172,22 @@ stage_kvd() {
     --durable-every 8 --get-ratio 0.5 --state-file "$work/acked" \
     >"$work/load.log" 2>&1 &
   local load=$!
+  KVD_LOAD="$load"
   sleep 2
   "$kvd" cmd --port "$port" ckpt --durable
   sleep 1
   kill -9 "$srv" 2>/dev/null || true
   wait "$load"
+  KVD_LOAD=""
   wait "$srv" 2>/dev/null || true
+  KVD_SRV=""
   cat "$work/load.log"
 
   rm -f "$work/port"
   "$kvd" serve --dir "$work/data" --port 0 --port-file "$work/port" \
     --interval-ms 8 --workers 4 >"$work/server2.log" 2>&1 &
   srv=$!
+  KVD_SRV="$srv"
   for _ in $(seq 1 300); do [ -s "$work/port" ] && break; sleep 0.1; done
   [ -s "$work/port" ] || { cat "$work/server2.log"; return 1; }
   port="$(cat "$work/port")"
@@ -153,9 +197,11 @@ stage_kvd() {
   "$kvd" verify --port "$port" --state-file "$work/acked"
   kill "$srv" 2>/dev/null || true
   wait "$srv" 2>/dev/null || true
+  KVD_SRV=""
 
   ./build/tools/crpm_inspect kvd "$work/data"
   rm -rf "$work"
+  KVD_WORK=""
 }
 
 case "$STAGE" in

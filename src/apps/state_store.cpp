@@ -84,6 +84,8 @@ StateStore::StateStore(const Config& cfg) : cfg_(cfg) {
       if (!buffered) {
         opt.async_checkpoint = cfg_.async_checkpoint;
         opt.async_workers = cfg_.async_workers;
+        opt.max_inflight_epochs = cfg_.max_inflight_epochs;
+        opt.commit_shards = cfg_.commit_shards;
         if (cfg_.async_checkpoint) opt.eager_cow_segments = 0;
         if (cfg_.archive) {
           opt.archive_path = base + ".snap";

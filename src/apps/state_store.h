@@ -66,6 +66,10 @@ class StateStore {
     // (DESIGN §5) that doubles as the second recovery level.
     bool async_checkpoint = false;
     uint32_t async_workers = 1;
+    // Multi-window commit pipeline (async only): tolerated in-flight
+    // capture windows and commit-shard domains (see CrpmOptions).
+    uint32_t max_inflight_epochs = 1;
+    uint32_t commit_shards = 1;
     bool archive = false;                // <dir>/crpm-rank<N>.snap
     uint32_t archive_compact_every = 0;
     // Route the archive through src/tier: lzb codec, four-epoch group

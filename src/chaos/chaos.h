@@ -58,6 +58,11 @@ struct MatrixConfig {
   // planted bug (the write-hook steal skips its flush + image snapshot);
   // only the core-async scenario exercises it.
   bool fault_skip_steal_copy = false;
+  // core-multiwindow geometry: in-flight capture windows and commit-shard
+  // epoch domains (CrpmOptions::max_inflight_epochs / commit_shards).
+  // Ignored by every other scenario.
+  uint32_t mw_windows = 3;
+  uint32_t mw_shards = 4;
   // Shard selection: keep event k iff k % shard_count == shard_index.
   uint32_t shard_index = 0;
   uint32_t shard_count = 1;

@@ -109,13 +109,17 @@ bool image_matches(const uint8_t* have, const std::vector<uint8_t>& want,
 
 // Epoch + image + root oracle after a reopen. `last_committed` is the
 // newest epoch whose commit the pre-crash run observed; a crash inside
-// the next checkpoint may legally land one past it.
+// the next checkpoint may legally land up to `max_ahead` past it (1 for
+// the single-window protocol; the in-flight window count for the
+// multi-window pipeline, where a crash mid-drain can have joined any
+// prefix of the open windows).
 bool check_recovered(Container& c, const Golden& g, uint64_t last_committed,
-                     std::string* why) {
+                     std::string* why, uint64_t max_ahead = 1) {
   uint64_t e = c.committed_epoch();
-  if (e != last_committed && e != last_committed + 1) {
+  if (e < last_committed || e > last_committed + max_ahead) {
     *why = "recovered epoch " + std::to_string(e) +
-           " but last observed commit was " + std::to_string(last_committed);
+           " but last observed commit was " + std::to_string(last_committed) +
+           " (max ahead " + std::to_string(max_ahead) + ")";
     return false;
   }
   if (e >= g.at.size()) {
@@ -408,6 +412,124 @@ class CoreAsyncScenario final : public Scenario {
     CrpmOptions o = scenario_opts(cfg, false);
     o.async_checkpoint = true;
     o.async_workers = 0;  // cooperative: deterministic event stream
+    return o;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// core-multiwindow: the sharded multi-window commit pipeline. Cooperative
+// mode again keeps the event stream deterministic, but now K =
+// cfg.mw_windows capture windows accumulate before backpressure drains
+// the oldest: checkpoint(e) only guarantees epoch e-K, and the segment
+// state is spread over S = cfg.mw_shards per-shard epoch words that a
+// coordinated commit min-reduces ("shard.commit" then "async.commit").
+// Crash points therefore cover every partially-joined commit: kills
+// between a shard-local commit and the joined committed_epoch persist,
+// kills mid-flush with several windows open, and kills inside the
+// deferred flush of segments held across windows. Recovery may land
+// anywhere in [last observed commit, +K]; the oracle only requires it to
+// be a committed golden image with matching root.
+// ---------------------------------------------------------------------------
+
+class CoreMultiWindowScenario final : public Scenario {
+ public:
+  EventCensus enumerate(const MatrixConfig& cfg) override {
+    const CrpmOptions opt = mw_opts(cfg);
+    CrashSimDevice dev(Container::required_device_size(opt));
+    EventCensus census;
+    dev.set_event_recorder(&census.tags);
+    auto c = Container::open(&dev, opt);
+    for (uint64_t e = 1; e <= cfg.epochs; ++e) {
+      apply_epoch_to_container(cfg, *c, e);
+      c->checkpoint();
+    }
+    c->wait_committed();
+    c.reset();
+    dev.set_event_recorder(nullptr);
+    return census;
+  }
+
+  RunOutcome run_crash_at(const MatrixConfig& cfg, uint64_t event) override {
+    const CrpmOptions opt = mw_opts(cfg);
+    const uint64_t K = opt.max_inflight_epochs;
+    const Golden g = make_golden(cfg, opt.main_region_size, cfg.epochs);
+    CrashSimDevice dev(Container::required_device_size(opt));
+    dev.arm_crash_at_event(event);
+
+    RunOutcome out;
+    // checkpoint(e) backpressures only when all K windows are open, so it
+    // guarantees no more than epoch e-K; the final wait_committed() joins
+    // every open window.
+    uint64_t last_committed = 0;
+    std::unique_ptr<Container> c;
+    try {
+      c = Container::open(&dev, opt);
+      for (uint64_t e = 1; e <= cfg.epochs; ++e) {
+        apply_epoch_to_container(cfg, *c, e);
+        c->checkpoint();
+        last_committed = e > K ? e - K : 0;
+      }
+      c->wait_committed();
+      last_committed = cfg.epochs;
+    } catch (const SimulatedCrash&) {
+      out.crash_fired = true;
+    }
+    if (!out.crash_fired) {
+      dev.disarm();
+      std::string why;
+      if (c->committed_epoch() != cfg.epochs) {
+        out.violation = true;
+        out.detail = "clean run: wait_committed left epoch " +
+                     std::to_string(c->committed_epoch());
+      } else if (!image_matches(c->data(), g.at[cfg.epochs], "main region",
+                                cfg.epochs, &why)) {
+        out.violation = true;
+        out.detail = "clean run: " + why;
+      }
+      return out;
+    }
+
+    // Up to K captured-but-uncommitted windows die with the process; a
+    // crash mid-drain may have joined any prefix of them, so recovery can
+    // land anywhere in [last_committed, last_committed + K].
+    c.reset();
+    Xoshiro256 rng = crash_rng(cfg, event);
+    dev.crash_and_restart(cfg.policy, rng);
+    c = Container::open(&dev, opt);
+    std::string why;
+    if (!check_recovered(*c, g, last_committed, &why, K)) {
+      out.violation = true;
+      out.detail = why;
+      return out;
+    }
+
+    // Recovery must compose with forward progress — through the same
+    // multi-window pipeline.
+    for (uint64_t e = c->committed_epoch() + 1; e <= cfg.epochs; ++e) {
+      apply_epoch_to_container(cfg, *c, e);
+      c->checkpoint();
+    }
+    c->wait_committed();
+    if (c->committed_epoch() != cfg.epochs) {
+      out.violation = true;
+      out.detail = "post-recovery run ended at epoch " +
+                   std::to_string(c->committed_epoch());
+    } else if (!image_matches(c->data(), g.at[cfg.epochs],
+                              "post-recovery main region", cfg.epochs,
+                              &why)) {
+      out.violation = true;
+      out.detail = why;
+    }
+    return out;
+  }
+
+ private:
+  static CrpmOptions mw_opts(const MatrixConfig& cfg) {
+    CrpmOptions o = scenario_opts(cfg, false);
+    o.async_checkpoint = true;
+    o.async_workers = 0;  // cooperative: deterministic event stream
+    o.max_inflight_epochs = cfg.mw_windows == 0 ? 1 : cfg.mw_windows;
+    o.commit_shards = cfg.mw_shards == 0 ? 1 : cfg.mw_shards;
     return o;
   }
 };
@@ -857,6 +979,9 @@ std::unique_ptr<Scenario> make_scenario(const std::string& name) {
   if (name == "core") return std::make_unique<CoreScenario>(false);
   if (name == "core-buffered") return std::make_unique<CoreScenario>(true);
   if (name == "core-async") return std::make_unique<CoreAsyncScenario>();
+  if (name == "core-multiwindow") {
+    return std::make_unique<CoreMultiWindowScenario>();
+  }
   if (name == "archive") return std::make_unique<ArchiveScenario>(false);
   if (name == "archive-tier") {
     return std::make_unique<ArchiveScenario>(true);
@@ -866,7 +991,7 @@ std::unique_ptr<Scenario> make_scenario(const std::string& name) {
 }
 
 std::vector<std::string> scenario_names() {
-  return {"core",    "core-buffered", "core-async",
+  return {"core",    "core-buffered", "core-async", "core-multiwindow",
           "archive", "archive-tier",  "repl"};
 }
 

@@ -1,6 +1,7 @@
 #include "core/async_commit.h"
 
 #include "core/container.h"
+#include "util/logging.h"
 
 namespace crpm {
 
@@ -20,55 +21,96 @@ AsyncCommitPipeline::~AsyncCommitPipeline() {
   }
   cv_work_.notify_all();
   for (auto& t : threads_) t.join();
-  // Cooperative mode: a still-open window is discarded (crash semantics);
+  // Cooperative mode: still-open windows are discarded (crash semantics);
   // see ~DefaultContainer().
 }
 
-void AsyncCommitPipeline::submit() {
-  if (workers_n_ == 0) return;  // cooperative: serviced by wait_idle()
+void AsyncCommitPipeline::submit(uint64_t epoch) {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    window_open_ = true;
-    ++gen_;
+    if (submitted_ == 0) {
+      first_epoch_ = epoch;
+    } else {
+      CRPM_CHECK(epoch == first_epoch_ + submitted_,
+                 "async epochs must be submitted in order");
+    }
+    ++submitted_;
   }
-  cv_work_.notify_all();
+  if (workers_n_ != 0) cv_work_.notify_all();
 }
 
 void AsyncCommitPipeline::wait_idle() {
   if (workers_n_ == 0) {
-    // Cooperative mode: run the pipeline inline. service_mu_ admits one
-    // servicer; late arrivals find the window already closed and return.
+    // Cooperative mode: run the pipeline inline, oldest window first.
+    // service_mu_ admits one servicer; late arrivals find the windows
+    // already closed and return.
     std::lock_guard<std::mutex> lk(service_mu_);
-    c_->async_service_window(1);
-    return;
+    for (;;) {
+      uint64_t e = c_->async_oldest_open_epoch();
+      if (e == 0) return;
+      c_->async_service_window_epoch(e, 1);
+    }
   }
   std::unique_lock<std::mutex> lk(mu_);
-  cv_idle_.wait(lk, [&] { return !window_open_; });
+  cv_closed_.wait(lk, [&] { return closed_ == submitted_; });
 }
 
-void AsyncCommitPipeline::mark_closed() {
-  if (workers_n_ == 0) return;
+void AsyncCommitPipeline::note_closed(uint64_t epoch) {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    window_open_ = false;
+    CRPM_CHECK(epoch == first_epoch_ + closed_,
+               "async windows must close in FIFO order");
+    ++closed_;
   }
-  cv_idle_.notify_all();
+  cv_closed_.notify_all();
+}
+
+void AsyncCommitPipeline::wait_closed_at_least(uint64_t epoch) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (submitted_ == 0 || epoch < first_epoch_) return;
+  if (workers_n_ == 0) {
+    // Cooperative servicing is strictly oldest-first, so a window's
+    // predecessor is always closed by the time its tail runs.
+    CRPM_CHECK(first_epoch_ + closed_ > epoch,
+               "cooperative pipeline serviced a window out of order");
+    return;
+  }
+  cv_closed_.wait(lk, [&] { return first_epoch_ + closed_ > epoch; });
+}
+
+void AsyncCommitPipeline::help_drain_oldest() {
+  if (workers_n_ == 0) {
+    std::lock_guard<std::mutex> lk(service_mu_);
+    uint64_t e = c_->async_oldest_open_epoch();
+    if (e != 0) c_->async_service_window_epoch(e, 1);
+    return;
+  }
+  // Worker mode: the pool owns the windows; wait for the next close.
+  std::unique_lock<std::mutex> lk(mu_);
+  if (closed_ == submitted_) return;
+  uint64_t seen = closed_;
+  cv_closed_.wait(lk, [&] { return closed_ != seen; });
 }
 
 void AsyncCommitPipeline::worker_loop() {
+  // Every worker participates in every submitted window, in epoch order:
+  // the per-window flush stage is work-shared over the shard cursors, and
+  // the last participant to arrive runs the join + tail. A worker done
+  // with window E moves straight to E+1's flush while E's tail is still
+  // running on whichever worker arrived last.
   uint64_t served = 0;
   for (;;) {
+    uint64_t target;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      cv_work_.wait(lk, [&] {
-        return shutdown_ || (window_open_ && gen_ != served);
-      });
-      // Drain before exiting: an in-flight window is completed even when
-      // shutdown raced with its submission.
-      if (shutdown_ && !(window_open_ && gen_ != served)) return;
-      served = gen_;
+      cv_work_.wait(lk, [&] { return shutdown_ || served < submitted_; });
+      // Drain before exiting: in-flight windows are completed even when
+      // shutdown raced with their submission.
+      if (served >= submitted_) return;
+      target = first_epoch_ + served;
     }
-    c_->async_service_window(workers_n_);
+    c_->async_service_window_epoch(target, workers_n_);
+    ++served;
   }
 }
 

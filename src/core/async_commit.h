@@ -4,40 +4,59 @@
 // In async mode crpm_checkpoint() runs only a short stop-the-world
 // *capture* phase: it snapshots the dirty segment set, each captured
 // segment's dirty-block list and the working roots into an AsyncWindow,
-// stages the next seg_state array in place, hands the epoch to the sink,
-// and returns. The pipeline then drives the window to the commit point
-// while application threads keep mutating the main region:
+// stages the epoch's seg_state replica in place, hands the epoch to the
+// sink, and returns. Up to max_inflight_epochs windows can be open at
+// once; each stages into its own metadata replica (epoch E uses copy
+// E mod replicas) and the windows join strictly FIFO at the commit
+// point. The pipeline drives every window through:
 //
 //   flush     per captured segment (under its per-segment lock): flush
 //             the captured blocks of the main region and fence
-//             ("async.flush"). The write hook *steals* this step for any
-//             captured segment it touches first ("async.steal"), and also
-//             snapshots the segment's capture-epoch image into DRAM
-//             before its first post-capture store lands.
-//   stage     flush the staged seg_state array and the captured roots
-//             into the inactive metadata copy ("async.stage").
+//             ("async.flush"). Work is sharded — segment s belongs to
+//             shard s % commit_shards; each participant sweeps its own
+//             shard first, then steals from the others. A segment still
+//             held by an OLDER open window is skipped (deferred): its
+//             main-region bytes must not reach media while the committed
+//             metadata can still say SS_Main for it. The write hook
+//             *steals* the flush for any captured segment it touches
+//             first ("async.steal"), and also snapshots the segment's
+//             capture-epoch image into DRAM before its first
+//             post-capture store lands.
+//   shard     when a shard's flush pass for the window completes, its
+//             durable progress word is advanced ("shard.commit") — the
+//             shard-local commit.
+//   join      the last participant waits for the predecessor window to
+//             close (FIFO), flushes any deferred segments (now safe),
+//             and min-reduces the per-shard progress records — the
+//             in-process analogue of SimComm::allreduce_min — before
+//             proceeding.
+//   stage     flush the staged seg_state replica and the captured roots
+//             ("async.stage").
 //   commit    persist the committed_epoch bump ("async.commit") — the
-//             atomic commit point.
+//             atomic commit point of the joined epoch.
 //   finalize  per stolen segment: rebuild its backup from the DRAM image
-//             snapshot and flip it to SS_Backup ("async.final"); then
-//             release every captured segment from the window.
+//             snapshot and flip it to SS_Backup ("async.final"),
+//             propagating the flip into newer open windows' staged
+//             replicas; then release every captured segment.
 //
 // With async_workers >= 1 the stages run on a pool of background
-// threads (the flush stage is work-shared over a cursor; the last
-// worker to finish runs the single-threaded tail). With async_workers
-// == 0 the pipeline runs *cooperatively*: the same code executes inline
-// on application threads, inside wait_committed() and inside the next
-// capture's backpressure wait. Cooperative mode keeps the
-// persistence-event stream a deterministic function of the workload,
-// which the crash-matrix harness (src/chaos, scenario "core-async")
-// depends on — CrashSimDevice is single-threaded, so simulated-crash
-// tests must use cooperative mode.
+// threads; every worker participates in every window, in epoch order,
+// so flushing for window E+1 overlaps window E's tail. With
+// async_workers == 0 the pipeline runs *cooperatively*: the same code
+// executes inline on application threads (inside wait_committed(), the
+// next capture's backpressure wait, and the write hook's blocked-steal
+// wait), servicing the oldest open window first. Cooperative mode keeps
+// the persistence-event stream a deterministic function of the
+// workload, which the crash-matrix harness (src/chaos, scenarios
+// "core-async" and "core-multiwindow") depends on — CrashSimDevice is
+// single-threaded, so simulated-crash tests must use cooperative mode.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -48,13 +67,15 @@ namespace crpm {
 
 class DefaultContainer;
 
-// One captured-but-uncommitted epoch. Owned by the container; written by
-// the capture leader while the world is stopped, then processed by the
-// pipeline. Per-segment fields (phase, stolen, staging, seg_slot) are
-// guarded by that segment's DirtyTracker lock once the window is open.
+// One captured-but-uncommitted epoch. Owned by the container (one ring
+// slot per tolerated in-flight epoch; epoch E lives in slot E mod
+// max_inflight_epochs); written by the capture leader while the world is
+// stopped, then processed by the pipeline. Per-segment fields (phase,
+// stolen, staging, seg_slot) are guarded by that segment's DirtyTracker
+// lock once the window is open.
 struct AsyncWindow {
   enum Phase : uint8_t {
-    kIdle = 0,     // not captured by the open window (or released)
+    kIdle = 0,     // not captured by this window (or released)
     kPending = 1,  // captured; blocks not yet flushed
     kFlushed = 2,  // captured; blocks durable, commit still pending
   };
@@ -71,8 +92,23 @@ struct AsyncWindow {
   std::vector<uint32_t> seg_slot;              // segment -> index into segs
   std::vector<std::vector<uint8_t>> staging;   // capture-epoch image if stolen
 
-  std::atomic<size_t> cursor{0};       // flush-stage work sharing
+  // Sharded flush work: shard_slots[sh] holds indices into segs for the
+  // segments owned by shard sh (= seg % commit_shards). shard_cursor is
+  // the per-shard work-sharing claim cursor; shard_left counts entries
+  // whose flush pass has not completed — the participant that drops it to
+  // zero performs the shard-local commit.
+  std::vector<std::vector<uint32_t>> shard_slots;
+  std::unique_ptr<std::atomic<size_t>[]> shard_cursor;
+  std::unique_ptr<std::atomic<size_t>[]> shard_left;
+
+  std::atomic<uint32_t> arrivals{0};   // participant index (shard affinity)
   std::atomic<uint32_t> finishers{0};  // participants done with flushing
+  // Flush critical path: per-shard CPU time spent flushing this window's
+  // captured blocks (write-hook steals included). The tail max-reduces it
+  // into stats async_flush_crit_ns — thread-CPU time per shard, not wall
+  // time, so the sharded pipeline's parallel efficiency is measurable
+  // regardless of how many cores the host schedules the workers onto.
+  std::unique_ptr<std::atomic<uint64_t>[]> shard_flush_ns;
 };
 
 class AsyncCommitPipeline {
@@ -83,15 +119,28 @@ class AsyncCommitPipeline {
   AsyncCommitPipeline(const AsyncCommitPipeline&) = delete;
   AsyncCommitPipeline& operator=(const AsyncCommitPipeline&) = delete;
 
-  // Capture leader: the window is populated and open; start processing.
-  void submit();
+  // Capture leader: window for `epoch` is populated and open; start
+  // processing. Epochs are submitted in strictly increasing order.
+  void submit(uint64_t epoch);
 
   // Blocks until no window is open. Cooperative mode (workers == 0)
-  // services the window inline on the calling thread instead.
+  // services the open windows inline, oldest first, on the calling thread.
   void wait_idle();
 
-  // Called by the last pipeline participant once the window is released.
-  void mark_closed();
+  // Called by the container's pipeline tail after window `epoch` is fully
+  // released (commit + finalize done). Windows close in FIFO order.
+  void note_closed(uint64_t epoch);
+
+  // FIFO join helper: blocks until every epoch <= `epoch` has closed.
+  // Worker mode only — cooperative servicing is FIFO by construction and
+  // asserts instead of waiting.
+  void wait_closed_at_least(uint64_t epoch);
+
+  // Makes progress on the oldest open window and returns: cooperative mode
+  // services it to completion inline; worker mode blocks until some window
+  // closes. Used by capture backpressure and by the write hook when a
+  // store hits a segment still held by more than one window.
+  void help_drain_oldest();
 
   uint32_t workers() const { return workers_n_; }
 
@@ -103,10 +152,11 @@ class AsyncCommitPipeline {
   std::vector<std::thread> threads_;
 
   std::mutex mu_;
-  std::condition_variable cv_work_;  // workers: a window was submitted
-  std::condition_variable cv_idle_;  // waiters: the window closed
-  uint64_t gen_ = 0;                 // bumped per submitted window
-  bool window_open_ = false;
+  std::condition_variable cv_work_;    // workers: a window was submitted
+  std::condition_variable cv_closed_;  // waiters: some window closed
+  uint64_t first_epoch_ = 0;   // epoch of submission #0 (0 = none yet)
+  uint64_t submitted_ = 0;     // windows submitted over the lifetime
+  uint64_t closed_ = 0;        // windows closed over the lifetime
   bool shutdown_ = false;
 
   std::mutex service_mu_;  // cooperative mode: one servicer at a time

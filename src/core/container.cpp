@@ -1,6 +1,7 @@
 #include "core/container.h"
 
 #include <cstring>
+#include <ctime>
 #include <mutex>
 
 #include "util/logging.h"
@@ -74,10 +75,11 @@ void Container::renumber_epoch(uint64_t epoch) {
              "renumber_epoch(%llu) would move epoch %llu backwards",
              (unsigned long long)epoch,
              (unsigned long long)h->committed_epoch);
-  CRPM_CHECK(((epoch ^ h->committed_epoch) & 1) == 0,
-             "renumber_epoch(%llu) flips parity of epoch %llu",
+  CRPM_CHECK((epoch - h->committed_epoch) % geo_.meta_replicas() == 0,
+             "renumber_epoch(%llu) changes the metadata-replica residue of "
+             "epoch %llu (replicas=%u)",
              (unsigned long long)epoch,
-             (unsigned long long)h->committed_epoch);
+             (unsigned long long)h->committed_epoch, geo_.meta_replicas());
   if (epoch == h->committed_epoch) return;
   h->committed_epoch = epoch;
   PersistSiteScope site("commit.renumber");
@@ -230,9 +232,10 @@ uint64_t Container::get_root(uint32_t slot) const {
 }
 
 void Container::stage_roots_for_commit() {
-  // Always carry the working roots into the inactive array (it is two
-  // epochs stale), exactly like the seg_state copy-forward.
-  uint64_t* dst = layout_.roots(1 - active_index());
+  // Always carry the working roots into the next epoch's array (it is
+  // meta_replicas() epochs stale), exactly like the seg_state copy-forward.
+  uint64_t* dst =
+      layout_.roots((active_index() + 1) % static_cast<int>(geo_.meta_replicas()));
   std::copy(roots_work_.begin(), roots_work_.end(), dst);
   dev_->flush(dst, 8 * kNumRoots);
 }
@@ -250,6 +253,20 @@ void Container::notify_epoch_sink(uint64_t epoch, const uint8_t* data,
   d.roots = roots_work_;
   epoch_sink_->on_epoch_commit(std::move(d));
   stats_.add_archive_capture_ns(sw.elapsed_ns());
+}
+
+void Container::set_commit_callback(std::function<void(uint64_t)> cb) {
+  std::lock_guard<std::mutex> lk(commit_cb_mu_);
+  commit_cb_ = std::move(cb);
+}
+
+void Container::notify_commit(uint64_t epoch) {
+  std::function<void(uint64_t)> cb;
+  {
+    std::lock_guard<std::mutex> lk(commit_cb_mu_);
+    cb = commit_cb_;
+  }
+  if (cb) cb(epoch);
 }
 
 uint64_t Container::dram_bytes() const { return tracker_->bitmap_bytes(); }
@@ -294,6 +311,46 @@ DefaultContainer::DefaultContainer(NvmDevice* dev,
     : Container(dev, std::move(owned), opt, target_epoch) {
   open_or_format();
   if (opt_.async_checkpoint) {
+    last_captured_epoch_ = committed_epoch();
+    uint32_t inflight = opt_.max_inflight_epochs;
+    windows_.reserve(inflight);
+    for (uint32_t i = 0; i < inflight; ++i) {
+      windows_.push_back(std::make_unique<AsyncWindow>());
+    }
+    uint32_t shards = geo_.shard_count();
+    shard_progress_.reset(new std::atomic<uint64_t>[shards]);
+    shard_locks_.reserve(shards);
+    for (uint32_t sh = 0; sh < shards; ++sh) {
+      shard_progress_[sh].store(committed_epoch(), std::memory_order_relaxed);
+      shard_locks_.push_back(std::make_unique<SpinLock>());
+    }
+    if (!was_fresh()) {
+      // Recovery of the per-shard progress words: a crash can leave any
+      // shard's record at most max_inflight_epochs ahead of the committed
+      // epoch (the deepest open window at the crash). Lower values are
+      // normal — sync containers never write the words, and restore /
+      // renumber paths move the epoch without touching them — so only the
+      // upper bound is a corruption check. Reset every word to the
+      // committed epoch so the next joined commit starts from a clean
+      // baseline.
+      PersistSiteScope site("recovery.shards");
+      uint64_t committed = committed_epoch();
+      bool dirty = false;
+      for (uint32_t sh = 0; sh < shards; ++sh) {
+        uint64_t* word = layout_.shard_epoch_word(sh);
+        CRPM_CHECK(*word <= committed + inflight,
+                   "shard %u progress word %llu runs more than %u epochs "
+                   "ahead of committed epoch %llu",
+                   sh, (unsigned long long)*word, inflight,
+                   (unsigned long long)committed);
+        if (*word != committed) {
+          *word = committed;
+          dev_->flush(word, sizeof(uint64_t));
+          dirty = true;
+        }
+      }
+      if (dirty) dev_->fence();
+    }
     pipeline_ =
         std::make_unique<AsyncCommitPipeline>(this, opt_.async_workers);
   }
@@ -332,17 +389,48 @@ void DefaultContainer::annotate(const void* addr, size_t len) {
 
 void DefaultContainer::copy_on_write(uint64_t seg) {
   Stopwatch sw;
-  std::lock_guard<SpinLock> lk(tracker_->segment_lock(seg));
-  if (tracker_->segment_dirty(seg)) return;  // another thread won the race
-
-  if (opt_.async_checkpoint && !window_.phase.empty() &&
-      window_.phase[seg] != AsyncWindow::kIdle) {
-    // The open window captured this segment and has not committed it yet.
-    // Its backup still guards the previous epoch and must not be touched;
-    // steal the segment's pipeline work instead of copying.
-    steal_captured(seg);
-    stats_.add_trace_ns(sw.elapsed_ns());
+  SpinLock& seg_lock = tracker_->segment_lock(seg);
+  seg_lock.lock();
+  if (tracker_->segment_dirty(seg)) {  // another thread won the race
+    seg_lock.unlock();
     return;
+  }
+
+  if (opt_.async_checkpoint) {
+    // A still-open window that captured this segment owns its pipeline
+    // work; its backup still guards the previous epoch and must not be
+    // touched. The first post-capture writer *steals* the work (flush +
+    // image snapshot) instead of copying. With more than one window
+    // holding the segment, stealing from the newest would flush bytes
+    // whose flush the oldest window deferred (the committed metadata can
+    // still read the segment as SS_Main); help the pipeline drain the
+    // oldest window and re-evaluate.
+    for (;;) {
+      AsyncWindow* newest = nullptr;
+      int holders = 0;
+      for (const auto& wp : windows_) {
+        AsyncWindow& w = *wp;
+        if (!w.open.load(std::memory_order_acquire)) continue;
+        if (w.phase.empty() || w.phase[seg] == AsyncWindow::kIdle) continue;
+        ++holders;
+        if (newest == nullptr || w.epoch > newest->epoch) newest = &w;
+      }
+      if (holders == 0) break;
+      if (holders == 1) {
+        steal_captured(*newest, seg);
+        seg_lock.unlock();
+        stats_.add_trace_ns(sw.elapsed_ns());
+        return;
+      }
+      seg_lock.unlock();
+      pipeline_->help_drain_oldest();
+      seg_lock.lock();
+      if (tracker_->segment_dirty(seg)) {  // a concurrent writer finished
+        seg_lock.unlock();
+        stats_.add_trace_ns(sw.elapsed_ns());
+        return;
+      }
+    }
   }
 
   uint8_t* state = layout_.seg_state(active_index());
@@ -389,18 +477,22 @@ void DefaultContainer::copy_on_write(uint64_t seg) {
     if (!opt_.test_fault_flip_before_copy) {
       PersistSiteScope site("cow.flip");
       if (opt_.async_checkpoint) {
-        // A background commit may bump active_index() concurrently. For a
-        // segment outside the captured window both seg_state copies agree
-        // (capture copied one onto the other, and only this segment's own
+        // A background commit may bump active_index() concurrently, and
+        // every open window holds a staged replica of its own epoch. For a
+        // segment no window captured, all replicas agree (capture copies
+        // the predecessor's replica forward, and only this segment's own
         // CoW — serialized by its lock — changes its entries), so flip
-        // both and stay index-agnostic.
-        uint8_t* other = layout_.seg_state(0) == state ? layout_.seg_state(1)
-                                                       : layout_.seg_state(0);
-        other[seg] = kSegBackup;
-        dev_->flush(&other[seg], 1);
+        // every one of them and stay index-agnostic.
+        for (uint32_t r = 0; r < geo_.meta_replicas(); ++r) {
+          uint8_t* copy = layout_.seg_state(static_cast<int>(r));
+          copy[seg] = kSegBackup;
+          dev_->flush(&copy[seg], 1);
+        }
+        dev_->fence();  // fence #2
+      } else {
+        state[seg] = kSegBackup;
+        dev_->persist(&state[seg], 1);  // flush + fence #2
       }
-      state[seg] = kSegBackup;
-      dev_->persist(&state[seg], 1);  // flush + fence #2
     }
     tracker_->clear_segment_blocks(seg);
     stats_.add_cow(!differential, blocks, bytes);
@@ -409,6 +501,7 @@ void DefaultContainer::copy_on_write(uint64_t seg) {
   // kSegBackup: backup already equals the checkpoint (eager CoW or
   // post-recovery state); the segment is immediately writable.
   tracker_->dirty_segments().set(seg);
+  seg_lock.unlock();
   stats_.add_trace_ns(sw.elapsed_ns());
 }
 
@@ -494,7 +587,7 @@ void DefaultContainer::checkpoint() {
   // lines 35-42).
   if (leader) {
     int e_act = active_index();
-    int e_new = 1 - e_act;
+    int e_new = (e_act + 1) % static_cast<int>(geo_.meta_replicas());
     uint8_t* act = layout_.seg_state(e_act);
     uint8_t* next = layout_.seg_state(e_new);
     {
@@ -513,6 +606,7 @@ void DefaultContainer::checkpoint() {
       dev_->persist(&h->committed_epoch, sizeof(uint64_t));
     }
     dram_committed_.store(h->committed_epoch, std::memory_order_release);
+    notify_commit(h->committed_epoch);
     roots_dirty_ = false;
 
     // Note: the in-place flush of dirty main-region blocks is persistence,
@@ -589,30 +683,36 @@ void DefaultContainer::checkpoint_async() {
   Stopwatch sw;
   bool leader = barrier_->arrive_and_wait();
   if (leader) {
-    // Backpressure (max_inflight_epochs == 1): the seg_state/roots double
-    // buffer holds exactly one uncommitted epoch, so the previous window
-    // must close before a new one is captured. Cooperative mode services
-    // the pending window inline here.
-    if (window_.open.load(std::memory_order_acquire)) {
-      Stopwatch bp;
-      pipeline_->wait_idle();
-      stats_.add_async_backpressure_ns(bp.elapsed_ns());
-    }
     ckpt_segs_.clear();
     tracker_->dirty_segments().for_each_set(
         [&](size_t s) { ckpt_segs_.push_back(s); });
     ckpt_skip_ = ckpt_segs_.empty() && !roots_dirty_;
     if (!ckpt_skip_) {
-      AsyncWindow& w = window_;
+      uint64_t epoch = last_captured_epoch_ + 1;
+      AsyncWindow& w = window_of(epoch);
+      // Backpressure: epoch E reuses ring slot E mod K and metadata
+      // replica E mod (K+1); both are free once window E-K has closed
+      // (windows close FIFO). Cooperative mode services the oldest open
+      // window inline here.
+      while (w.open.load(std::memory_order_acquire)) {
+        Stopwatch bp;
+        pipeline_->help_drain_oldest();
+        stats_.add_async_backpressure_ns(bp.elapsed_ns());
+      }
+      uint32_t shards = geo_.shard_count();
       if (w.phase.empty()) {
         w.phase.assign(geo_.nr_main_segs(), AsyncWindow::kIdle);
         w.stolen.assign(geo_.nr_main_segs(), 0);
         w.seg_slot.assign(geo_.nr_main_segs(), 0);
         w.staging.resize(geo_.nr_main_segs());
+        w.shard_cursor.reset(new std::atomic<size_t>[shards]);
+        w.shard_left.reset(new std::atomic<size_t>[shards]);
+        w.shard_flush_ns.reset(new std::atomic<uint64_t>[shards]);
       }
-      w.epoch = committed_epoch() + 1;
+      w.epoch = epoch;
       w.segs = ckpt_segs_;
       w.blocks.assign(w.segs.size(), {});
+      w.shard_slots.assign(shards, {});
       for (size_t i = 0; i < w.segs.size(); ++i) {
         uint64_t s = w.segs[i];
         tracker_->dirty_blocks().for_each_set(
@@ -621,16 +721,37 @@ void DefaultContainer::checkpoint_async() {
         w.phase[s] = AsyncWindow::kPending;
         w.stolen[s] = 0;
         w.seg_slot[s] = static_cast<uint32_t>(i);
+        w.shard_slots[s % shards].push_back(static_cast<uint32_t>(i));
       }
-      // Stage the next-epoch seg_state array in place with plain stores —
-      // the pipeline flushes it later. CoWs that run while the window is
-      // open keep both copies coherent by flipping them together.
-      uint8_t* act = layout_.seg_state(active_index());
-      uint8_t* next = layout_.seg_state(1 - active_index());
-      std::memcpy(next, act, geo_.nr_main_segs());
-      for (uint64_t s : w.segs) next[s] = kSegMain;
+      for (uint32_t sh = 0; sh < shards; ++sh) {
+        w.shard_cursor[sh].store(0, std::memory_order_relaxed);
+        w.shard_left[sh].store(w.shard_slots[sh].size(),
+                               std::memory_order_relaxed);
+        w.shard_flush_ns[sh].store(0, std::memory_order_relaxed);
+      }
       w.roots = roots_work_;
       roots_dirty_ = false;
+      w.arrivals.store(0, std::memory_order_relaxed);
+      w.finishers.store(0, std::memory_order_relaxed);
+      {
+        // Stage this epoch's seg_state replica from its predecessor's with
+        // plain stores — the pipeline flushes it at the stage step. CoWs
+        // that run while windows are open keep all replicas coherent by
+        // flipping every copy. windows_mu_ orders the copy (and the window
+        // becoming visible) against a concurrent finalize propagating
+        // SS_Backup flips into open windows' replicas: a flip either lands
+        // in the predecessor's replica before this memcpy reads it, or in
+        // this window's replica via propagation after it becomes visible.
+        std::lock_guard<std::mutex> wl(windows_mu_);
+        uint32_t replicas = geo_.meta_replicas();
+        uint8_t* prev =
+            layout_.seg_state(static_cast<int>((epoch - 1) % replicas));
+        uint8_t* next =
+            layout_.seg_state(static_cast<int>(epoch % replicas));
+        std::memcpy(next, prev, geo_.nr_main_segs());
+        for (uint64_t s : w.segs) next[s] = kSegMain;
+        w.open.store(true, std::memory_order_release);
+      }
       // Hand the epoch to the sink while every thread is stopped: the
       // payload (main-region values) starts mutating again the moment
       // this call returns, so the sink must finish its copy inside the
@@ -640,7 +761,7 @@ void DefaultContainer::checkpoint_async() {
         for (const auto& bl : w.blocks) {
           blocks.insert(blocks.end(), bl.begin(), bl.end());
         }
-        notify_epoch_sink(w.epoch, layout_.main_base(), std::move(blocks));
+        notify_epoch_sink(epoch, layout_.main_base(), std::move(blocks));
         Stopwatch ws;
         epoch_sink_->wait_captured();
         stats_.add_archive_capture_ns(ws.elapsed_ns());
@@ -650,11 +771,13 @@ void DefaultContainer::checkpoint_async() {
       // them, so every captured block list is a conservative superset of
       // the blocks its epoch actually wrote.
       tracker_->dirty_segments().clear_all();
-      w.cursor.store(0, std::memory_order_relaxed);
-      w.finishers.store(0, std::memory_order_relaxed);
-      w.open.store(true, std::memory_order_release);
-      stats_.note_async_inflight(1);
-      pipeline_->submit();
+      last_captured_epoch_ = epoch;
+      uint32_t inflight = 0;
+      for (const auto& wp : windows_) {
+        if (wp->open.load(std::memory_order_acquire)) ++inflight;
+      }
+      stats_.note_async_inflight(inflight);
+      pipeline_->submit(epoch);
     }
     stats_.add_async_capture(sw.elapsed_ns());
     stats_.add_checkpoint_ns(sw.elapsed_ns());
@@ -662,8 +785,18 @@ void DefaultContainer::checkpoint_async() {
   barrier_->arrive_and_wait();
 }
 
-void DefaultContainer::steal_captured(uint64_t seg) {
-  AsyncWindow& w = window_;
+namespace {
+// Thread CPU time, not wall time: a descheduled thread accrues nothing,
+// so per-shard flush cost stays comparable even when the pipeline has
+// more participants than the host has cores.
+uint64_t thread_cpu_ns() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return uint64_t(ts.tv_sec) * 1000000000ull + uint64_t(ts.tv_nsec);
+}
+}  // namespace
+
+void DefaultContainer::steal_captured(AsyncWindow& w, uint64_t seg) {
   if (opt_.test_fault_skip_steal_copy) {
     // Injected ordering bug (see CrpmOptions): dirty the segment without
     // flushing its captured blocks or snapshotting its image, so the
@@ -677,12 +810,15 @@ void DefaultContainer::steal_captured(uint64_t seg) {
     // The pipeline has not flushed this segment yet: do it now, before the
     // first post-capture store could reach media ahead of the captured
     // image.
+    uint64_t t0 = thread_cpu_ns();
     PersistSiteScope site("async.steal");
     uint64_t bs = geo_.block_size();
     for (uint64_t blk : blocks) dev_->flush(layout_.block_addr(blk), bs);
     dev_->fence();
     w.phase[seg] = AsyncWindow::kFlushed;
     stats_.add_async_flush_bytes(blocks.size() * bs);
+    w.shard_flush_ns[seg % geo_.shard_count()].fetch_add(
+        thread_cpu_ns() - t0, std::memory_order_relaxed);
   }
   if (w.stolen[seg] == 0) {
     // Snapshot the capture-epoch image before it is overwritten; the
@@ -705,38 +841,134 @@ void DefaultContainer::steal_captured(uint64_t seg) {
   tracker_->dirty_segments().set(seg);
 }
 
-void DefaultContainer::async_service_window(uint32_t participants) {
-  AsyncWindow& w = window_;
-  if (!w.open.load(std::memory_order_acquire)) return;
-
-  // Flush stage: work-shared over the captured segments; any the write
-  // hook already stole are skipped.
-  uint64_t bs = geo_.block_size();
-  for (;;) {
-    size_t i = w.cursor.fetch_add(1, std::memory_order_relaxed);
-    if (i >= w.segs.size()) break;
-    uint64_t s = w.segs[i];
-    std::lock_guard<SpinLock> lk(tracker_->segment_lock(s));
-    if (w.phase[s] != AsyncWindow::kPending) continue;
-    {
-      PersistSiteScope site("async.flush");
-      for (uint64_t blk : w.blocks[i]) {
-        dev_->flush(layout_.block_addr(blk), bs);
-      }
-      dev_->fence();
-    }
-    w.phase[s] = AsyncWindow::kFlushed;
-    stats_.add_async_flush_bytes(w.blocks[i].size() * bs);
+uint64_t DefaultContainer::async_oldest_open_epoch() const {
+  uint64_t oldest = 0;
+  for (const auto& wp : windows_) {
+    const AsyncWindow& w = *wp;
+    if (!w.open.load(std::memory_order_acquire)) continue;
+    if (oldest == 0 || w.epoch < oldest) oldest = w.epoch;
   }
-  // The last participant to finish flushing runs the single-threaded tail.
+  return oldest;
+}
+
+void DefaultContainer::async_service_window_epoch(uint64_t epoch,
+                                                  uint32_t participants) {
+  AsyncWindow& w = window_of(epoch);
+  CRPM_CHECK(w.open.load(std::memory_order_acquire) && w.epoch == epoch,
+             "pipeline servicing epoch %llu but its window is not open",
+             (unsigned long long)epoch);
+  uint32_t shards = geo_.shard_count();
+  uint64_t bs = geo_.block_size();
+  uint32_t me = w.arrivals.fetch_add(1, std::memory_order_relaxed);
+
+  // Shard-local commit: persist the shard's durable progress record
+  // ("shard.commit"). Record and mirror only ever rise; the lock
+  // serializes the read-check-persist so a late finisher of an older
+  // window cannot clobber a newer window's record.
+  auto shard_commit = [&](uint32_t sh) {
+    std::lock_guard<SpinLock> lk(*shard_locks_[sh]);
+    if (shard_progress_[sh].load(std::memory_order_relaxed) >= epoch) return;
+    uint64_t* word = layout_.shard_epoch_word(sh);
+    *word = epoch;
+    PersistSiteScope site("shard.commit");
+    dev_->persist(word, sizeof(uint64_t));
+    shard_progress_[sh].store(epoch, std::memory_order_release);
+  };
+
+  // Flush stage, sharded: each participant sweeps its own shard first,
+  // then steals from the others. Segments the write hook stole are
+  // already flushed. A segment still held by an OLDER open window is
+  // *deferred* to the join: flushing it now could overwrite main-region
+  // bytes that the committed metadata still reads as SS_Main (the older
+  // window's finalize has not rebuilt the backup yet).
+  for (uint32_t probe = 0; probe < shards; ++probe) {
+    uint32_t sh = (me + probe) % shards;
+    const std::vector<uint32_t>& slots = w.shard_slots[sh];
+    for (;;) {
+      size_t i = w.shard_cursor[sh].fetch_add(1, std::memory_order_relaxed);
+      if (i >= slots.size()) break;
+      uint32_t slot = slots[i];
+      uint64_t s = w.segs[slot];
+      {
+        std::lock_guard<SpinLock> lk(tracker_->segment_lock(s));
+        bool held_older = false;
+        for (const auto& wp : windows_) {
+          const AsyncWindow& o = *wp;
+          if (&o == &w || !o.open.load(std::memory_order_acquire)) continue;
+          if (o.epoch < epoch && !o.phase.empty() &&
+              o.phase[s] != AsyncWindow::kIdle) {
+            held_older = true;
+            break;
+          }
+        }
+        if (w.phase[s] == AsyncWindow::kPending && !held_older) {
+          uint64_t t0 = thread_cpu_ns();
+          PersistSiteScope site("async.flush");
+          for (uint64_t blk : w.blocks[slot]) {
+            dev_->flush(layout_.block_addr(blk), bs);
+          }
+          dev_->fence();
+          w.phase[s] = AsyncWindow::kFlushed;
+          stats_.add_async_flush_bytes(w.blocks[slot].size() * bs);
+          w.shard_flush_ns[sh].fetch_add(thread_cpu_ns() - t0,
+                                         std::memory_order_relaxed);
+        }
+      }
+      if (w.shard_left[sh].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        shard_commit(sh);
+      }
+    }
+  }
+  // The last participant to finish flushing runs the join + tail.
   if (w.finishers.fetch_add(1, std::memory_order_acq_rel) + 1 <
       participants) {
     return;
   }
 
-  // Stage: persist the seg_state copy staged at capture and the captured
-  // roots. Epoch E's metadata copy is index E & 1.
-  int e_new = static_cast<int>(w.epoch & 1);
+  // Join: windows commit strictly FIFO. Wait for the predecessor to
+  // close, flush what its presence deferred (safe now: its finalize has
+  // flipped those segments to SS_Backup in every committed replica, and
+  // still-kPending means no post-capture store happened — a store would
+  // have gone through the write hook's steal), then min-reduce the shard
+  // progress records — the in-process analogue of SimComm::allreduce_min
+  // in a coordinated commit — as a cross-check before the joined commit.
+  pipeline_->wait_closed_at_least(epoch - 1);
+  {
+    bool any = false;
+    PersistSiteScope site("async.flush");
+    for (size_t slot = 0; slot < w.segs.size(); ++slot) {
+      uint64_t s = w.segs[slot];
+      std::lock_guard<SpinLock> lk(tracker_->segment_lock(s));
+      if (w.phase[s] != AsyncWindow::kPending) continue;
+      uint64_t t0 = thread_cpu_ns();
+      for (uint64_t blk : w.blocks[slot]) {
+        dev_->flush(layout_.block_addr(blk), bs);
+      }
+      w.phase[s] = AsyncWindow::kFlushed;
+      stats_.add_async_flush_bytes(w.blocks[slot].size() * bs);
+      w.shard_flush_ns[s % shards].fetch_add(thread_cpu_ns() - t0,
+                                             std::memory_order_relaxed);
+      any = true;
+    }
+    if (any) dev_->fence();
+  }
+  // Shards with no captured segments still participate in the join: bump
+  // their records so the min-reduce below covers every shard.
+  for (uint32_t sh = 0; sh < shards; ++sh) {
+    if (w.shard_slots[sh].empty()) shard_commit(sh);
+  }
+  uint64_t min_progress = ~uint64_t{0};
+  for (uint32_t sh = 0; sh < shards; ++sh) {
+    uint64_t p = shard_progress_[sh].load(std::memory_order_acquire);
+    if (p < min_progress) min_progress = p;
+  }
+  CRPM_CHECK(min_progress >= epoch,
+             "joined commit of epoch %llu saw shard progress %llu",
+             (unsigned long long)epoch, (unsigned long long)min_progress);
+
+  // Stage: persist the seg_state replica staged at capture and the
+  // captured roots. Epoch E's metadata copy is index E mod replicas.
+  int e_new = static_cast<int>(epoch % geo_.meta_replicas());
   {
     PersistSiteScope site("async.stage");
     dev_->flush(layout_.seg_state(e_new), geo_.nr_main_segs());
@@ -746,40 +978,50 @@ void DefaultContainer::async_service_window(uint32_t participants) {
     dev_->fence();
   }
 
-  // Commit point.
+  // Commit point of the joined epoch.
   MetaHeader* h = layout_.header();
-  h->committed_epoch = w.epoch;
+  h->committed_epoch = epoch;
   {
     PersistSiteScope site("async.commit");
     dev_->persist(&h->committed_epoch, sizeof(uint64_t));
   }
-  dram_committed_.store(w.epoch, std::memory_order_release);
+  dram_committed_.store(epoch, std::memory_order_release);
   stats_.add_epoch();
+  notify_commit(epoch);
 
   // Finalize: rebuild stolen segments' backups from their capture-time
   // images so the new epoch is fully guarded again, then release every
   // captured segment from the window.
-  for (size_t i = 0; i < w.segs.size(); ++i) {
-    uint64_t s = w.segs[i];
+  for (size_t slot = 0; slot < w.segs.size(); ++slot) {
+    uint64_t s = w.segs[slot];
     std::lock_guard<SpinLock> lk(tracker_->segment_lock(s));
     if (w.stolen[s] != 0) {
-      finalize_stolen(s, w.blocks[i]);
+      std::lock_guard<std::mutex> wl(windows_mu_);
+      finalize_stolen(w, s, w.blocks[slot]);
       w.stolen[s] = 0;
     }
     w.phase[s] = AsyncWindow::kIdle;
   }
+  // Flush critical path of this window: the slowest shard bounds how fast
+  // the flush stage can finish no matter how many participants help.
+  uint64_t crit = 0;
+  for (uint32_t sh = 0; sh < shards; ++sh) {
+    uint64_t ns = w.shard_flush_ns[sh].load(std::memory_order_relaxed);
+    if (ns > crit) crit = ns;
+  }
+  stats_.add_async_flush_crit_ns(crit);
   w.open.store(false, std::memory_order_release);
-  pipeline_->mark_closed();
+  pipeline_->note_closed(epoch);
 }
 
-void DefaultContainer::finalize_stolen(uint64_t seg,
+void DefaultContainer::finalize_stolen(AsyncWindow& w, uint64_t seg,
                                        const std::vector<uint64_t>& blocks) {
   // Post-commit, the committed image of `seg` nominally lives in main
   // (SS_Main) — but its media copy is already being overwritten by
   // next-epoch stores. The DRAM snapshot taken at steal time holds the
   // pure committed image: rebuild the backup from it and flip the segment
   // to SS_Backup, after which it copy-on-writes normally again.
-  std::vector<uint8_t>& img = window_.staging[seg];
+  std::vector<uint8_t>& img = w.staging[seg];
   bool full = main_to_backup_[seg] == kNoPair;
   uint64_t blocks_copied = 0;
   uint64_t bytes = 0;
@@ -803,9 +1045,26 @@ void DefaultContainer::finalize_stolen(uint64_t seg,
       bytes = blocks.size() * bs;
     }
     dev_->fence();  // pairing + backup image durable before the flip
-    uint8_t* state = layout_.seg_state(static_cast<int>(window_.epoch & 1));
+    uint32_t replicas = geo_.meta_replicas();
+    uint8_t* state =
+        layout_.seg_state(static_cast<int>(w.epoch % replicas));
     state[seg] = kSegBackup;
     dev_->persist(&state[seg], 1);
+    // Propagate the flip into newer open windows' staged replicas (caller
+    // holds windows_mu_, so no capture memcpy races this). A newer window
+    // that re-captured the segment keeps its SS_Main override — its own
+    // commit supersedes this one; every other staged replica inherited
+    // SS_Main from this epoch's copy-forward and must learn the backup now
+    // guards the segment.
+    for (const auto& wp : windows_) {
+      AsyncWindow& n = *wp;
+      if (&n == &w || !n.open.load(std::memory_order_acquire)) continue;
+      if (n.epoch <= w.epoch) continue;
+      if (!n.phase.empty() && n.phase[seg] != AsyncWindow::kIdle) continue;
+      uint8_t* ns = layout_.seg_state(static_cast<int>(n.epoch % replicas));
+      ns[seg] = kSegBackup;
+      dev_->flush(&ns[seg], 1);  // fenced by that window's stage step
+    }
   }
   stats_.add_cow(full, blocks_copied, bytes);
   img.clear();
@@ -963,7 +1222,7 @@ void BufferedContainer::checkpoint() {
   // Phase 2 (leader): commit.
   if (leader) {
     int e_act = active_index();
-    int e_new = 1 - e_act;
+    int e_new = (e_act + 1) % static_cast<int>(geo_.meta_replicas());
     uint8_t* act = layout_.seg_state(e_act);
     uint8_t* next = layout_.seg_state(e_new);
     {
@@ -982,6 +1241,7 @@ void BufferedContainer::checkpoint() {
       dev_->persist(&h->committed_epoch, sizeof(uint64_t));
     }
     dram_committed_.store(h->committed_epoch, std::memory_order_release);
+    notify_commit(h->committed_epoch);
     roots_dirty_ = false;
 
     // Age the dirty generations: blocks dirty in the just-committed epoch

@@ -22,7 +22,9 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -144,10 +146,10 @@ class Container {
   // peer-pull recovery, where snapshot::restore() rebuilds the state into a
   // fresh container whose epoch counter restarts while the surviving ranks
   // continue from the globally agreed epoch. The new number must not move
-  // backwards and must preserve parity: active_index() (which persistent
-  // roots/seg_state copy is live) is committed_epoch & 1, so an
-  // odd-distance jump would silently switch to the stale copy. Call
-  // between epochs only.
+  // backwards and must preserve the epoch's residue mod the metadata
+  // replica count: active_index() (which persistent roots/seg_state copy
+  // is live) is committed_epoch % replicas, so any other jump would
+  // silently switch to a stale copy. Call between epochs only.
   void renumber_epoch(uint64_t epoch);
 
   // True if the container still holds epoch e-1 right after committing
@@ -167,6 +169,15 @@ class Container {
   // with checkpoint()).
   void set_epoch_sink(EpochSink* sink) { epoch_sink_ = sink; }
   EpochSink* epoch_sink() const { return epoch_sink_; }
+
+  // Installs (or clears, with nullptr) a commit observer, invoked with the
+  // new committed epoch after every durable commit — from the committing
+  // thread in sync mode, from a pipeline worker at each joined commit in
+  // async worker mode. Lets group-commit clients (src/net) release parked
+  // durable responses per commit instead of serializing captures on
+  // wait_committed(). Install between epochs; the callback must be
+  // thread-safe and must not call back into the container.
+  void set_commit_callback(std::function<void(uint64_t)> cb);
 
   const Geometry& geometry() const { return geo_; }
   const CrpmOptions& options() const { return opt_; }
@@ -201,7 +212,7 @@ class Container {
   void rebuild_backup_index();
 
   int active_index() const {
-    return static_cast<int>(committed_epoch() & 1);
+    return static_cast<int>(committed_epoch() % geo_.meta_replicas());
   }
 
   // Allocates (or recycles, Section 3.3) a backup segment and durably pairs
@@ -220,12 +231,18 @@ class Container {
   // the flush phase and commit point, so the payload copy reads cache-warm
   // data and the background writer overlaps the remaining checkpoint work.
   // If a crash hits between staging and the commit point the archive ends
-  // one epoch ahead of the container; ArchiveWriter reconciles (truncates)
-  // such never-committed frames when it attaches. `epoch` is the epoch
+  // ahead of the container — up to max_inflight_epochs frames ahead with
+  // the multi-window pipeline; ArchiveWriter reconciles (truncates) such
+  // never-committed frames when it attaches. `epoch` is the epoch
   // being committed, `data` the base of its working state, `blocks` the
   // modified block indices.
   void notify_epoch_sink(uint64_t epoch, const uint8_t* data,
                          std::vector<uint64_t> blocks);
+
+  // Fires the commit callback (if any) for a freshly durable epoch. Safe
+  // from any committing thread; takes a copy of the callback under the
+  // lock so set_commit_callback(nullptr) can race a commit.
+  void notify_commit(uint64_t epoch);
 
   NvmDevice* dev_;
   std::unique_ptr<NvmDevice> owned_dev_;
@@ -253,6 +270,10 @@ class Container {
   bool roots_dirty_ = false;
 
   EpochSink* epoch_sink_ = nullptr;
+
+  // Commit observer; see set_commit_callback().
+  std::mutex commit_cb_mu_;
+  std::function<void(uint64_t)> commit_cb_;
 };
 
 // Section 3.4: working state in NVM, segment-level copy-on-write.
@@ -273,7 +294,10 @@ class DefaultContainer final : public Container {
   void checkpoint() override;
   void wait_committed() override;
   bool checkpoint_pending() const override {
-    return window_.open.load(std::memory_order_acquire);
+    for (const auto& w : windows_) {
+      if (w->open.load(std::memory_order_acquire)) return true;
+    }
+    return false;
   }
 
  private:
@@ -290,15 +314,26 @@ class DefaultContainer final : public Container {
   // the pipeline stages it leaves behind.
   void checkpoint_async();
   // Write-hook cooperation: first post-capture write to a captured segment
-  // flushes its blocks and snapshots its capture-epoch image. Called with
-  // the segment's lock held.
-  void steal_captured(uint64_t seg);
-  // Runs the open window's remaining pipeline stages; work-shared by
-  // `participants` callers (each calls exactly once per window).
-  void async_service_window(uint32_t participants);
-  // Post-commit: rebuild a stolen segment's backup from the capture-time
-  // image and flip it to SS_Backup. Segment lock held.
-  void finalize_stolen(uint64_t seg, const std::vector<uint64_t>& blocks);
+  // flushes its blocks and snapshots its capture-epoch image into window
+  // `w`. Called with the segment's lock held.
+  void steal_captured(AsyncWindow& w, uint64_t seg);
+  // Runs window `epoch`'s pipeline stages (sharded flush, shard-local
+  // commit, FIFO join, commit, finalize); work-shared by `participants`
+  // callers (each calls exactly once per window).
+  void async_service_window_epoch(uint64_t epoch, uint32_t participants);
+  // Oldest epoch with an open window, or 0 if none. Cooperative-mode
+  // scheduling helper; single-threaded use only.
+  uint64_t async_oldest_open_epoch() const;
+  // Post-commit: rebuild a stolen segment's backup from window `w`'s
+  // capture-time image and flip it to SS_Backup — in the committed replica
+  // and in any newer open window's staged replica that has not re-captured
+  // the segment. Segment lock held; windows_mu_ held.
+  void finalize_stolen(AsyncWindow& w, uint64_t seg,
+                       const std::vector<uint64_t>& blocks);
+  // Ring slot of epoch e (epochs start at 1, slot 0 unused until wrap).
+  AsyncWindow& window_of(uint64_t epoch) {
+    return *windows_[epoch % windows_.size()];
+  }
 
   // Shared checkpoint-phase state distributed over collective threads.
   std::vector<uint64_t> ckpt_segs_;
@@ -307,7 +342,19 @@ class DefaultContainer final : public Container {
   bool ckpt_use_wbinvd_ = false;
   bool ckpt_skip_ = false;
 
-  AsyncWindow window_;
+  // Multi-window async state. windows_ is a ring of max_inflight_epochs
+  // slots; capture of epoch E reuses slot E % K after backpressure has
+  // drained its previous occupant. windows_mu_ orders capture's staging
+  // memcpy against finalize's flip propagation (it is INNER to the
+  // per-segment tracker locks: never take a segment lock while holding it).
+  std::vector<std::unique_ptr<AsyncWindow>> windows_;
+  std::mutex windows_mu_;
+  uint64_t last_captured_epoch_ = 0;
+  // Per-shard durable-progress mirrors and persist locks ("shard.commit").
+  // The mirror only ever rises; the lock serializes the read-check-persist
+  // so a late finisher of an old window cannot clobber a newer record.
+  std::unique_ptr<std::atomic<uint64_t>[]> shard_progress_;
+  std::vector<std::unique_ptr<SpinLock>> shard_locks_;
   // Declared last: destroyed first, so workers stop before the state they
   // touch goes away.
   std::unique_ptr<AsyncCommitPipeline> pipeline_;

@@ -21,6 +21,7 @@ CrpmStatsSnapshot CrpmStatsSnapshot::operator-(
   d.async_steal_copies = async_steal_copies - rhs.async_steal_copies;
   d.async_inflight_hwm = async_inflight_hwm;  // high-water mark, not a delta
   d.async_flush_bytes = async_flush_bytes - rhs.async_flush_bytes;
+  d.async_flush_crit_ns = async_flush_crit_ns - rhs.async_flush_crit_ns;
   d.async_backpressure_ns =
       async_backpressure_ns - rhs.async_backpressure_ns;
   d.archive_epochs = archive_epochs - rhs.archive_epochs;
@@ -52,6 +53,7 @@ std::string CrpmStatsSnapshot::to_string() const {
        << " async_steal_copies=" << async_steal_copies
        << " async_inflight_hwm=" << async_inflight_hwm
        << " async_flush_bytes=" << async_flush_bytes
+       << " async_flush_crit_ns=" << async_flush_crit_ns
        << " async_backpressure_ns=" << async_backpressure_ns;
   }
   if (archive_epochs != 0 || archive_bytes != 0) {
@@ -97,6 +99,8 @@ CrpmStatsSnapshot CrpmStats::snapshot() const {
   s.async_inflight_hwm =
       async_inflight_hwm_.load(std::memory_order_relaxed);
   s.async_flush_bytes = async_flush_bytes_.load(std::memory_order_relaxed);
+  s.async_flush_crit_ns =
+      async_flush_crit_ns_.load(std::memory_order_relaxed);
   s.async_backpressure_ns =
       async_backpressure_ns_.load(std::memory_order_relaxed);
   s.archive_epochs = archive_epochs_.load(std::memory_order_relaxed);

@@ -29,6 +29,8 @@ struct CrpmStatsSnapshot {
   uint64_t async_steal_copies = 0;    // segment copies stolen by the hook
   uint64_t async_inflight_hwm = 0;    // max captured-uncommitted epochs
   uint64_t async_flush_bytes = 0;     // bytes flushed by the pipeline
+  uint64_t async_flush_crit_ns = 0;   // flush critical path: per window,
+                                      // the max per-shard flush CPU time
   uint64_t async_backpressure_ns = 0; // capture time waiting for a commit
 
   // Snapshot-archive observability (src/snapshot), populated when an
@@ -102,6 +104,9 @@ class CrpmStats {
   void add_async_flush_bytes(uint64_t bytes) {
     async_flush_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   }
+  void add_async_flush_crit_ns(uint64_t ns) {
+    async_flush_crit_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
   void add_async_backpressure_ns(uint64_t ns) {
     async_backpressure_ns_.fetch_add(ns, std::memory_order_relaxed);
   }
@@ -165,6 +170,7 @@ class CrpmStats {
   std::atomic<uint64_t> async_steal_copies_{0};
   std::atomic<uint64_t> async_inflight_hwm_{0};
   std::atomic<uint64_t> async_flush_bytes_{0};
+  std::atomic<uint64_t> async_flush_crit_ns_{0};
   std::atomic<uint64_t> async_backpressure_ns_{0};
   std::atomic<uint64_t> archive_epochs_{0};
   std::atomic<uint64_t> archive_bytes_{0};

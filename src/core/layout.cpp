@@ -37,9 +37,18 @@ CrpmOptions CrpmOptions::validated() const {
              "already keep the working state off-NVM");
   CRPM_CHECK(o.max_inflight_epochs >= 1,
              "max_inflight_epochs must be >= 1");
-  // The seg_state/roots double buffer holds at most one uncommitted epoch,
-  // so the pipeline bounds in-flight epochs to 1 regardless of the knob.
-  if (o.max_inflight_epochs > 1) o.max_inflight_epochs = 1;
+  CRPM_CHECK(o.commit_shards >= 1, "commit_shards must be >= 1");
+  // Multi-window commit is an async-pipeline feature: sync and buffered
+  // containers alternate over exactly two metadata copies, so they stay
+  // double-buffered (one in-flight epoch, one shard domain).
+  if (!o.async_checkpoint) {
+    o.max_inflight_epochs = 1;
+    o.commit_shards = 1;
+  }
+  if (o.max_inflight_epochs > kMaxInflightEpochs) {
+    o.max_inflight_epochs = kMaxInflightEpochs;
+  }
+  if (o.commit_shards > kMaxCommitShards) o.commit_shards = kMaxCommitShards;
   // Eager CoW copies from the (concurrently mutated) main region inside
   // the commit path; in async mode that would snapshot post-capture
   // values, so it is disabled.
@@ -65,16 +74,24 @@ Geometry::Geometry(const CrpmOptions& opt_in) {
   if (nr_backup_segs_ == 0) nr_backup_segs_ = 1;
   if (nr_backup_segs_ > nr_main_segs_) nr_backup_segs_ = nr_main_segs_;
 
+  meta_replicas_ = opt.max_inflight_epochs + 1;
+  shard_count_ = opt.commit_shards;
+
   seg_state_offset_ = 4096;
   backup_to_main_offset_ =
-      round_up(seg_state_offset_ + 2 * nr_main_segs_, 64);
+      round_up(seg_state_offset_ + uint64_t(meta_replicas_) * nr_main_segs_,
+               64);
   roots_offset_ =
       round_up(backup_to_main_offset_ + 4 * nr_backup_segs_, 64);
+  shard_epochs_offset_ = round_up(
+      roots_offset_ + uint64_t(meta_replicas_) * 8 * kNumRoots, 64);
   // Segments must be block- and cache-line-aligned within the device; align
   // the main region to the larger of segment size and 4 KB so page-based
   // tracers can also target it.
   uint64_t align = segment_size_ > 4096 ? segment_size_ : 4096;
-  main_region_offset_ = round_up(roots_offset_ + 2 * 8 * kNumRoots, align);
+  main_region_offset_ = round_up(
+      shard_epochs_offset_ + uint64_t(shard_count_) * kShardEpochStride,
+      align);
   backup_region_offset_ =
       main_region_offset_ + nr_main_segs_ * segment_size_;
   device_size_ = backup_region_offset_ + nr_backup_segs_ * segment_size_;
@@ -95,19 +112,24 @@ void Layout::format(const CrpmOptions& opt) {
   h->seg_state_offset = geo_.seg_state_offset();
   h->backup_to_main_offset = geo_.backup_to_main_offset();
   h->roots_offset = geo_.roots_offset();
+  h->meta_replicas = geo_.meta_replicas();
+  h->shard_count = geo_.shard_count();
+  h->shard_epochs_offset = geo_.shard_epochs_offset();
   h->committed_epoch = 0;
   h->initialized = 0;
 
-  std::memset(seg_state(0), kSegInitial, geo_.nr_main_segs());
-  std::memset(seg_state(1), kSegInitial, geo_.nr_main_segs());
+  uint64_t replicas = geo_.meta_replicas();
+  std::memset(seg_state(0), kSegInitial, replicas * geo_.nr_main_segs());
   uint32_t* b2m = backup_to_main();
   for (uint64_t i = 0; i < geo_.nr_backup_segs(); ++i) b2m[i] = kNoPair;
-  std::memset(roots(0), 0, 2 * 8 * kNumRoots);
+  std::memset(roots(0), 0, replicas * 8 * kNumRoots);
+  for (uint32_t s = 0; s < geo_.shard_count(); ++s) *shard_epoch_word(s) = 0;
 
   dev_->flush(h, sizeof(MetaHeader));
-  dev_->flush(seg_state(0), 2 * geo_.nr_main_segs());
+  dev_->flush(seg_state(0), replicas * geo_.nr_main_segs());
   dev_->flush(b2m, 4 * geo_.nr_backup_segs());
-  dev_->flush(roots(0), 2 * 8 * kNumRoots);
+  dev_->flush(roots(0), replicas * 8 * kNumRoots);
+  dev_->flush(shard_epoch_word(0), geo_.shard_count() * kShardEpochStride);
   dev_->fence();
 
   // The initialized flag is persisted last: a crash mid-format leaves a
@@ -132,6 +154,13 @@ void Layout::check_header(const CrpmOptions& opt) const {
              (unsigned long long)h->block_size,
              (unsigned long long)h->nr_main_segs,
              (unsigned long long)h->nr_backup_segs);
+  CRPM_CHECK(h->meta_replicas == geo_.meta_replicas() &&
+                 h->shard_count == geo_.shard_count(),
+             "commit-pipeline geometry mismatch: container was created with "
+             "%u metadata replicas and %u commit shards, options ask for "
+             "%u and %u",
+             h->meta_replicas, h->shard_count, geo_.meta_replicas(),
+             geo_.shard_count());
   bool want_buffered = opt.buffered;
   CRPM_CHECK(((h->flags & 1u) != 0) == want_buffered,
              "container buffered-mode flag mismatch");

@@ -3,11 +3,16 @@
 // Device byte map:
 //
 //   [ MetaHeader                      ]  4 KB, holds committed_epoch
-//   [ seg_state[0][nr_main]           ]  1 B per main segment
-//   [ seg_state[1][nr_main]           ]  (double-buffered for crash safety)
+//   [ seg_state[R][nr_main]           ]  1 B per main segment; R =
+//                                        max_inflight_epochs + 1 replicas
+//                                        (2 = classic double buffering);
+//                                        epoch E commits copy E mod R
 //   [ backup_to_main[nr_backup]       ]  4 B per backup segment
-//   [ roots[2][kNumRoots]             ]  8 B each, double-buffered like
+//   [ roots[R][kNumRoots]             ]  8 B each, replicated like
 //                                        seg_state: committed with epochs
+//   [ shard_epochs[S]                 ]  one cache line per commit shard:
+//                                        durable per-shard flush progress
+//                                        for the coordinated commit
 //   [ padding to segment alignment    ]
 //   [ main region:   nr_main  * seg   ]  application-visible working state
 //   [ backup region: nr_backup * seg  ]  differential checkpoint data
@@ -26,7 +31,12 @@ namespace crpm {
 inline constexpr uint32_t kNumRoots = 16;
 inline constexpr uint32_t kNoPair = 0xFFFFFFFFu;
 inline constexpr uint64_t kMetaMagic = 0x6372706d2d763031ull;  // "crpm-v01"
-inline constexpr uint32_t kMetaVersion = 1;
+inline constexpr uint32_t kMetaVersion = 2;  // v2: replicated metadata +
+                                             // per-shard progress words
+
+// Each shard's persistent progress word sits alone in its own cache line so
+// one shard's persist never drags another shard's staged value along.
+inline constexpr uint64_t kShardEpochStride = 64;
 
 enum SegState : uint8_t {
   kSegInitial = 0,  // segment holds no committed program state
@@ -47,9 +57,12 @@ struct MetaHeader {
   uint64_t nr_backup_segs;
   uint64_t main_region_offset;
   uint64_t backup_region_offset;
-  uint64_t seg_state_offset;       // seg_state[0]; [1] follows immediately
+  uint64_t seg_state_offset;       // seg_state[0]; [1..R-1] follow
   uint64_t backup_to_main_offset;
   uint64_t roots_offset;
+  uint32_t meta_replicas;          // seg_state/roots copies (inflight + 1)
+  uint32_t shard_count;            // commit shards (progress words)
+  uint64_t shard_epochs_offset;
   uint8_t initialized;  // set (and persisted) after initial format completes
   uint8_t pad0[7];
   // --- own cache line: the atomic commit point (Figure 6, line 41) ---
@@ -101,11 +114,16 @@ class Geometry {
   uint64_t seg_state_offset() const { return seg_state_offset_; }
   uint64_t backup_to_main_offset() const { return backup_to_main_offset_; }
   uint64_t roots_offset() const { return roots_offset_; }
+  uint64_t shard_epochs_offset() const { return shard_epochs_offset_; }
+  // Metadata replicas: one per tolerated in-flight epoch, plus the
+  // committed copy. active copy of epoch E = E % meta_replicas().
+  uint32_t meta_replicas() const { return meta_replicas_; }
+  uint32_t shard_count() const { return shard_count_; }
 
   // In-NVM metadata footprint in bytes, excluding the alignment padding
   // before the main region (reported in Section 5.6).
   uint64_t metadata_size() const {
-    return roots_offset_ + 2 * 8 * kNumRoots;
+    return shard_epochs_offset_ + shard_count_ * kShardEpochStride;
   }
 
  private:
@@ -116,9 +134,12 @@ class Geometry {
   uint64_t blocks_per_segment_ = 0;
   uint32_t segment_shift_ = 0;
   uint32_t block_shift_ = 0;
+  uint32_t meta_replicas_ = 2;
+  uint32_t shard_count_ = 1;
   uint64_t seg_state_offset_ = 0;
   uint64_t backup_to_main_offset_ = 0;
   uint64_t roots_offset_ = 0;
+  uint64_t shard_epochs_offset_ = 0;
   uint64_t main_region_offset_ = 0;
   uint64_t backup_region_offset_ = 0;
   uint64_t device_size_ = 0;
@@ -144,6 +165,12 @@ class Layout {
   uint64_t* roots(int which) const {
     return reinterpret_cast<uint64_t*>(dev_->base() + geo_.roots_offset()) +
            uint64_t(which) * kNumRoots;
+  }
+  // Per-shard durable flush-progress word (multi-window commit).
+  uint64_t* shard_epoch_word(uint32_t shard) const {
+    return reinterpret_cast<uint64_t*>(dev_->base() +
+                                       geo_.shard_epochs_offset() +
+                                       uint64_t(shard) * kShardEpochStride);
   }
   uint8_t* main_base() const {
     return dev_->base() + geo_.main_region_offset();

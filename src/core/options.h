@@ -13,6 +13,12 @@
 
 namespace crpm {
 
+// Hard caps on the multi-window knobs: each in-flight epoch needs its own
+// persistent seg_state/roots replica, and each commit shard its own
+// persistent progress word, so both scale the metadata footprint.
+inline constexpr uint32_t kMaxInflightEpochs = 8;
+inline constexpr uint32_t kMaxCommitShards = 64;
+
 struct CrpmOptions {
   // Copy-on-write granularity. Must be a power of two and a multiple of
   // block_size. Paper default: 2 MB (Figure 10a sweeps 512 B – 32 MB).
@@ -72,10 +78,23 @@ struct CrpmOptions {
   uint32_t async_workers = 1;
 
   // Captured-but-uncommitted epochs tolerated before checkpoint() blocks
-  // in its capture phase (backpressure). The seg_state/roots arrays are
-  // double-buffered, so the pipeline structurally bounds this to 1; larger
-  // values are accepted and clamped.
+  // in its capture phase (backpressure). The persistent seg_state/roots
+  // metadata is replicated max_inflight_epochs + 1 ways so each in-flight
+  // window stages into its own copy (epoch E uses copy E mod replicas);
+  // windows join strictly FIFO at the coordinated commit. Honored in async
+  // mode only — sync and buffered containers are structurally
+  // double-buffered and clamp to 1. Capped at kMaxInflightEpochs.
   uint32_t max_inflight_epochs = 1;
+
+  // Epoch shard domains for the async commit pipeline: segments partition
+  // by seg % commit_shards, workers sweep their own shard's flush work
+  // first and then steal from others, and each shard durably records its
+  // per-epoch flush progress in its own persistent word ("shard.commit").
+  // The coordinated commit joins the shards with an in-process min-reduce
+  // over those records (SimComm::allreduce_min semantics) before the
+  // committed_epoch bump. 1 = unsharded. Async mode only; capped at
+  // kMaxCommitShards.
+  uint32_t commit_shards = 1;
 
   // --- multi-epoch snapshot archive (src/snapshot) ---------------------
   // The core library only carries these; snapshot::attach_if_configured()

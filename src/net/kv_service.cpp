@@ -14,6 +14,9 @@ KvService::KvService(const Config& cfg) : cfg_(cfg) {
   sc.capacity_bytes = cfg_.capacity_bytes;
   sc.async_checkpoint = true;
   sc.async_workers = cfg_.async_workers == 0 ? 1 : cfg_.async_workers;
+  sc.max_inflight_epochs =
+      cfg_.max_inflight_epochs == 0 ? 1 : cfg_.max_inflight_epochs;
+  sc.commit_shards = cfg_.commit_shards == 0 ? 1 : cfg_.commit_shards;
   sc.archive = cfg_.archive;
   sc.archive_compact_every = cfg_.archive_compact_every;
   sc.archive_tier = cfg_.archive_tier;
@@ -24,6 +27,19 @@ KvService::KvService(const Config& cfg) : cfg_(cfg) {
   map_->set_max_load_factor(cfg_.max_load_factor);
   captured_epoch_.store(store_->container()->committed_epoch(),
                         std::memory_order_relaxed);
+
+  // Release parked durable responses per *joined* commit: the container
+  // notifies each coordinated commit (FIFO by epoch) from whichever
+  // pipeline participant ran the join, so tag release keeps pace with the
+  // multi-window pipeline instead of serializing capture on commit.
+  store_->container()->set_commit_callback([this](uint64_t epoch) {
+    std::function<void(uint64_t)> cb;
+    {
+      std::lock_guard<std::mutex> lk(cb_mu_);
+      cb = commit_cb_;
+    }
+    if (cb) cb(epoch);
+  });
 
   // Record which recovery level produced this state, for offline
   // inspection (crpm_inspect kvd) after the server is gone.
@@ -43,6 +59,10 @@ KvService::~KvService() {
   }
   cv_.notify_all();
   if (ckpt_thread_.joinable()) ckpt_thread_.join();
+  // Disconnect the container's commit notifications before members start
+  // dying: ~StateStore still drains in-flight windows, and those commits
+  // must not touch cb_mu_ (destroyed before store_).
+  store_->container()->set_commit_callback(nullptr);
   // Leave uncaptured tail writes uncommitted on purpose: a shutdown is
   // indistinguishable from a crash for anything the client was never acked
   // for. Callers wanting a clean final epoch call flush() first.
@@ -102,7 +122,10 @@ uint64_t KvService::request_checkpoint() {
   uint64_t tag;
   {
     std::lock_guard<std::mutex> wl(write_mu_);
-    if (!dirty_) return store_->container()->committed_epoch();
+    // Clean: nothing new to capture, but earlier captures may still be in
+    // flight in the pipeline, so the tag that makes everything handed out
+    // so far durable is the highest *captured* epoch, not the committed one.
+    if (!dirty_) return captured_epoch_.load(std::memory_order_relaxed);
     tag = captured_epoch_.load(std::memory_order_relaxed) + 1;
   }
   kick();
@@ -158,16 +181,11 @@ void KvService::capture_once() {
     store_->container()->checkpoint();
     captured_epoch_.fetch_add(1, std::memory_order_relaxed);
   }
-  // Commit happens on the pipeline workers; wait so (a) captured ==
-  // committed between cycles, keeping tag arithmetic exact, and (b) the
-  // group of parked durable responses is released as one batch.
-  store_->container()->wait_committed();
-  std::function<void(uint64_t)> cb;
-  {
-    std::lock_guard<std::mutex> lk(cb_mu_);
-    cb = commit_cb_;
-  }
-  if (cb) cb(store_->container()->committed_epoch());
+  // Do NOT wait for the commit: up to max_inflight_epochs captured windows
+  // ride the pipeline concurrently, and the container fires the commit
+  // callback per joined commit (FIFO), which is what releases parked
+  // durable responses. checkpoint() itself backpressures when all windows
+  // are open, so captures can't outrun the pipeline.
 }
 
 std::string KvService::stats_text() const {

@@ -23,10 +23,15 @@
 // Durability — group commit by epoch tag: every mutation returns a tag
 // (the epoch the next capture will commit). The write is durable once
 // committed_epoch() >= tag. Durable requests park their response on the
-// tag and kick() the checkpoint thread; one capture then acknowledges the
-// whole batch. Captures are gated on a service-level dirty flag because an
-// empty container checkpoint deliberately skips the epoch bump — tags are
-// only ever handed out for epochs that will actually commit.
+// tag and kick() the checkpoint thread; each *joined* commit then
+// acknowledges the whole batch carrying that epoch. With the multi-window
+// pipeline (max_inflight_epochs > 1) several captured-but-uncommitted
+// windows can be in flight at once; the capture phase never waits for
+// them — the container's commit callback fires per coordinated commit, in
+// FIFO epoch order, and releases exactly the tags that commit covers.
+// Captures are gated on a service-level dirty flag because an empty
+// container checkpoint deliberately skips the epoch bump — tags are only
+// ever handed out for epochs that will actually commit.
 #pragma once
 
 #include <atomic>
@@ -54,6 +59,12 @@ class KvService {
     double max_load_factor = 1.5;    // 0 = never rehash
     double interval_ms = 0;          // 0 = checkpoint only on kick/request
     uint32_t async_workers = 1;
+    // Multi-window commit pipeline: number of capture windows that may be
+    // in flight (captured but not yet committed) and the number of
+    // per-shard epoch domains the coordinated commit joins. 1/1 keeps the
+    // single-window behaviour.
+    uint32_t max_inflight_epochs = 1;
+    uint32_t commit_shards = 1;
     bool archive = false;
     uint32_t archive_compact_every = 0;
     bool archive_tier = false;       // tiered archive I/O (codec + group
@@ -90,15 +101,18 @@ class KvService {
   uint64_t committed_epoch() const;
 
   // Requests an immediate checkpoint. Returns the tag that will satisfy
-  // tag <= committed_epoch() once it lands; if nothing is dirty the state
-  // is already durable and the current committed epoch is returned.
+  // tag <= committed_epoch() once it lands; if nothing is dirty the
+  // highest captured epoch is returned (everything handed out is either
+  // already durable or riding an in-flight window that will commit).
   uint64_t request_checkpoint();
 
   // Wakes the checkpoint thread (after parking a durable response).
   void kick();
 
-  // Invoked from the checkpoint thread after every commit with the new
-  // committed epoch. At most one callback; installed before serving.
+  // Invoked after every coordinated commit with the newly committed epoch,
+  // in FIFO epoch order. Fires from a pipeline worker thread (or from the
+  // checkpoint thread in cooperative mode), so the callback must be
+  // thread-safe. At most one callback; installed before serving.
   void set_commit_callback(std::function<void(uint64_t)> cb);
 
   // Blocks until all handed-out tags have committed.
@@ -131,8 +145,9 @@ class KvService {
   mutable std::mutex write_mu_;         // writers + capture
   mutable std::shared_mutex rw_mu_;     // readers vs writers
   bool dirty_ = false;                  // guarded by write_mu_
-  // Highest epoch handed out as a tag == highest epoch captured (the
-  // checkpoint thread commits each capture before the next). Mutated only
+  // Highest epoch handed out as a tag == highest epoch captured. May lead
+  // committed_epoch() by up to max_inflight_epochs while windows are in
+  // flight; every captured epoch is guaranteed to commit. Mutated only
   // under write_mu_; read lock-free by committed_epoch pollers.
   std::atomic<uint64_t> captured_epoch_{0};
 

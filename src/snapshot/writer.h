@@ -201,7 +201,8 @@ class ArchiveWriter final : public EpochSink {
   // newest intact on-disk epoch. Frames with epochs beyond `max_epoch` are
   // truncated — deltas are staged before the commit point, so a crash in
   // between (or a rollback recovery) can leave the archive ahead of the
-  // container's committed timeline; pass ~0 for no reconciliation.
+  // container's committed timeline, by up to max_inflight_epochs frames
+  // with the multi-window commit pipeline; pass ~0 for no reconciliation.
   // Idempotent; runs on first use.
   void init_file(uint64_t block_size, uint64_t region_size,
                  uint64_t segment_size, uint64_t max_epoch);

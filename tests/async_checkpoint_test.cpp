@@ -42,11 +42,23 @@ uint64_t get_u64(Container& c, uint64_t off) {
 
 TEST(AsyncOptions, ValidationClampsAndRejects) {
   CrpmOptions o = async_opts(0);
-  o.max_inflight_epochs = 9;   // structurally bounded by the double buffer
+  o.max_inflight_epochs = kMaxInflightEpochs + 1;  // capped, not rejected
+  o.commit_shards = kMaxCommitShards + 1;
   o.eager_cow_segments = 4;    // incompatible with a concurrent commit path
   CrpmOptions v = o.validated();
-  EXPECT_EQ(v.max_inflight_epochs, 1u);
+  EXPECT_EQ(v.max_inflight_epochs, kMaxInflightEpochs);
+  EXPECT_EQ(v.commit_shards, kMaxCommitShards);
   EXPECT_EQ(v.eager_cow_segments, 0u);
+
+  // Multi-window commit is an async-pipeline feature: sync containers stay
+  // double-buffered with a single shard domain.
+  CrpmOptions s = async_opts(0);
+  s.async_checkpoint = false;
+  s.max_inflight_epochs = 4;
+  s.commit_shards = 4;
+  CrpmOptions sv = s.validated();
+  EXPECT_EQ(sv.max_inflight_epochs, 1u);
+  EXPECT_EQ(sv.commit_shards, 1u);
 
   o.buffered = true;
   EXPECT_DEATH((void)o.validated(), "async_checkpoint");
@@ -197,6 +209,150 @@ TEST(AsyncCheckpoint, ManyEpochsWithBackgroundWorker) {
   }
 }
 
+CrpmOptions mw_opts(uint32_t workers, uint32_t windows, uint32_t shards) {
+  CrpmOptions o = async_opts(workers);
+  o.max_inflight_epochs = windows;
+  o.commit_shards = shards;
+  return o;
+}
+
+TEST(MultiWindow, CooperativeAccumulatesWindowsAndCommitsFifo) {
+  CrpmOptions o = mw_opts(/*workers=*/0, /*windows=*/3, /*shards=*/2);
+  HeapNvmDevice dev(Container::required_device_size(o));
+  auto c = Container::open(&dev, o);
+
+  std::vector<uint64_t> commits;
+  c->set_commit_callback([&](uint64_t e) { commits.push_back(e); });
+
+  // Three captures into three distinct segments: all three windows stay
+  // open (nothing services them in cooperative mode), nothing commits.
+  for (uint64_t e = 1; e <= 3; ++e) {
+    put_u64(*c, (e - 1) * o.segment_size, 0x100 + e);
+    c->set_root(0, e);
+    c->checkpoint();
+    EXPECT_EQ(c->committed_epoch(), 0u);
+    EXPECT_TRUE(c->checkpoint_pending());
+  }
+  EXPECT_EQ(c->stats().snapshot().async_inflight_hwm, 3u);
+
+  c->wait_committed();
+  EXPECT_EQ(c->committed_epoch(), 3u);
+  EXPECT_FALSE(c->checkpoint_pending());
+  // The joined commits fired strictly FIFO.
+  EXPECT_EQ(commits, (std::vector<uint64_t>{1, 2, 3}));
+  c->set_commit_callback(nullptr);
+
+  c.reset();
+  c = Container::open(&dev, o);
+  EXPECT_EQ(c->committed_epoch(), 3u);
+  EXPECT_EQ(c->get_root(0), 3u);
+  for (uint64_t e = 1; e <= 3; ++e) {
+    EXPECT_EQ(get_u64(*c, (e - 1) * o.segment_size), 0x100 + e);
+  }
+}
+
+TEST(MultiWindow, BackpressureDrainsOnlyTheOldestWindow) {
+  CrpmOptions o = mw_opts(/*workers=*/0, /*windows=*/2, /*shards=*/1);
+  HeapNvmDevice dev(Container::required_device_size(o));
+  auto c = Container::open(&dev, o);
+
+  put_u64(*c, 0 * o.segment_size, 1);
+  c->checkpoint();  // epoch 1, slot 1
+  put_u64(*c, 1 * o.segment_size, 2);
+  c->checkpoint();  // epoch 2, slot 0
+  EXPECT_EQ(c->committed_epoch(), 0u);
+
+  // Epoch 3 reuses epoch 1's ring slot: the capture must drain epoch 1 —
+  // and only epoch 1 — before opening the new window.
+  put_u64(*c, 2 * o.segment_size, 3);
+  c->checkpoint();
+  EXPECT_EQ(c->committed_epoch(), 1u);
+  EXPECT_TRUE(c->checkpoint_pending());
+  EXPECT_EQ(c->stats().snapshot().async_inflight_hwm, 2u);
+
+  c->wait_committed();
+  EXPECT_EQ(c->committed_epoch(), 3u);
+}
+
+TEST(MultiWindow, WriteToSegmentHeldByTwoWindowsDrainsThenSteals) {
+  CrpmOptions o = mw_opts(/*workers=*/0, /*windows=*/2, /*shards=*/2);
+  HeapNvmDevice dev(Container::required_device_size(o));
+  auto c = Container::open(&dev, o);
+
+  put_u64(*c, 128, 0xAAAA);
+  c->checkpoint();            // window 1 holds the segment (pending)
+  put_u64(*c, 128, 0xBBBB);   // sole holder: steal from window 1
+  EXPECT_GE(c->stats().snapshot().async_steal_copies, 1u);
+  c->checkpoint();            // window 2 re-captures the segment
+
+  // Both open windows now hold the segment. The next write may not steal
+  // from window 2 while window 1 is open (its flush was deferred): the
+  // hook must help drain window 1 first, then steal from window 2.
+  put_u64(*c, 128, 0xCCCC);
+  EXPECT_EQ(c->committed_epoch(), 1u);
+  EXPECT_GE(c->stats().snapshot().async_steal_copies, 2u);
+
+  c->wait_committed();
+  EXPECT_EQ(c->committed_epoch(), 2u);
+  EXPECT_EQ(get_u64(*c, 128), 0xCCCCu);  // working state keeps the store
+
+  // Epoch 3 never committed: recovery restores epoch 2's captured value.
+  c.reset();
+  c = Container::open(&dev, o);
+  EXPECT_EQ(c->committed_epoch(), 2u);
+  EXPECT_EQ(get_u64(*c, 128), 0xBBBBu);
+}
+
+TEST(MultiWindow, CooperativeDestructorDiscardsEveryOpenWindow) {
+  CrpmOptions o = mw_opts(/*workers=*/0, /*windows=*/3, /*shards=*/2);
+  HeapNvmDevice dev(Container::required_device_size(o));
+  {
+    auto c = Container::open(&dev, o);
+    for (uint64_t e = 1; e <= 3; ++e) {
+      put_u64(*c, (e - 1) * o.segment_size, e);
+      c->checkpoint();
+    }
+    // Three captured-but-uncommitted epochs die with the container.
+  }
+  auto c = Container::open(&dev, o);
+  EXPECT_EQ(c->committed_epoch(), 0u);
+  for (uint64_t e = 1; e <= 3; ++e) {
+    EXPECT_EQ(get_u64(*c, (e - 1) * o.segment_size), 0u);
+  }
+}
+
+TEST(MultiWindow, ManyEpochsWithWorkersAndShards) {
+  CrpmOptions o = mw_opts(/*workers=*/2, /*windows=*/4, /*shards=*/4);
+  HeapNvmDevice dev(Container::required_device_size(o));
+  auto c = Container::open(&dev, o);
+  constexpr uint64_t kEpochs = 32;
+  Xoshiro256 rng(42);
+  std::vector<uint64_t> shadow(o.main_region_size / 8, 0);
+  for (uint64_t e = 1; e <= kEpochs; ++e) {
+    for (int i = 0; i < 24; ++i) {
+      uint64_t cell = rng.next_below(shadow.size());
+      uint64_t v = rng.next() | 1;
+      shadow[cell] = v;
+      put_u64(*c, cell * 8, v);
+    }
+    c->set_root(0, e);
+    c->checkpoint();
+  }
+  c->wait_committed();
+  EXPECT_EQ(c->committed_epoch(), kEpochs);
+  for (uint64_t cell = 0; cell < shadow.size(); ++cell) {
+    ASSERT_EQ(get_u64(*c, cell * 8), shadow[cell]) << "cell " << cell;
+  }
+
+  c.reset();
+  c = Container::open(&dev, o);
+  EXPECT_EQ(c->committed_epoch(), kEpochs);
+  EXPECT_EQ(c->get_root(0), kEpochs);
+  for (uint64_t cell = 0; cell < shadow.size(); ++cell) {
+    ASSERT_EQ(get_u64(*c, cell * 8), shadow[cell]) << "cell " << cell;
+  }
+}
+
 // The tsan centerpiece: collective app threads mutate their own cell
 // stripes while background workers flush, stage, commit and finalize the
 // captured epoch. Every steal races a worker's cursor walk over the same
@@ -295,6 +451,57 @@ TEST(AsyncCheckpointStress, StealHeavyRewriteAfterEveryCapture) {
     ASSERT_EQ(get_u64(*c, cell * 8), kEpochs * kThreads + cell % kThreads)
         << "cell " << cell;
   }
+}
+
+// Multi-window under tsan: several capture windows in flight at once, so
+// worker flushes for window E+1 race window E's join/commit/finalize, the
+// write hook's holder scan races window releases, and finalize's flip
+// propagation races the capture memcpy (serialized by windows_mu_).
+TEST(AsyncCheckpointStress, MutatorsRaceMultiWindowPipeline) {
+  constexpr uint32_t kThreads = 4;
+  constexpr uint64_t kEpochs = 16;
+  constexpr int kOpsPerEpoch = 24;
+  CrpmOptions o = mw_opts(/*workers=*/2, /*windows=*/3, /*shards=*/4);
+  o.main_region_size = 64 * 1024;  // 64 segments: room for all stripes
+  o.thread_count = kThreads;
+  HeapNvmDevice dev(Container::required_device_size(o));
+  auto c = Container::open(&dev, o);
+
+  const uint64_t cells = o.main_region_size / 8;
+  std::vector<std::vector<uint64_t>> shadow(
+      kThreads, std::vector<uint64_t>(cells, 0));
+  auto worker = [&](uint32_t tid) {
+    Xoshiro256 rng(9000 + tid);
+    for (uint64_t e = 1; e <= kEpochs; ++e) {
+      for (int i = 0; i < kOpsPerEpoch; ++i) {
+        uint64_t cell = rng.next_below(cells / kThreads) * kThreads + tid;
+        uint64_t v = rng.next() | 1;
+        shadow[tid][cell] = v;
+        put_u64(*c, cell * 8, v);
+      }
+      if (tid == 0) c->set_root(0, e);
+      c->checkpoint();
+    }
+  };
+  std::vector<std::thread> ts;
+  for (uint32_t t = 0; t < kThreads; ++t) ts.emplace_back(worker, t);
+  for (auto& t : ts) t.join();
+  c->wait_committed();
+
+  EXPECT_EQ(c->committed_epoch(), kEpochs);
+  auto verify = [&](Container& cc) {
+    for (uint64_t cell = 0; cell < cells; ++cell) {
+      ASSERT_EQ(get_u64(cc, cell * 8), shadow[cell % kThreads][cell])
+          << "cell " << cell;
+    }
+  };
+  verify(*c);
+
+  c.reset();
+  c = Container::open(&dev, o);
+  EXPECT_EQ(c->committed_epoch(), kEpochs);
+  EXPECT_EQ(c->get_root(0), kEpochs);
+  verify(*c);
 }
 
 }  // namespace

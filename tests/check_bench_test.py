@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Tests for scripts/check_bench.py (the CI perf-regression gate).
+
+Run directly or via ctest (registered in tests/CMakeLists.txt). Uses only
+the standard library: each case writes a throwaway baseline + result
+reports into a temp dir and drives the script as a subprocess, asserting
+on the exit-code contract (0 ok / 1 regression / 2 missing metric).
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CHECK_BENCH = REPO / "scripts" / "check_bench.py"
+
+
+def baseline(gates, tolerance=0.15):
+    return {"comment": "test", "tolerance": tolerance, "gates": gates}
+
+
+def gate(metric="mops", direction="higher", value=1.0, **extra):
+    g = {"bench": "bench_x", "match": {"cfg": "a"}, "metric": metric,
+         "direction": direction, "value": value}
+    g.update(extra)
+    return g
+
+
+def report(value, metric="mops", cfg="a", skipped=False):
+    row = {"cfg": cfg, metric: value}
+    if skipped:
+        row["skipped"] = True
+    return {"bench": "bench_x", "results": [row]}
+
+
+class CheckBenchTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.dir = Path(self._tmp.name)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, name, obj):
+        p = self.dir / name
+        p.write_text(json.dumps(obj))
+        return p
+
+    def run_check(self, results, *extra_args, baseline_obj=None):
+        bl = self.write("baseline.json", baseline_obj)
+        argv = [sys.executable, str(CHECK_BENCH), "--baseline", str(bl)]
+        argv += list(extra_args)
+        argv += [str(self.write(f"r{i}.json", r))
+                 for i, r in enumerate(results)]
+        return subprocess.run(argv, capture_output=True, text=True), bl
+
+    def test_best_of_three_picks_max_for_higher(self):
+        # Two noisy low runs plus one good run: best-of-N must score the
+        # max for a "higher" metric, so the gate passes.
+        bl = baseline([gate(value=1.0, tolerance=0.1)])
+        proc, _ = self.run_check(
+            [report(0.5), report(1.05), report(0.6)], baseline_obj=bl)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("1.0500", proc.stdout)
+
+    def test_best_of_three_picks_min_for_lower(self):
+        bl = baseline([gate(direction="lower", value=0.2, tolerance=0.25)])
+        proc, _ = self.run_check(
+            [report(0.9), report(0.21), report(0.5)], baseline_obj=bl)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("0.2100", proc.stdout)
+
+    def test_regression_beyond_tolerance_fails(self):
+        bl = baseline([gate(value=1.0, tolerance=0.1)])
+        proc, _ = self.run_check(
+            [report(0.5), report(0.6), report(0.7)], baseline_obj=bl)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("FAIL", proc.stdout)
+
+    def test_missing_metric_exits_2(self):
+        # The gated metric never appears in any result row: that's a
+        # harness bug (bench not run), not a pass.
+        bl = baseline([gate(metric="absent_metric")])
+        proc, _ = self.run_check([report(1.0)], baseline_obj=bl)
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+        self.assertIn("no matching result row", proc.stderr)
+
+    def test_skipped_rows_do_not_satisfy_a_gate(self):
+        bl = baseline([gate(value=1.0)])
+        proc, _ = self.run_check(
+            [report(5.0, skipped=True)], baseline_obj=bl)
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+
+    def test_update_rewrites_value_and_keeps_tolerance(self):
+        bl = baseline([gate(value=1.0, tolerance=0.33)])
+        proc, bl_path = self.run_check(
+            [report(0.8), report(1.4)], "--update", baseline_obj=bl)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        refreshed = json.loads(bl_path.read_text())
+        self.assertEqual(refreshed["gates"][0]["value"], 1.4)
+        self.assertEqual(refreshed["gates"][0]["tolerance"], 0.33)
+
+    def test_update_with_missing_metric_leaves_baseline_untouched(self):
+        bl = baseline([gate(metric="absent_metric", value=1.0)])
+        proc, bl_path = self.run_check(
+            [report(2.0)], "--update", baseline_obj=bl)
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+        self.assertEqual(
+            json.loads(bl_path.read_text())["gates"][0]["value"], 1.0)
+
+    def test_summary_table_is_appended(self):
+        bl = baseline([gate(value=1.0, tolerance=0.1)])
+        summary = self.dir / "summary.md"
+        summary.write_text("pre-existing\n")
+        proc, _ = self.run_check(
+            [report(1.2)], "--summary", str(summary), baseline_obj=bl)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        text = summary.read_text()
+        self.assertTrue(text.startswith("pre-existing\n"))
+        self.assertIn("| gate | best | baseline |", text)
+        self.assertIn("bench_x[cfg=a].mops", text)
+
+    def test_real_baseline_parses_and_gates_are_well_formed(self):
+        # Guard the checked-in baseline itself: every gate must carry the
+        # fields the checker dereferences, with a sane direction.
+        with open(REPO / "bench" / "baseline.json") as f:
+            bl = json.load(f)
+        self.assertGreater(len(bl["gates"]), 0)
+        for g in bl["gates"]:
+            for field in ("bench", "match", "metric", "direction", "value"):
+                self.assertIn(field, g, f"gate missing {field}: {g}")
+            self.assertIn(g["direction"], ("higher", "lower"))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -23,7 +23,8 @@ void usage(FILE* out) {
   std::fprintf(out,
                "usage: crpm_crashmatrix [options]\n"
                "  --scenario NAME   core | core-buffered | core-async | "
-               "archive | repl (default core)\n"
+               "core-multiwindow | archive | archive-tier | repl "
+               "(default core)\n"
                "  --list            list scenarios and exit\n"
                "  --seed S          workload seed (default 1)\n"
                "  --epochs E        checkpoint epochs (default 3)\n"
@@ -32,6 +33,10 @@ void usage(FILE* out) {
                " commit | random\n"
                "  --fault F         enable a planted bug: flip-before-copy |"
                " skip-steal-copy\n"
+               "  --mw-windows K    core-multiwindow: in-flight capture "
+               "windows (default 3)\n"
+               "  --mw-shards S     core-multiwindow: commit-shard epoch "
+               "domains (default 4)\n"
                "  --count           enumerate events only, print the census\n"
                "  --crash-at N      single injected run at event N\n"
                "  --shard I/N       test only events with index %% N == I\n"
@@ -98,6 +103,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown fault '%s'\n", f.c_str());
         return 64;
       }
+    } else if (a == "--mw-windows") {
+      uint64_t v = 0;
+      if (!parse_u64(need("--mw-windows"), &v) || v == 0) return 64;
+      cfg.mw_windows = static_cast<uint32_t>(v);
+    } else if (a == "--mw-shards") {
+      uint64_t v = 0;
+      if (!parse_u64(need("--mw-shards"), &v) || v == 0) return 64;
+      cfg.mw_shards = static_cast<uint32_t>(v);
     } else if (a == "--count") {
       count_only = true;
     } else if (a == "--crash-at") {

@@ -2,6 +2,7 @@
 //
 //   crpm_kvd serve  --dir <d> [--port 0] [--port-file <f>] [--workers 4]
 //                   [--interval-ms 8] [--async-workers 1]
+//                   [--max-inflight 1] [--commit-shards 1]
 //                   [--capacity-mb 256] [--buckets 65536] [--archive]
 //                   [--archive-tier] [--preload <n>]
 //   crpm_kvd load   --port <p> [--host 127.0.0.1] [--threads 4]
@@ -89,6 +90,7 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s serve  --dir <d> [--port 0] [--port-file <f>]\n"
       "                 [--workers 4] [--interval-ms 8] [--async-workers 1]\n"
+      "                 [--max-inflight 1] [--commit-shards 1]\n"
       "                 [--capacity-mb 256] [--buckets 65536] [--archive]\n"
       "                 [--archive-tier] [--preload <n>]\n"
       "       %s load   --port <p> [--host <h>] [--threads 4] [--seconds 5]\n"
@@ -114,6 +116,10 @@ int cmd_serve(int argc, char** argv) {
   sc.interval_ms = flag_double(argc, argv, "--interval-ms", 8.0);
   sc.async_workers =
       static_cast<uint32_t>(flag_u64(argc, argv, "--async-workers", 1));
+  sc.max_inflight_epochs =
+      static_cast<uint32_t>(flag_u64(argc, argv, "--max-inflight", 1));
+  sc.commit_shards =
+      static_cast<uint32_t>(flag_u64(argc, argv, "--commit-shards", 1));
   sc.archive_tier = flag_present(argc, argv, "--archive-tier");
   sc.archive = flag_present(argc, argv, "--archive") || sc.archive_tier;
   KvService svc(sc);
