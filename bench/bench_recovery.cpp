@@ -5,20 +5,173 @@
 // state size (288 ms at 90^3 vs 515 ms at 110^3), with 43-56% of it spent
 // making the working state consistent with the checkpoint state (region
 // sync) and the remainder copying the main region into DRAM.
+// Two additional production-recovery sections (gated in CI against
+// bench/baseline.json):
+//   restore_vs_serial  thread-CPU speedup of the sharded record apply at
+//                      4 workers over the serial apply (sum of serial
+//                      apply CPU over the parallel critical path), on an
+//                      archive big enough that the apply dominates.
+//   ttfq               time-to-first-query of a lazy restore (start() +
+//                      one faulting read) over the wall time of the full
+//                      blocking restore_file of the same archive.
+// CRPM_REC_ONLY=1 runs just these sections (the CI bench stage's mode);
+// CRPM_REC_MB / CRPM_REC_EPOCHS / CRPM_REC_DIRTY_KB pin the archive
+// shape.
+#include <algorithm>
+#include <cstring>
 #include <filesystem>
 
 #include "apps/miniapp.h"
 #include "bench_common.h"
+#include "snapshot/lazy_restore.h"
+#include "snapshot/restore.h"
+#include "snapshot/writer.h"
+#include "util/rng.h"
 #include "util/stopwatch.h"
 
 using namespace crpm;
 using namespace crpm::bench;
 
+namespace {
+
+// Archives `epochs` epochs of scattered dirty runs over a `mb`-MiB region
+// and returns the archive path. Small segments (256 KiB) keep the shard
+// count well above the worker count so the speedup section measures the
+// sharding, not a two-segment fluke.
+std::string build_recovery_archive(const std::filesystem::path& dir,
+                                   uint64_t mb, uint64_t epochs,
+                                   uint64_t dirty_kb, CrpmOptions* opt_out) {
+  CrpmOptions o;
+  o.segment_size = 256 * 1024;
+  o.block_size = 256;
+  o.main_region_size = mb << 20;
+  *opt_out = o;
+  const std::string snap = (dir / "rec.crpmsnap").string();
+  auto c = Container::open(
+      std::make_unique<HeapNvmDevice>(Container::required_device_size(o)), o);
+  snapshot::ArchiveWriter w(snap);
+  w.attach(*c);
+  Xoshiro256 rng(4242);
+  for (uint64_t e = 1; e <= epochs; ++e) {
+    uint64_t left = dirty_kb << 10;
+    while (left > 0) {
+      uint64_t len = std::min<uint64_t>(left, 4096 + rng.next_below(60000));
+      uint64_t off = rng.next_below(o.main_region_size - len);
+      c->annotate(c->data() + off, len);
+      std::memset(c->data() + off, static_cast<int>(e + (off >> 12)),
+                  len);
+      left -= len;
+    }
+    c->set_root(0, e);
+    c->checkpoint();
+  }
+  w.drain();
+  c->set_epoch_sink(nullptr);
+  return snap;
+}
+
+void run_restore_sections(JsonReport& json) {
+  const uint64_t mb = env_u64("CRPM_REC_MB", 32);
+  const uint64_t epochs = env_u64("CRPM_REC_EPOCHS", 6);
+  const uint64_t dirty_kb = env_u64("CRPM_REC_DIRTY_KB", 4096);
+  auto dir = std::filesystem::temp_directory_path() / "crpm_bench_rec_par";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  CrpmOptions opt;
+  const std::string snap =
+      build_recovery_archive(dir, mb, epochs, dirty_kb, &opt);
+
+  // Serial apply: the baseline both ratios are built on. Thread CPU from
+  // RestorePerf makes the speedup meaningful on loaded shared runners.
+  std::vector<uint8_t> image;
+  std::array<uint64_t, kNumRoots> roots{};
+  std::string err;
+  snapshot::RestorePerf serial_perf;
+  if (!snapshot::read_state(snap, epochs, &image, &roots, &err, 0,
+                            &serial_perf)) {
+    std::fprintf(stderr, "serial read_state: %s\n", err.c_str());
+    return;
+  }
+  const double serial_ms = serial_perf.apply_ns_total / 1e6;
+
+  std::printf("\nparallel restore apply vs serial (thread CPU, %lluMiB "
+              "region, %llu epochs)\n",
+              (unsigned long long)mb, (unsigned long long)epochs);
+  TablePrinter t({"workers", "apply CPU(ms)", "critical(ms)", "speedup"});
+  t.row().cell(uint64_t{1}).cell(serial_ms, 2).cell(serial_ms, 2).cell(1.0,
+                                                                       2);
+  for (uint32_t workers : {2u, 4u, 8u}) {
+    snapshot::RestorePerf perf;
+    std::vector<uint8_t> pimage;
+    std::array<uint64_t, kNumRoots> proots{};
+    if (!snapshot::read_state(snap, epochs, &pimage, &proots, &err, workers,
+                              &perf)) {
+      std::fprintf(stderr, "parallel read_state: %s\n", err.c_str());
+      return;
+    }
+    const double crit_ms = perf.apply_ns_critical / 1e6;
+    const double speedup = crit_ms > 0 ? serial_ms / crit_ms : 0.0;
+    t.row()
+        .cell(uint64_t{workers})
+        .cell(perf.apply_ns_total / 1e6, 2)
+        .cell(crit_ms, 2)
+        .cell(speedup, 2);
+    json.row()
+        .col("kind", "restore_vs_serial")
+        .col("workers", uint64_t{workers})
+        .col("serial_apply_ms", serial_ms)
+        .col("critical_ms", crit_ms)
+        .col("speedup_vs_serial", speedup);
+  }
+  t.print();
+
+  // Full blocking restore (what a non-lazy reattach pays) vs the lazy
+  // time-to-first-query: start() + one faulting read.
+  const std::string ctr = (dir / "restored.ctr").string();
+  Stopwatch full_sw;
+  auto rr = snapshot::restore_file(snap, epochs, ctr, opt);
+  const double full_ms = full_sw.elapsed_sec() * 1e3;
+  if (rr.container == nullptr) {
+    std::fprintf(stderr, "restore_file: %s\n", rr.error.c_str());
+    return;
+  }
+  rr.container.reset();
+
+  Stopwatch lazy_sw;
+  auto lz = snapshot::restore_lazy(snap, epochs, opt);
+  if (!lz->ok()) {
+    std::fprintf(stderr, "restore_lazy: %s\n", lz->error().c_str());
+    return;
+  }
+  volatile uint8_t first = lz->data()[0];  // materializes chunk 0
+  (void)first;
+  const double ttfq_ms = lazy_sw.elapsed_sec() * 1e3;
+  const double ratio = full_ms > 0 ? ttfq_ms / full_ms : 0.0;
+
+  std::printf("\ntime to first query: lazy restore vs full restore\n");
+  TablePrinter t2({"full restore(ms)", "lazy TTFQ(ms)", "ratio"});
+  t2.row().cell(full_ms, 2).cell(ttfq_ms, 2).cell(ratio, 3);
+  t2.print();
+  json.row()
+      .col("kind", "ttfq")
+      .col("full_restore_ms", full_ms)
+      .col("time_to_first_query_ms", ttfq_ms)
+      .col("ttfq_vs_full", ratio);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  JsonReport json(json_out_path(argc, argv), "bench_recovery");
+
+  if (env_u64("CRPM_REC_ONLY", 0) != 0) {
+    run_restore_sections(json);
+    return json.write() ? 0 : 1;
+  }
+
   BenchScale scale;
   scale.print("Section 5.5: LULESH recovery time vs problem size");
-
-  JsonReport json(json_out_path(argc, argv), "bench_recovery");
   json.meta("ranks", scale.ranks).meta("cost", scale.cost);
 
   TablePrinter t({"size", "state", "recovery(ms)", "region sync",
@@ -119,5 +272,6 @@ int main(int argc, char** argv) {
     }
     t2.print();
   }
+  run_restore_sections(json);
   return json.write() ? 0 : 1;
 }

@@ -14,7 +14,8 @@
 #   bench   perf smoke: pinned-scale bench_fig7_throughput + bench_repl +
 #           the bench_fig9_interval async-stall section + bench_kvd
 #           tail-latency-during-checkpoints + bench_archive tiering +
-#           the bench_fig8_parallel multi-window pipeline section,
+#           the bench_fig8_parallel multi-window pipeline section +
+#           the bench_recovery restore-speedup/TTFQ sections,
 #           3 runs each, gated by scripts/check_bench.py against
 #           bench/baseline.json (best-of-3 ratios, see the baseline's
 #           comment for the refresh procedure). Set CRPM_BENCH_OUT to
@@ -118,9 +119,14 @@ stage_bench() {
     CRPM_FIG8_MW_ONLY=1 CRPM_FIG8_MW_EPOCHS=24 \
       ./build/bench/bench_fig8_parallel --json "$out/fig8mw_$run.json" \
       >/dev/null
+    # Recovery sections only: sharded-restore speedup (per-shard thread
+    # CPU) and lazy time-to-first-query vs the full blocking restore.
+    CRPM_REC_ONLY=1 CRPM_REC_MB=32 CRPM_REC_EPOCHS=6 \
+      CRPM_REC_DIRTY_KB=4096 \
+      ./build/bench/bench_recovery --json "$out/rec_$run.json" >/dev/null
     results+=("$out/fig7_$run.json" "$out/repl_$run.json" \
       "$out/fig9_$run.json" "$out/kvd_$run.json" "$out/arch_$run.json" \
-      "$out/fig8mw_$run.json")
+      "$out/fig8mw_$run.json" "$out/rec_$run.json")
   done
   local summary_args=()
   if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then

@@ -35,13 +35,15 @@ const char* recovery_source_name(RecoverySource s) {
   return "?";
 }
 
-namespace {
+std::string StateStore::container_path(const std::string& dir, int rank) {
+  return dir + "/crpm-rank" + std::to_string(rank) + ".ctr";
+}
 
-// True if `path` plausibly holds an openable container: the file exists,
-// covers at least a MetaHeader, and the header carries the right magic and
-// the initialized flag. Container::open() aborts on structural damage, so
-// the archive fallback has to triage before opening.
-bool container_file_usable(const std::string& path) {
+std::string StateStore::archive_path(const std::string& dir, int rank) {
+  return dir + "/crpm-rank" + std::to_string(rank) + ".snap";
+}
+
+bool StateStore::container_file_usable(const std::string& path) {
   std::error_code ec;
   auto size = std::filesystem::file_size(path, ec);
   if (ec || size < sizeof(MetaHeader)) return false;
@@ -52,8 +54,6 @@ bool container_file_usable(const std::string& path) {
   std::fclose(f);
   return got == sizeof(h) && h.magic == kMetaMagic && h.initialized != 0;
 }
-
-}  // namespace
 
 StateStore::StateStore(const Config& cfg) : cfg_(cfg) {
   switch (cfg_.backend) {
@@ -78,17 +78,16 @@ StateStore::StateStore(const Config& cfg) : cfg_(cfg) {
       CrpmOptions opt;
       opt.buffered = buffered;
       opt.main_region_size = cfg_.capacity_bytes;
-      std::string base =
-          cfg_.dir + "/crpm-rank" + std::to_string(cfg_.rank);
-      std::string path = base + ".ctr";
+      std::string path = container_path(cfg_.dir, cfg_.rank);
       if (!buffered) {
         opt.async_checkpoint = cfg_.async_checkpoint;
         opt.async_workers = cfg_.async_workers;
         opt.max_inflight_epochs = cfg_.max_inflight_epochs;
         opt.commit_shards = cfg_.commit_shards;
+        opt.restore_workers = cfg_.restore_workers;
         if (cfg_.async_checkpoint) opt.eager_cow_segments = 0;
         if (cfg_.archive) {
-          opt.archive_path = base + ".snap";
+          opt.archive_path = archive_path(cfg_.dir, cfg_.rank);
           opt.archive_compact_every = cfg_.archive_compact_every;
           if (cfg_.archive_tier) {
             opt.archive_codec = "lzb";
@@ -117,15 +116,26 @@ StateStore::StateStore(const Config& cfg) : cfg_(cfg) {
                              : RecoverySource::kFresh;
       // Second recovery level: a missing or invalid container file is
       // rebuilt from the newest restorable archived epoch, if any.
-      if (recovery_source_ != RecoverySource::kLocal &&
-          !opt.archive_path.empty() &&
-          std::filesystem::exists(opt.archive_path)) {
-        auto res = snapshot::restore_file(
-            opt.archive_path, Container::kLatestEpoch, path, opt);
-        if (res.container != nullptr) {
-          res.container.reset();  // re-opened below through the normal path
-          recovery_source_ = RecoverySource::kArchive;
+      if (recovery_source_ != RecoverySource::kLocal) {
+        if (!opt.archive_path.empty() &&
+            std::filesystem::exists(opt.archive_path)) {
+          auto res = snapshot::restore_file(
+              opt.archive_path, Container::kLatestEpoch, path, opt);
+          if (res.container != nullptr) {
+            res.container.reset();  // re-opened below via the normal path
+            recovery_source_ = RecoverySource::kArchive;
+          }
         }
+        // The crash-atomic restore leaves an unusable container file
+        // untouched on failure; remove it (and any orphaned side file)
+        // so the open below formats fresh instead of aborting on the
+        // damaged bytes.
+        if (recovery_source_ != RecoverySource::kArchive) {
+          std::error_code ec;
+          std::filesystem::remove(path, ec);
+        }
+        std::error_code ec;
+        std::filesystem::remove(path + ".restoring", ec);
       }
       auto dev = std::make_unique<FileNvmDevice>(
           path, Container::required_device_size(opt));

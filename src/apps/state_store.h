@@ -72,6 +72,9 @@ class StateStore {
     uint32_t commit_shards = 1;
     bool archive = false;                // <dir>/crpm-rank<N>.snap
     uint32_t archive_compact_every = 0;
+    // Worker threads for the archive-restore record apply (second
+    // recovery level); 0/1 = serial. See CrpmOptions::restore_workers.
+    uint32_t restore_workers = 0;
     // Route the archive through src/tier: lzb codec, four-epoch group
     // commit (bounded by the default flush deadline, so a lone durable
     // epoch still reaches the device promptly), threaded writeback.
@@ -80,6 +83,18 @@ class StateStore {
 
   explicit StateStore(const Config& cfg);
   ~StateStore();
+
+  // Filesystem layout of the crpm backends: where a given (dir, rank)
+  // keeps its container and snapshot archive. Exposed so servers (and
+  // offline tools) can triage recovery before constructing the store.
+  static std::string container_path(const std::string& dir, int rank);
+  static std::string archive_path(const std::string& dir, int rank);
+
+  // True if `path` plausibly holds an openable container: the file
+  // exists, covers at least a MetaHeader, and the header carries the
+  // right magic and the initialized flag. Container::open() aborts on
+  // structural damage, so recovery triage has to check before opening.
+  static bool container_file_usable(const std::string& path);
 
   // Allocates (or re-attaches, after recovery) array `slot` of `count`
   // elements. Slots must be allocated in the same order and size across

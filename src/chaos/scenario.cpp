@@ -18,12 +18,18 @@
 #include <filesystem>
 #include <memory>
 
+#include <fstream>
+
+#include "apps/state_store.h"
 #include "chaos/chaos.h"
 #include "comm/channel.h"
 #include "core/container.h"
 #include "repl/replica_store.h"
 #include "repl/replicator.h"
+#include "scrub/scrubber.h"
 #include "snapshot/archive.h"
+#include "snapshot/lazy_restore.h"
+#include "snapshot/restore.h"
 #include "snapshot/writer.h"
 #include "tier/cold.h"
 #include "tier/codec.h"
@@ -973,6 +979,403 @@ class ReplScenario final : public Scenario {
   }
 };
 
+// ---------------------------------------------------------------------------
+// recovery: the restorer itself under the crash matrix. Four injection
+// domains, concatenated into one event axis:
+//
+//   [0, D)          device events of a parallel restore (restore_workers=2)
+//                   onto a CrashSimDevice — the record apply runs in DRAM,
+//                   so the device event stream stays deterministic and the
+//                   crash points cover the restored container's format,
+//                   image commit and checkpoint.
+//   [D, D+F)        restore_file() durability steps (restore.image /
+//                   .container / .tmp / .synced / .renamed), killed via
+//                   the restore step hook.
+//   [D+F, D+F+L)    lazy restore steps (lazy.plan, lazy.chunk per chunk,
+//                   then finish_file's side-file steps), driven serially
+//                   so the hook's throw unwinds the driving thread.
+//   [D+F+L, ...)    online scrubber steps (scrub.archive / .cold /
+//                   .container / .pass) over a healthy restored directory.
+//
+// The oracle is the restore contract itself: a crashed restore leaves
+// either nothing a reattach would trust (container_file_usable false, or
+// committed_epoch 0 on the device) or the complete bit-identical golden
+// image; re-running the restore always converges to golden; the scrubber
+// never mutates what it audits and a clean pass stays clean.
+// ---------------------------------------------------------------------------
+
+class RecoveryScenario final : public Scenario {
+ public:
+  EventCensus enumerate(const MatrixConfig& cfg) override {
+    Setup s = make_setup(cfg);
+    const CrpmOptions ropt = restore_opts(cfg);
+    const CrpmOptions serial = serial_opts(cfg);
+    EventCensus census;
+    {
+      CrashSimDevice dev(Container::required_device_size(ropt));
+      dev.set_event_recorder(&census.tags);
+      auto r = snapshot::restore(s.archive, Container::kLatestEpoch, &dev,
+                                 ropt);
+      CRPM_CHECK(r.container != nullptr, "recovery census: restore: %s",
+                 r.error.c_str());
+      r.container.reset();
+      dev.set_event_recorder(nullptr);
+    }
+    device_events_ = census.tags.size();
+
+    auto count_steps = [&census](auto&& body) {
+      uint64_t n = 0;
+      snapshot::set_restore_step_hook([&](const char* name) {
+        census.tags.push_back(name);
+        ++n;
+      });
+      body();
+      snapshot::set_restore_step_hook(nullptr);
+      return n;
+    };
+    file_events_ = count_steps([&] {
+      auto r = snapshot::restore_file(s.archive, Container::kLatestEpoch,
+                                      s.ctr, ropt);
+      CRPM_CHECK(r.container != nullptr, "recovery census: restore_file: %s",
+                 r.error.c_str());
+      r.container.reset();
+    });
+    lazy_events_ = count_steps([&] {
+      auto lz = snapshot::restore_lazy(s.archive, Container::kLatestEpoch,
+                                       serial);
+      CRPM_CHECK(lz->ok(), "recovery census: lazy: %s", lz->error().c_str());
+      lz->ensure_range(0, 1);  // first chunk through the demand path
+      auto r = lz->finish_file(s.lazy_ctr, serial);
+      CRPM_CHECK(r.container != nullptr, "recovery census: finish: %s",
+                 r.error.c_str());
+      r.container.reset();
+    });
+    count_steps([&] {
+      scrub::Scrubber sc(scrub_opts(s));
+      sc.run_pass();
+    });
+    return census;
+  }
+
+  RunOutcome run_crash_at(const MatrixConfig& cfg, uint64_t event) override {
+    if (device_events_ == ~uint64_t{0}) enumerate(cfg);
+    if (event < device_events_) return device_crash(cfg, event);
+    event -= device_events_;
+    if (event < file_events_) return file_crash(cfg, event);
+    event -= file_events_;
+    if (event < lazy_events_) return lazy_crash(cfg, event);
+    return scrub_crash(cfg, event - lazy_events_);
+  }
+
+ private:
+  struct Setup {
+    fs::path dir;
+    std::string archive;
+    std::string ctr;       // restore_file / scrub target
+    std::string lazy_ctr;  // lazy finish_file target
+  };
+
+  static CrpmOptions restore_opts(const MatrixConfig& cfg) {
+    CrpmOptions o = scenario_opts(cfg, false);
+    o.restore_workers = 2;  // the parallel apply is the subject under test
+    return o;
+  }
+
+  static CrpmOptions serial_opts(const MatrixConfig& cfg) {
+    // The lazy domain is driven inline so the step hook's throw unwinds
+    // the driving thread (a worker-pool throw would terminate).
+    return scenario_opts(cfg, false);
+  }
+
+  static scrub::ScrubOptions scrub_opts(const Setup& s) {
+    scrub::ScrubOptions so;
+    so.archive_path = s.archive;
+    so.container_path = s.ctr;
+    so.quarantine = true;
+    return so;
+  }
+
+  // Deterministic archive: the golden workload committed through an
+  // unarmed container + draining writer (no recorder, no cold tier).
+  Setup make_setup(const MatrixConfig& cfg) const {
+    Setup s;
+    s.dir = fs::temp_directory_path() /
+            ("crpm_chaos_recovery_" + std::to_string(::getpid()));
+    fs::remove_all(s.dir);
+    fs::create_directories(s.dir);
+    s.archive = (s.dir / "a.crpmsnap").string();
+    s.ctr = (s.dir / "restored.ctr").string();
+    s.lazy_ctr = (s.dir / "lazy.ctr").string();
+    const CrpmOptions opt = scenario_opts(cfg, false);
+    CrashSimDevice dev(Container::required_device_size(opt));
+    auto c = Container::open(&dev, opt);
+    snapshot::SnapshotOptions so;
+    so.queue_depth = 4;
+    so.fsync_each_epoch = true;
+    auto w = std::make_unique<snapshot::ArchiveWriter>(s.archive, so);
+    w->attach(*c);
+    for (uint64_t e = 1; e <= cfg.epochs; ++e) {
+      apply_epoch_to_container(cfg, *c, e);
+      c->checkpoint();
+      w->drain();
+    }
+    c->set_epoch_sink(nullptr);
+    w.reset();
+    c.reset();
+    return s;
+  }
+
+  static std::vector<uint8_t> slurp(const std::string& path) {
+    std::ifstream f(path, std::ios::binary);
+    return std::vector<uint8_t>(std::istreambuf_iterator<char>(f),
+                                std::istreambuf_iterator<char>());
+  }
+
+  // Golden oracle for a restored container: bit-identical image + the
+  // archived epoch's root.
+  static bool restored_matches(Container& c, const Golden& g, uint64_t e,
+                               const char* what, std::string* why) {
+    if (!image_matches(c.data(), g.at[e], what, e, why)) return false;
+    if (c.get_root(0) != e) {
+      *why = std::string(what) + " root slot 0 is " +
+             std::to_string(c.get_root(0)) + " after restoring epoch " +
+             std::to_string(e);
+      return false;
+    }
+    return true;
+  }
+
+  // Post-crash file oracle: the triage a reattach runs must either reject
+  // the target (absent / unusable) or find the complete golden image —
+  // and a re-run restore_file must converge to golden either way.
+  bool file_recovery_ok(const MatrixConfig& cfg, const Setup& s,
+                        const Golden& g, std::string* why) {
+    const CrpmOptions plain = scenario_opts(cfg, false);
+    if (StateStore::container_file_usable(s.ctr)) {
+      auto c = Container::open_file(s.ctr, plain);
+      if (c->was_fresh()) {
+        *why = "usable restore target reopened as fresh";
+        return false;
+      }
+      if (!restored_matches(*c, g, cfg.epochs,
+                            "triage-trusted restore target", why)) {
+        // The rename is the commit point: a file triage trusts must
+        // never be half-restored.
+        return false;
+      }
+    }
+    auto r = snapshot::restore_file(s.archive, Container::kLatestEpoch,
+                                    s.ctr, restore_opts(cfg));
+    if (r.container == nullptr) {
+      *why = "re-run restore_file failed: " + r.error;
+      return false;
+    }
+    return restored_matches(*r.container, g, cfg.epochs,
+                            "re-run restore target", why);
+  }
+
+  RunOutcome device_crash(const MatrixConfig& cfg, uint64_t event) {
+    Setup s = make_setup(cfg);
+    const CrpmOptions ropt = restore_opts(cfg);
+    const Golden g = make_golden(cfg, ropt.main_region_size, cfg.epochs);
+    CrashSimDevice dev(Container::required_device_size(ropt));
+    dev.arm_crash_at_event(event);
+
+    RunOutcome out;
+    std::unique_ptr<Container> c;
+    try {
+      auto r = snapshot::restore(s.archive, Container::kLatestEpoch, &dev,
+                                 ropt);
+      if (r.container == nullptr) {
+        out.violation = true;
+        out.detail = "clean restore failed: " + r.error;
+        return out;
+      }
+      c = std::move(r.container);
+    } catch (const SimulatedCrash&) {
+      out.crash_fired = true;
+    }
+    std::string why;
+    if (!out.crash_fired) {
+      dev.disarm();
+      if (!restored_matches(*c, g, cfg.epochs, "restored container", &why)) {
+        out.violation = true;
+        out.detail = "clean run: " + why;
+      }
+      return out;
+    }
+
+    c.reset();
+    Xoshiro256 rng = crash_rng(cfg, event);
+    dev.crash_and_restart(cfg.policy, rng);
+    // Reattach triage on the torn target: the restore's single
+    // checkpoint is its commit point, so a nonzero committed epoch means
+    // the whole image must be there; epoch 0 means the target is
+    // recognizably not a restored container and gets discarded.
+    {
+      auto c2 = Container::open(&dev, scenario_opts(cfg, false));
+      if (c2->committed_epoch() != 0 &&
+          !restored_matches(*c2, g, cfg.epochs,
+                            "triage-trusted restore device", &why)) {
+        out.violation = true;
+        out.detail = why;
+        return out;
+      }
+    }
+    // Re-run on a pristine device: the parallel restore must converge to
+    // the same bit-identical golden image.
+    CrashSimDevice dev2(Container::required_device_size(ropt));
+    auto r2 = snapshot::restore(s.archive, Container::kLatestEpoch, &dev2,
+                                ropt);
+    if (r2.container == nullptr) {
+      out.violation = true;
+      out.detail = "re-run restore failed: " + r2.error;
+    } else if (!restored_matches(*r2.container, g, cfg.epochs,
+                                 "re-run restore", &why)) {
+      out.violation = true;
+      out.detail = why;
+    }
+    return out;
+  }
+
+  RunOutcome file_crash(const MatrixConfig& cfg, uint64_t step_index) {
+    Setup s = make_setup(cfg);
+    const Golden g =
+        make_golden(cfg, scenario_opts(cfg, false).main_region_size,
+                    cfg.epochs);
+    RunOutcome out;
+    uint64_t seen = 0;
+    snapshot::set_restore_step_hook([&](const char*) {
+      if (seen++ == step_index) throw SimulatedCrash{};
+    });
+    try {
+      auto r = snapshot::restore_file(s.archive, Container::kLatestEpoch,
+                                      s.ctr, restore_opts(cfg));
+      if (r.container == nullptr) {
+        out.violation = true;
+        out.detail = "restore_file failed without crashing: " + r.error;
+      }
+    } catch (const SimulatedCrash&) {
+      out.crash_fired = true;
+    }
+    snapshot::set_restore_step_hook(nullptr);
+    if (out.violation) return out;
+    std::string why;
+    if (!file_recovery_ok(cfg, s, g, &why)) {
+      out.violation = true;
+      out.detail = why;
+    }
+    return out;
+  }
+
+  RunOutcome lazy_crash(const MatrixConfig& cfg, uint64_t step_index) {
+    Setup s = make_setup(cfg);
+    const CrpmOptions serial = serial_opts(cfg);
+    const Golden g = make_golden(cfg, serial.main_region_size, cfg.epochs);
+    const std::vector<uint8_t> archive_before = slurp(s.archive);
+    RunOutcome out;
+    uint64_t seen = 0;
+    snapshot::set_restore_step_hook([&](const char*) {
+      if (seen++ == step_index) throw SimulatedCrash{};
+    });
+    try {
+      auto lz = snapshot::restore_lazy(s.archive, Container::kLatestEpoch,
+                                       serial);
+      if (!lz->ok()) {
+        out.violation = true;
+        out.detail = "lazy restore failed without crashing: " + lz->error();
+      } else {
+        lz->ensure_range(0, 1);
+        auto r = lz->finish_file(s.ctr, serial);
+        if (r.container == nullptr) {
+          out.violation = true;
+          out.detail = "lazy finish failed without crashing: " + r.error;
+        }
+      }
+    } catch (const SimulatedCrash&) {
+      out.crash_fired = true;
+    }
+    snapshot::set_restore_step_hook(nullptr);
+    if (out.violation) return out;
+    std::string why;
+    if (slurp(s.archive) != archive_before) {
+      out.violation = true;
+      out.detail = "lazy restore mutated the archive it was reading";
+    } else if (!file_recovery_ok(cfg, s, g, &why)) {
+      out.violation = true;
+      out.detail = why;
+    }
+    return out;
+  }
+
+  RunOutcome scrub_crash(const MatrixConfig& cfg, uint64_t step_index) {
+    Setup s = make_setup(cfg);
+    const Golden g =
+        make_golden(cfg, scenario_opts(cfg, false).main_region_size,
+                    cfg.epochs);
+    RunOutcome out;
+    {
+      auto r = snapshot::restore_file(s.archive, Container::kLatestEpoch,
+                                      s.ctr, restore_opts(cfg));
+      if (r.container == nullptr) {
+        out.violation = true;
+        out.detail = "scrub setup restore failed: " + r.error;
+        return out;
+      }
+    }
+    const std::vector<uint8_t> archive_before = slurp(s.archive);
+    const std::vector<uint8_t> ctr_before = slurp(s.ctr);
+    uint64_t seen = 0;
+    snapshot::set_restore_step_hook([&](const char*) {
+      if (seen++ == step_index) throw SimulatedCrash{};
+    });
+    try {
+      scrub::Scrubber sc(scrub_opts(s));
+      scrub::ScrubReport rep = sc.run_pass();
+      if (rep.damaged()) {
+        out.violation = true;
+        out.detail = "clean scrub reported damage: " +
+                     rep.findings.front().detail;
+      }
+    } catch (const SimulatedCrash&) {
+      out.crash_fired = true;
+    }
+    snapshot::set_restore_step_hook(nullptr);
+    if (out.violation) return out;
+
+    std::string why;
+    if (slurp(s.archive) != archive_before) {
+      out.violation = true;
+      out.detail = "scrub mutated the archive it was auditing";
+    } else if (slurp(s.ctr) != ctr_before) {
+      out.violation = true;
+      out.detail = "scrub mutated the container it was auditing";
+    } else if (fs::exists(s.ctr + ".quarantine") ||
+               fs::exists(s.archive + ".quarantine")) {
+      out.violation = true;
+      out.detail = "scrub quarantined healthy data";
+    } else {
+      // A killed pass must not poison the next one, and the audited
+      // archive must still restore to golden.
+      scrub::Scrubber sc(scrub_opts(s));
+      scrub::ScrubReport rep = sc.run_pass();
+      if (rep.damaged()) {
+        out.violation = true;
+        out.detail = "re-run scrub reported damage after a killed pass: " +
+                     rep.findings.front().detail;
+      } else if (!file_recovery_ok(cfg, s, g, &why)) {
+        out.violation = true;
+        out.detail = why;
+      }
+    }
+    return out;
+  }
+
+  uint64_t device_events_ = ~uint64_t{0};
+  uint64_t file_events_ = 0;
+  uint64_t lazy_events_ = 0;
+};
+
 }  // namespace
 
 std::unique_ptr<Scenario> make_scenario(const std::string& name) {
@@ -987,12 +1390,13 @@ std::unique_ptr<Scenario> make_scenario(const std::string& name) {
     return std::make_unique<ArchiveScenario>(true);
   }
   if (name == "repl") return std::make_unique<ReplScenario>();
+  if (name == "recovery") return std::make_unique<RecoveryScenario>();
   return nullptr;
 }
 
 std::vector<std::string> scenario_names() {
   return {"core",    "core-buffered", "core-async", "core-multiwindow",
-          "archive", "archive-tier",  "repl"};
+          "archive", "archive-tier",  "repl",       "recovery"};
 }
 
 CrpmOptions scenario_options(const MatrixConfig& cfg, bool buffered) {

@@ -38,6 +38,12 @@ CrpmStatsSnapshot CrpmStatsSnapshot::operator-(
   d.repl_frames_stored = repl_frames_stored - rhs.repl_frames_stored;
   d.repl_stall_ns = repl_stall_ns - rhs.repl_stall_ns;
   d.recovery_source = recovery_source;  // a state, not a counter
+  d.scrub_passes = scrub_passes - rhs.scrub_passes;
+  d.scrub_frames_checked = scrub_frames_checked - rhs.scrub_frames_checked;
+  d.scrub_bytes_checked = scrub_bytes_checked - rhs.scrub_bytes_checked;
+  d.scrub_errors = scrub_errors - rhs.scrub_errors;
+  d.scrub_skipped = scrub_skipped - rhs.scrub_skipped;
+  d.scrub_ns = scrub_ns - rhs.scrub_ns;
   return d;
 }
 
@@ -76,6 +82,14 @@ std::string CrpmStatsSnapshot::to_string() const {
        << (recovery_source == kRecoveryPeer
                ? "peer"
                : recovery_source == kRecoveryLocal ? "local" : "none");
+  }
+  if (scrub_passes != 0) {
+    os << " scrub_passes=" << scrub_passes
+       << " scrub_frames=" << scrub_frames_checked
+       << " scrub_bytes=" << scrub_bytes_checked
+       << " scrub_errors=" << scrub_errors
+       << " scrub_skipped=" << scrub_skipped
+       << " scrub_ns=" << scrub_ns;
   }
   return os.str();
 }
@@ -121,6 +135,14 @@ CrpmStatsSnapshot CrpmStats::snapshot() const {
       repl_frames_stored_.load(std::memory_order_relaxed);
   s.repl_stall_ns = repl_stall_ns_.load(std::memory_order_relaxed);
   s.recovery_source = recovery_source_.load(std::memory_order_relaxed);
+  s.scrub_passes = scrub_passes_.load(std::memory_order_relaxed);
+  s.scrub_frames_checked =
+      scrub_frames_checked_.load(std::memory_order_relaxed);
+  s.scrub_bytes_checked =
+      scrub_bytes_checked_.load(std::memory_order_relaxed);
+  s.scrub_errors = scrub_errors_.load(std::memory_order_relaxed);
+  s.scrub_skipped = scrub_skipped_.load(std::memory_order_relaxed);
+  s.scrub_ns = scrub_ns_.load(std::memory_order_relaxed);
   return s;
 }
 

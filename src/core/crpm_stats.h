@@ -59,6 +59,18 @@ struct CrpmStatsSnapshot {
   };
   uint64_t recovery_source = kRecoveryNone;
 
+  // Online-scrubber observability (src/scrub): background verification
+  // passes over container metadata, archive frame CRCs, and cold-tier
+  // bases. scrub_errors counts damage findings (also quarantined on disk);
+  // scrub_skipped counts checks abandoned because the container committed
+  // an epoch mid-read (retried next pass).
+  uint64_t scrub_passes = 0;
+  uint64_t scrub_frames_checked = 0;
+  uint64_t scrub_bytes_checked = 0;
+  uint64_t scrub_errors = 0;
+  uint64_t scrub_skipped = 0;
+  uint64_t scrub_ns = 0;  // thread-CPU time inside scrub passes
+
   CrpmStatsSnapshot operator-(const CrpmStatsSnapshot& rhs) const;
   std::string to_string() const;
 };
@@ -152,6 +164,15 @@ class CrpmStats {
   void note_recovery_source(uint64_t src) {
     recovery_source_.store(src, std::memory_order_relaxed);
   }
+  void add_scrub_pass(uint64_t frames, uint64_t bytes, uint64_t errors,
+                      uint64_t skipped, uint64_t ns) {
+    scrub_passes_.fetch_add(1, std::memory_order_relaxed);
+    scrub_frames_checked_.fetch_add(frames, std::memory_order_relaxed);
+    scrub_bytes_checked_.fetch_add(bytes, std::memory_order_relaxed);
+    scrub_errors_.fetch_add(errors, std::memory_order_relaxed);
+    scrub_skipped_.fetch_add(skipped, std::memory_order_relaxed);
+    scrub_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
 
   CrpmStatsSnapshot snapshot() const;
 
@@ -186,6 +207,12 @@ class CrpmStats {
   std::atomic<uint64_t> repl_frames_stored_{0};
   std::atomic<uint64_t> repl_stall_ns_{0};
   std::atomic<uint64_t> recovery_source_{0};
+  std::atomic<uint64_t> scrub_passes_{0};
+  std::atomic<uint64_t> scrub_frames_checked_{0};
+  std::atomic<uint64_t> scrub_bytes_checked_{0};
+  std::atomic<uint64_t> scrub_errors_{0};
+  std::atomic<uint64_t> scrub_skipped_{0};
+  std::atomic<uint64_t> scrub_ns_{0};
 };
 
 }  // namespace crpm

@@ -49,6 +49,9 @@ CrpmOptions CrpmOptions::validated() const {
     o.max_inflight_epochs = kMaxInflightEpochs;
   }
   if (o.commit_shards > kMaxCommitShards) o.commit_shards = kMaxCommitShards;
+  if (o.restore_workers > kMaxRestoreWorkers) {
+    o.restore_workers = kMaxRestoreWorkers;
+  }
   // Eager CoW copies from the (concurrently mutated) main region inside
   // the commit path; in async mode that would snapshot post-capture
   // values, so it is disabled.

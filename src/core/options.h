@@ -19,6 +19,11 @@ namespace crpm {
 inline constexpr uint32_t kMaxInflightEpochs = 8;
 inline constexpr uint32_t kMaxCommitShards = 64;
 
+// Cap on the restore worker pool (snapshot::restore / ReplicaStore chain
+// apply): the apply shards by segment, so more workers than commit shards
+// makes sense, but an unbounded pool only adds scheduling noise.
+inline constexpr uint32_t kMaxRestoreWorkers = 64;
+
 struct CrpmOptions {
   // Copy-on-write granularity. Must be a power of two and a multiple of
   // block_size. Paper default: 2 MB (Figure 10a sweeps 512 B – 32 MB).
@@ -138,6 +143,19 @@ struct CrpmOptions {
   // Store a compressed base frame under <archive>.cold/ at every
   // compaction fold, keeping folded-away epochs restorable.
   bool archive_cold = false;
+
+  // --- recovery read path (snapshot::restore) ---------------------------
+
+  // Worker threads sharding the archive record apply during restore.
+  // Segments partition across workers (seg % workers), each worker sweeps
+  // its own shard's records first and then steals from lagging shards —
+  // the commit_shards work-stealing discipline applied to the read path.
+  // Every worker re-verifies the CRC of each record it applies, so a
+  // corrupt frame is detected by whichever shard owns the damage. 0 or 1
+  // keeps the single-threaded apply. Capped at kMaxRestoreWorkers. The
+  // apply runs on a DRAM image before the restored container is built, so
+  // the device persistence-event stream stays deterministic regardless.
+  uint32_t restore_workers = 0;
 
   // --- test-only fault injection ---------------------------------------
 

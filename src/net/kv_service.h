@@ -32,6 +32,16 @@
 // Captures are gated on a service-level dirty flag because an empty
 // container checkpoint deliberately skips the epoch bump — tags are only
 // ever handed out for epochs that will actually commit.
+//
+// Lazy recovery — time-to-first-query decoupled from restore time: with
+// cfg.lazy_restore, a missing/unusable container file with a live archive
+// is served through snapshot::LazyRestorer. The constructor returns after
+// the archive *scan* (TTFQ ~ delta bytes read, not applied); GETs and
+// SCANs run against a read-only PHashMap layered over the faulting image
+// (chunks materialize on first access), while a background thread
+// materializes the rest, builds the real container crash-atomically, and
+// flips ready_. Mutations and checkpoint requests block on ready_ — the
+// durability contract is unchanged, only reads get the early start.
 #pragma once
 
 #include <atomic>
@@ -47,6 +57,10 @@
 #include "baselines/crpm_policy.h"
 #include "containers/phashmap.h"
 #include "net/wire.h"
+
+namespace crpm::scrub {
+class Scrubber;
+}  // namespace crpm::scrub
 
 namespace crpm::net {
 
@@ -69,6 +83,19 @@ class KvService {
     uint32_t archive_compact_every = 0;
     bool archive_tier = false;       // tiered archive I/O (codec + group
                                      // commit + threaded writeback)
+    // Serve reads from the archived image while the restore materializes
+    // in the background (see the header comment). Only engages when the
+    // container file is unusable and an archive exists; otherwise the
+    // normal (blocking) recovery path runs.
+    bool lazy_restore = false;
+    // Worker threads for the archive-restore record apply (both the
+    // blocking restore and the lazy background materialization); 0/1 =
+    // serial. See CrpmOptions::restore_workers.
+    uint32_t restore_workers = 0;
+    // Online scrubber cadence in ms (0 = off): a SCHED_IDLE background
+    // pass re-verifying archive frame CRCs and container metadata parity,
+    // publishing scrub_* counters into the container's CrpmStats.
+    uint32_t scrub_interval_ms = 0;
   };
 
   explicit KvService(const Config& cfg);
@@ -118,13 +145,32 @@ class KvService {
   // Blocks until all handed-out tags have committed.
   void flush();
 
+  // --- recovery plane -----------------------------------------------------
+
+  // Milliseconds from construction until the service could answer its
+  // first query. With lazy restore this covers only the archive scan and
+  // plan; otherwise it covers the whole (possibly restoring) open.
+  double ttfq_ms() const { return ttfq_ms_; }
+
+  // True while a lazy restore is still materializing in the background:
+  // reads are served from the archive image, mutations wait.
+  bool restore_pending() const {
+    return !ready_.load(std::memory_order_acquire);
+  }
+
+  // Blocks until the container is open (immediately true outside lazy
+  // recovery).
+  void wait_ready() const;
+
   // --- introspection ------------------------------------------------------
 
   std::string stats_text() const;
-  bool recovered() const { return store_->last_recovery() !=
-                                  RecoverySource::kFresh; }
-  RecoverySource last_recovery() const { return store_->last_recovery(); }
-  StateStore& store() { return *store_; }
+  bool recovered() const;
+  // Reports kArchive for the whole lifetime of a lazily-recovered
+  // service, even though the eventual container open (of the file the
+  // background finish built) is a local one.
+  RecoverySource last_recovery() const;
+  StateStore& store();  // blocks on ready_ during a lazy restore
 
   // Name of the marker file recording which recovery level produced the
   // current state (written into cfg.dir at open; read by crpm_inspect kvd).
@@ -133,14 +179,38 @@ class KvService {
  private:
   using Map = PHashMap<uint64_t, KvVal, CrpmRefPolicy>;
 
+  struct LazyState;  // LazyRestorer + read-only map over its image
+
   void ckpt_loop();
   // One capture + commit cycle; no-op when nothing is dirty.
   void capture_once();
+  // Builds StateStore + policy + map and wires callbacks/scrubber (the
+  // heavyweight part of construction; deferred to the background thread
+  // during a lazy restore).
+  void open_store();
+  // Background completion of a lazy restore: materialize, build the
+  // container file, open_store(), flip ready_.
+  void finish_restore();
+  void start_scrubber();
+  void write_marker(const char* name);
 
   Config cfg_;
   std::unique_ptr<StateStore> store_;
   std::unique_ptr<CrpmRefPolicy> policy_;
   std::unique_ptr<Map> map_;
+
+  std::unique_ptr<LazyState> lazy_;
+  std::unique_ptr<scrub::Scrubber> scrubber_;
+  // False only between a lazy constructor return and the background
+  // finish. Readers sample it once per operation: a stale false routes
+  // the read to the (immutable, still-mapped) archive image, which is
+  // linearizable — the first post-restore mutation cannot have been acked
+  // before that read began.
+  std::atomic<bool> ready_{false};
+  mutable std::mutex ready_mu_;
+  mutable std::condition_variable ready_cv_;
+  std::thread finish_thread_;
+  double ttfq_ms_ = 0;
 
   mutable std::mutex write_mu_;         // writers + capture
   mutable std::shared_mutex rw_mu_;     // readers vs writers

@@ -1,0 +1,316 @@
+#include "scrub/scrubber.h"
+
+#include <fcntl.h>
+#include <pthread.h>
+#include <sched.h>
+#include <sys/mman.h>
+#include <sys/resource.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+
+#include "core/layout.h"
+#include "snapshot/archive.h"
+#include "snapshot/restore.h"
+#include "tier/cold.h"
+#include "util/logging.h"
+
+namespace crpm::scrub {
+
+namespace {
+
+uint64_t thread_cpu_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+void step(const char* name) { crpm::snapshot::detail::restore_step(name); }
+
+}  // namespace
+
+Scrubber::Scrubber(ScrubOptions opt) : opt_(std::move(opt)) {}
+
+Scrubber::~Scrubber() { stop(); }
+
+void Scrubber::scrub_archive(const std::string& path, ScrubReport* report) {
+  snapshot::ArchiveReader reader(path);
+  if (!reader.ok()) {
+    report->findings.push_back(
+        {path, "not a valid snapshot archive (header corrupt or torn)"});
+    return;
+  }
+  for (const auto& info : reader.scan().epochs) {
+    ++report->frames_checked;
+    report->bytes_checked += info.frame_bytes;
+    if (!info.intact) {
+      report->findings.push_back(
+          {path, "epoch " + std::to_string(info.epoch) + " at offset " +
+                     std::to_string(info.file_offset) +
+                     " failed CRC re-verification"});
+    }
+  }
+  // A truncated tail is the normal shape of an append in flight (or of the
+  // crash the archive exists to survive) — restore already falls back past
+  // it, so it is not damage.
+}
+
+void Scrubber::scrub_container(ScrubReport* report) {
+  const std::string& path = opt_.container_path;
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return;
+  }
+  const auto size = static_cast<size_t>(st.st_size);
+  if (size < sizeof(MetaHeader)) {
+    report->findings.push_back({path, "file too small to hold a container"});
+    ::close(fd);
+    return;
+  }
+  // MAP_SHARED: a live container's updates are visible, which is exactly
+  // what the epoch-stability recheck below is for.
+  void* mem = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (mem == MAP_FAILED) return;
+  const auto* h = static_cast<const MetaHeader*>(mem);
+  const auto* base = static_cast<const uint8_t*>(mem);
+
+  bool structural_ok = true;
+  auto fail = [&](const std::string& detail) {
+    report->findings.push_back({path, detail});
+    structural_ok = false;
+  };
+  if (h->magic != kMetaMagic) fail("bad magic: not a crpm container");
+  if (structural_ok && h->version != kMetaVersion) {
+    fail("unsupported metadata version " + std::to_string(h->version));
+  }
+  if (structural_ok && h->initialized == 0) {
+    fail("container is not initialized (torn format)");
+  }
+  if (structural_ok &&
+      (h->meta_replicas == 0 ||
+       h->meta_replicas > kMaxInflightEpochs + 1)) {
+    fail("implausible meta_replicas " + std::to_string(h->meta_replicas));
+  }
+  if (structural_ok) {
+    const uint64_t need =
+        h->backup_region_offset + h->nr_backup_segs * h->segment_size;
+    if (size < need) {
+      fail("file truncated: geometry needs " + std::to_string(need) +
+           " bytes");
+    }
+  }
+  if (!structural_ok) {
+    ::munmap(mem, size);
+    return;
+  }
+
+  // The live epoch can move between reads; audit the active metadata
+  // replica and keep the findings only if the epoch held still.
+  const volatile uint64_t* epoch_word = &h->committed_epoch;
+  bool stable = false;
+  for (int attempt = 0; attempt < 3 && !stable; ++attempt) {
+    const uint64_t e0 = *epoch_word;
+    const uint64_t active = e0 % h->meta_replicas;
+    std::vector<ScrubFinding> pending;
+
+    const uint8_t* states =
+        base + h->seg_state_offset + active * h->nr_main_segs;
+    const auto* b2m =
+        reinterpret_cast<const uint32_t*>(base + h->backup_to_main_offset);
+    const auto* roots =
+        reinterpret_cast<const uint64_t*>(base + h->roots_offset) +
+        active * kNumRoots;
+
+    for (uint64_t s = 0; s < h->nr_main_segs; ++s) {
+      if (states[s] > kSegBackup) {
+        pending.push_back({path, "seg_state[" + std::to_string(active) +
+                                     "][" + std::to_string(s) + "] = " +
+                                     std::to_string(states[s]) +
+                                     " (invalid)"});
+      }
+    }
+    std::vector<uint32_t> pair_of_main(h->nr_main_segs, kNoPair);
+    for (uint64_t b = 0; b < h->nr_backup_segs; ++b) {
+      const uint32_t m = b2m[b];
+      if (m == kNoPair) continue;
+      if (m >= h->nr_main_segs) {
+        pending.push_back({path, "backup " + std::to_string(b) +
+                                     " paired to out-of-range main " +
+                                     std::to_string(m)});
+        continue;
+      }
+      if (pair_of_main[m] != kNoPair) {
+        pending.push_back({path, "main segment " + std::to_string(m) +
+                                     " paired to two backups"});
+      }
+      pair_of_main[m] = static_cast<uint32_t>(b);
+    }
+    for (uint64_t s = 0; s < h->nr_main_segs; ++s) {
+      if (states[s] == kSegBackup && pair_of_main[s] == kNoPair) {
+        pending.push_back({path, "segment " + std::to_string(s) +
+                                     " is SS_Backup but has no pairing"});
+      }
+    }
+    const uint64_t region = h->nr_main_segs * h->segment_size;
+    for (uint32_t r = 0; r < kNumRoots; ++r) {
+      if (roots[r] != 0 && roots[r] >= region) {
+        pending.push_back({path, "root[" + std::to_string(r) +
+                                     "] offset out of range"});
+      }
+    }
+    if (*epoch_word == e0) {
+      stable = true;
+      for (auto& f : pending) report->findings.push_back(std::move(f));
+      report->bytes_checked += h->nr_main_segs + h->nr_backup_segs * 4 +
+                               kNumRoots * 8 + sizeof(MetaHeader);
+    }
+  }
+  if (!stable) ++report->skipped;
+  ::munmap(mem, size);
+}
+
+void Scrubber::write_quarantine(const ScrubReport& report) {
+  step("scrub.quarantine");
+  std::map<std::string, std::vector<const ScrubFinding*>> by_object;
+  for (const auto& f : report.findings) by_object[f.object].push_back(&f);
+  for (const auto& [object, findings] : by_object) {
+    const std::string marker = object + ".quarantine";
+    std::FILE* f = std::fopen(marker.c_str(), "w");
+    if (f == nullptr) continue;
+    for (const auto* finding : findings) {
+      std::fprintf(f, "%s\n", finding->detail.c_str());
+    }
+    std::fclose(f);
+    CRPM_LOG_WARN("scrub: quarantined %s (%zu findings)", object.c_str(),
+                  findings.size());
+  }
+}
+
+ScrubReport Scrubber::run_pass() {
+  ScrubReport report;
+  const uint64_t t0 = thread_cpu_ns();
+  if (!opt_.archive_path.empty() &&
+      ::access(opt_.archive_path.c_str(), F_OK) == 0) {
+    scrub_archive(opt_.archive_path, &report);
+    step("scrub.archive");
+    for (const auto& entry :
+         tier::ColdTier::list_for_archive(opt_.archive_path)) {
+      scrub_archive(entry.path, &report);
+    }
+    step("scrub.cold");
+  }
+  if (!opt_.container_path.empty() &&
+      ::access(opt_.container_path.c_str(), F_OK) == 0) {
+    scrub_container(&report);
+    step("scrub.container");
+  }
+  if (opt_.quarantine && report.damaged()) write_quarantine(report);
+  passes_.fetch_add(1, std::memory_order_relaxed);
+  if (opt_.stats != nullptr) {
+    opt_.stats->add_scrub_pass(report.frames_checked, report.bytes_checked,
+                               report.findings.size(), report.skipped,
+                               thread_cpu_ns() - t0);
+  }
+  step("scrub.pass");
+  return report;
+}
+
+void Scrubber::worker() {
+  // Scrubbing is strictly background work: same SCHED_IDLE discipline as
+  // the archive writer, so a pass can never preempt a commit.
+  sched_param sp{};
+  if (::pthread_setschedparam(::pthread_self(), SCHED_IDLE, &sp) != 0) {
+    ::setpriority(PRIO_PROCESS, static_cast<id_t>(::syscall(SYS_gettid)),
+                  10);
+  }
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait_for(lk, std::chrono::milliseconds(opt_.interval_ms),
+                   [&] { return stop_requested_; });
+      if (stop_requested_) return;
+    }
+    run_pass();
+  }
+}
+
+void Scrubber::start() {
+  if (thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { worker(); });
+}
+
+void Scrubber::stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+ScrubReport scrub_directory(const std::string& dir, bool quarantine) {
+  ScrubReport total;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<std::string> containers, archives, markers;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string p = entry.path().string();
+    if (p.size() > 4 && p.compare(p.size() - 4, 4, ".ctr") == 0) {
+      containers.push_back(p);
+    } else if (p.size() > 5 && p.compare(p.size() - 5, 5, ".snap") == 0) {
+      archives.push_back(p);
+    } else if (p.size() > 11 &&
+               p.compare(p.size() - 11, 11, ".quarantine") == 0) {
+      markers.push_back(p);
+    }
+  }
+  std::sort(containers.begin(), containers.end());
+  std::sort(archives.begin(), archives.end());
+  std::sort(markers.begin(), markers.end());
+  auto accumulate = [&](ScrubOptions opt) {
+    opt.quarantine = quarantine;
+    Scrubber s(std::move(opt));
+    ScrubReport r = s.run_pass();
+    total.frames_checked += r.frames_checked;
+    total.bytes_checked += r.bytes_checked;
+    total.skipped += r.skipped;
+    for (auto& f : r.findings) total.findings.push_back(std::move(f));
+  };
+  for (const auto& c : containers) {
+    ScrubOptions opt;
+    opt.container_path = c;
+    accumulate(std::move(opt));
+  }
+  for (const auto& a : archives) {
+    ScrubOptions opt;
+    opt.archive_path = a;  // cold tier rides along
+    accumulate(std::move(opt));
+  }
+  // A pre-existing marker means an earlier pass saw damage; keep it
+  // visible even if the damaged frames have since been compacted away.
+  for (const auto& m : markers) {
+    total.findings.push_back({m, "pre-existing quarantine marker"});
+  }
+  return total;
+}
+
+}  // namespace crpm::scrub

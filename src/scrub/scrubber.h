@@ -1,0 +1,103 @@
+// Online scrubber: background verification of everything recovery would
+// later trust — archive frame CRCs, cold-tier bases, and the container's
+// persistent metadata invariants (segment states, backup pairings, roots).
+//
+// The point (after Huang et al.'s HPC-persistence argument) is to find bit
+// rot while the replica that could mask it still exists, instead of at
+// restore time when it is the last copy. A pass is read-only except for
+// quarantine markers: damage to object X is recorded in `X.quarantine` so
+// operators and `crpm_inspect scrub` see it even after a restart.
+//
+// Online discipline:
+//   * The background thread runs SCHED_IDLE (the archive writer's
+//     convention) so scrubbing only ever rides spare cycles.
+//   * A torn tail on a live archive is the normal shape of an append in
+//     flight, not damage; only a frame whose header committed but whose
+//     body fails CRC is reported.
+//   * Container metadata is checked against the active replica
+//     (committed_epoch % meta_replicas) with an epoch-stability recheck:
+//     if a commit lands mid-read the pass discards its container findings
+//     and counts a skip, retrying next interval.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/crpm_stats.h"
+
+namespace crpm::scrub {
+
+struct ScrubFinding {
+  std::string object;  // file the damage lives in
+  std::string detail;
+};
+
+struct ScrubReport {
+  uint64_t frames_checked = 0;
+  uint64_t bytes_checked = 0;
+  uint64_t skipped = 0;  // checks abandoned: epoch moved mid-read
+  std::vector<ScrubFinding> findings;
+  bool damaged() const { return !findings.empty(); }
+};
+
+struct ScrubOptions {
+  // Hot archive (and its cold tier) to re-verify; empty skips.
+  std::string archive_path;
+  // Container file whose persistent metadata to audit; empty skips. Safe
+  // on a live container: the mapping is read-only and epoch-racy reads
+  // are retried, never reported.
+  std::string container_path;
+  // Scrub counters are published here after every pass (may be null).
+  crpm::CrpmStats* stats = nullptr;
+  // Background pass cadence for start().
+  uint64_t interval_ms = 1000;
+  // Write `<object>.quarantine` describing damage when found.
+  bool quarantine = true;
+};
+
+class Scrubber {
+ public:
+  explicit Scrubber(ScrubOptions opt);
+  ~Scrubber();
+
+  Scrubber(const Scrubber&) = delete;
+  Scrubber& operator=(const Scrubber&) = delete;
+
+  // One synchronous verification pass (also what the background thread
+  // runs). Publishes stats and writes quarantine markers per options.
+  ScrubReport run_pass();
+
+  // Background SCHED_IDLE scrub thread, one pass per interval_ms.
+  void start();
+  void stop();
+
+  uint64_t passes() const {
+    return passes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void worker();
+  void scrub_archive(const std::string& path, ScrubReport* report);
+  void scrub_container(ScrubReport* report);
+  void write_quarantine(const ScrubReport& report);
+
+  ScrubOptions opt_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::atomic<uint64_t> passes_{0};
+};
+
+// Offline sweep for `crpm_inspect scrub <dir>`: scrubs every container
+// (*.ctr) and archive (*.snap, including cold tiers) under `dir`, writing
+// quarantine markers for damage. Also surfaces pre-existing `*.quarantine`
+// markers as findings, so damage stays visible across re-runs.
+ScrubReport scrub_directory(const std::string& dir, bool quarantine);
+
+}  // namespace crpm::scrub

@@ -2,10 +2,14 @@
 
 #include <fcntl.h>
 #include <sys/stat.h>
+#include <time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 
 #include "tier/coded.h"
 #include "util/logging.h"
@@ -13,6 +17,13 @@
 namespace crpm::snapshot {
 
 namespace {
+
+uint64_t thread_cpu_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
 
 bool pread_exact(int fd, void* buf, size_t len, uint64_t off) {
   auto* p = static_cast<uint8_t*>(buf);
@@ -249,9 +260,120 @@ bool ArchiveReader::apply_records(const uint8_t* recs, uint64_t block_count,
   return true;
 }
 
-bool ArchiveReader::apply_frame(const EpochInfo& info,
-                                std::vector<uint8_t>* image,
-                                std::string* err) const {
+bool ArchiveReader::apply_records_parallel(
+    const uint8_t* recs, uint64_t block_count, uint32_t workers,
+    std::vector<uint8_t>* image, std::string* err, uint64_t* cpu_total,
+    uint64_t* cpu_critical) const {
+  const uint64_t bs = scan_.header.block_size;
+  const uint64_t seg = scan_.header.segment_size;
+  const uint64_t rec = record_bytes(bs);
+  // Partition records by owning segment, segments round-robin over the
+  // workers — the commit_shards layout applied to the read path. Block
+  // indices are unique within a frame, so shard applies never alias.
+  std::vector<std::vector<uint32_t>> shards(workers);
+  for (uint64_t i = 0; i < block_count; ++i) {
+    uint64_t idx = 0;
+    std::memcpy(&idx, recs + i * rec, 8);
+    shards[(idx * bs / seg) % workers].push_back(static_cast<uint32_t>(i));
+  }
+  std::vector<std::atomic<uint32_t>> cursors(workers);
+  for (auto& c : cursors) c.store(0, std::memory_order_relaxed);
+  std::atomic<int> bad_shard{-1};
+  // Apply CPU is accounted per SHARD, not per thread: stealing means one
+  // thread may drain several shards (on a single-core host the first
+  // runner drains them all), but the max per-shard CPU still reports how
+  // evenly the sharding spread the work — the same convention as the
+  // commit pipeline's flush accounting, meaningful on any core count.
+  std::vector<std::atomic<uint64_t>> shard_ns(workers);
+  for (auto& ns : shard_ns) ns.store(0, std::memory_order_relaxed);
+  // Records are small (a block plus header), so claiming them one at a
+  // time turns the shared cursors into an atomic-RMW hot spot; claiming
+  // batches keeps the contention negligible while stealing still balances
+  // at batch granularity.
+  constexpr uint32_t kClaimBatch = 128;
+  auto sweep = [&](uint32_t self) {
+    // Own shard first, then steal from lagging shards.
+    for (uint32_t pass = 0; pass < workers; ++pass) {
+      const uint32_t s = (self + pass) % workers;
+      const uint32_t shard_size = static_cast<uint32_t>(shards[s].size());
+      for (;;) {
+        if (bad_shard.load(std::memory_order_relaxed) >= 0) break;
+        const uint32_t at =
+            cursors[s].fetch_add(kClaimBatch, std::memory_order_relaxed);
+        if (at >= shard_size) break;
+        const uint32_t end = std::min(at + kClaimBatch, shard_size);
+        const uint64_t t0 = thread_cpu_ns();
+        for (uint32_t j = at; j < end; ++j) {
+          const uint8_t* p =
+              recs + static_cast<uint64_t>(shards[s][j]) * rec;
+          uint64_t idx = 0;
+          std::memcpy(&idx, p, 8);
+          uint32_t stored = 0;
+          std::memcpy(&stored, p + rec - 4, 4);
+          if (stored != crc32(p, rec - 4) ||
+              (idx + 1) * bs > image->size()) {
+            int expect = -1;
+            bad_shard.compare_exchange_strong(expect, static_cast<int>(s));
+            break;
+          }
+          std::memcpy(image->data() + idx * bs, p + 8, bs);
+        }
+        shard_ns[s].fetch_add(thread_cpu_ns() - t0,
+                              std::memory_order_relaxed);
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (uint32_t w = 1; w < workers; ++w) pool.emplace_back(sweep, w);
+  sweep(0);
+  for (auto& t : pool) t.join();
+  uint64_t max_ns = 0;
+  for (auto& ns : shard_ns) {
+    const uint64_t v = ns.load(std::memory_order_relaxed);
+    *cpu_total += v;
+    max_ns = std::max(max_ns, v);
+  }
+  *cpu_critical += max_ns;
+  const int bad = bad_shard.load(std::memory_order_relaxed);
+  if (bad >= 0) {
+    if (err) {
+      *err = "record CRC mismatch while applying epoch frame (restore "
+             "shard " +
+             std::to_string(bad) + " of " + std::to_string(workers) + ")";
+    }
+    return false;
+  }
+  return true;
+}
+
+bool ArchiveReader::apply_span(const uint8_t* recs, uint64_t block_count,
+                               uint32_t workers, std::vector<uint8_t>* image,
+                               std::string* err, RestorePerf* perf) const {
+  uint64_t cpu_total = 0;
+  uint64_t cpu_critical = 0;
+  bool ok;
+  if (workers <= 1 || block_count == 0) {
+    const uint64_t t0 = thread_cpu_ns();
+    ok = apply_records(recs, block_count, image, err);
+    cpu_total = cpu_critical = thread_cpu_ns() - t0;
+  } else {
+    ok = apply_records_parallel(recs, block_count, workers, image, err,
+                                &cpu_total, &cpu_critical);
+  }
+  if (perf != nullptr) {
+    perf->frames += 1;
+    perf->records += block_count;
+    perf->apply_ns_total += cpu_total;
+    perf->apply_ns_critical += cpu_critical;
+  }
+  return ok;
+}
+
+bool ArchiveReader::load_records(const EpochInfo& info,
+                                 std::vector<uint8_t>* recs,
+                                 std::string* err) const {
+  const uint64_t rec = record_bytes(scan_.header.block_size);
   if (is_coded_kind(info.kind)) {
     std::vector<uint8_t> buf(info.frame_bytes);
     if (!pread_exact(fd_, buf.data(), buf.size(), info.file_offset)) {
@@ -263,22 +385,31 @@ bool ArchiveReader::apply_frame(const EpochInfo& info,
       if (err) *err = "coded frame failed CRC verification or decode";
       return false;
     }
-    return apply_records(plain.data() + sizeof(FrameHeader),
-                         info.block_count, image, err);
+    recs->assign(plain.begin() + sizeof(FrameHeader),
+                 plain.begin() + sizeof(FrameHeader) +
+                     static_cast<ptrdiff_t>(info.block_count * rec));
+    return true;
   }
-  const uint64_t rec = record_bytes(scan_.header.block_size);
-  std::vector<uint8_t> buf(info.block_count * rec);
-  if (!pread_exact(fd_, buf.data(), buf.size(),
+  recs->resize(info.block_count * rec);
+  if (!pread_exact(fd_, recs->data(), recs->size(),
                    info.file_offset + sizeof(FrameHeader))) {
     if (err) *err = "archive read failed while applying epoch frame";
     return false;
   }
-  return apply_records(buf.data(), info.block_count, image, err);
+  return true;
 }
 
-bool ArchiveReader::state_at(uint64_t epoch, std::vector<uint8_t>* image,
-                             std::array<uint64_t, kNumRoots>* roots,
-                             std::string* err) const {
+bool ArchiveReader::frame_roots(const EpochInfo& info,
+                                std::array<uint64_t, kNumRoots>* roots) const {
+  FrameHeader fh;
+  if (!pread_exact(fd_, &fh, sizeof(fh), info.file_offset)) return false;
+  std::memcpy(roots->data(), fh.roots, sizeof(fh.roots));
+  return true;
+}
+
+bool ArchiveReader::chain(uint64_t epoch, std::vector<EpochInfo>* frames,
+                          std::string* err) const {
+  frames->clear();
   if (!scan_.valid) {
     if (err) *err = "not a valid snapshot archive";
     return false;
@@ -292,10 +423,52 @@ bool ArchiveReader::state_at(uint64_t epoch, std::vector<uint8_t>* image,
     }
     return false;
   }
+  const int target = index_of(epoch);
+  for (int j = start; j <= target; ++j) frames->push_back(scan_.epochs[j]);
+  return true;
+}
+
+bool ArchiveReader::apply_frame(const EpochInfo& info,
+                                std::vector<uint8_t>* image,
+                                std::string* err, uint32_t workers,
+                                RestorePerf* perf) const {
+  std::vector<uint8_t> recs;
+  if (!load_records(info, &recs, err)) return false;
+  return apply_span(recs.data(), info.block_count, workers, image, err,
+                    perf);
+}
+
+bool ArchiveReader::state_at(uint64_t epoch, std::vector<uint8_t>* image,
+                             std::array<uint64_t, kNumRoots>* roots,
+                             std::string* err) const {
+  return state_at(epoch, image, roots, err, 1, nullptr);
+}
+
+bool ArchiveReader::state_at(uint64_t epoch, std::vector<uint8_t>* image,
+                             std::array<uint64_t, kNumRoots>* roots,
+                             std::string* err, uint32_t workers,
+                             RestorePerf* perf) const {
+  if (!scan_.valid) {
+    if (err) *err = "not a valid snapshot archive";
+    return false;
+  }
+  int start = chain_start(epoch);
+  if (start < 0) {
+    if (err) {
+      *err = "epoch " + std::to_string(epoch) +
+             " is not restorable from this archive (missing, corrupt, or "
+             "its delta chain is broken)";
+    }
+    return false;
+  }
+  if (workers == 0) workers = 1;
+  if (perf != nullptr) perf->workers = workers;
   image->assign(scan_.header.region_size, 0);
   int target = index_of(epoch);
   for (int j = start; j <= target; ++j) {
-    if (!apply_frame(scan_.epochs[j], image, err)) return false;
+    if (!apply_frame(scan_.epochs[j], image, err, workers, perf)) {
+      return false;
+    }
   }
   if (roots != nullptr) {
     FrameHeader fh;

@@ -43,6 +43,24 @@ struct ScanResult {
   std::vector<std::string> warnings;
 };
 
+// Thread-CPU accounting for the record apply inside state_at().
+// `apply_ns_total` sums the CLOCK_THREAD_CPUTIME_ID time spent applying
+// records; `apply_ns_critical` max-reduces the per-SHARD apply time of
+// each frame (the critical path of the sharding), mirroring the async
+// commit pipeline's shard_flush_ns convention. Attributing the time to
+// the shard rather than the applying thread keeps the ratio meaningful
+// on any core count: work stealing lets one thread drain every shard on
+// a loaded or single-core host, but the shards themselves still carry an
+// even split, so total/critical still reads ~workers when the sharding
+// spreads the work and collapses to ~1 when it stops doing so.
+struct RestorePerf {
+  uint32_t workers = 1;
+  uint64_t frames = 0;
+  uint64_t records = 0;
+  uint64_t apply_ns_total = 0;
+  uint64_t apply_ns_critical = 0;
+};
+
 class ArchiveReader {
  public:
   explicit ArchiveReader(const std::string& path);
@@ -70,6 +88,32 @@ class ArchiveReader {
                 std::array<uint64_t, kNumRoots>* roots,
                 std::string* err) const;
 
+  // Parallel variant: `workers` threads shard the record apply by owning
+  // segment (seg % workers) with work stealing, each worker re-verifying
+  // the CRC of every record it applies, so corruption is pinned to the
+  // shard that owns it. Block indices are unique within a frame, so the
+  // sharded memcpys never alias. workers <= 1 is the serial path. `perf`
+  // (may be null) accumulates thread-CPU apply cost for benchmarking.
+  bool state_at(uint64_t epoch, std::vector<uint8_t>* image,
+                std::array<uint64_t, kNumRoots>* roots, std::string* err,
+                uint32_t workers, RestorePerf* perf) const;
+
+  // The intact frame chain reconstructing `epoch`, base (or implicit
+  // all-zero start) through target, in file order. False with `err` when
+  // the epoch is not restorable. Lets callers stage their own apply (the
+  // lazy restorer materializes per-chunk instead of front-to-back).
+  bool chain(uint64_t epoch, std::vector<EpochInfo>* frames,
+             std::string* err) const;
+
+  // Loads frame `info`'s record region (decoding coded frames first) into
+  // `recs`: block_count records of record_bytes(block_size) bytes each.
+  bool load_records(const EpochInfo& info, std::vector<uint8_t>* recs,
+                    std::string* err) const;
+
+  // Reads the committed roots stored in frame `info`'s header.
+  bool frame_roots(const EpochInfo& info,
+                   std::array<uint64_t, kNumRoots>* roots) const;
+
  private:
   void run_scan(const std::string& path);
   // Index into scan_.epochs of the chain start for `epoch`, or -1.
@@ -79,10 +123,19 @@ class ArchiveReader {
   // first); returns false on CRC or I/O failure (the scan may have raced a
   // concurrent writer's truncation).
   bool apply_frame(const EpochInfo& info, std::vector<uint8_t>* image,
-                   std::string* err) const;
-  // Record-region apply shared by the plain and decoded paths.
+                   std::string* err, uint32_t workers,
+                   RestorePerf* perf) const;
+  // Record-region apply shared by the plain and decoded paths; dispatches
+  // to the serial or sharded implementation and accounts `perf`.
+  bool apply_span(const uint8_t* recs, uint64_t block_count,
+                  uint32_t workers, std::vector<uint8_t>* image,
+                  std::string* err, RestorePerf* perf) const;
   bool apply_records(const uint8_t* recs, uint64_t block_count,
                      std::vector<uint8_t>* image, std::string* err) const;
+  bool apply_records_parallel(const uint8_t* recs, uint64_t block_count,
+                              uint32_t workers, std::vector<uint8_t>* image,
+                              std::string* err, uint64_t* cpu_total,
+                              uint64_t* cpu_critical) const;
 
   int fd_ = -1;
   ScanResult scan_;

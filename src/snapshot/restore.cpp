@@ -1,9 +1,12 @@
 #include "snapshot/restore.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
-#include "snapshot/archive.h"
 #include "tier/cold.h"
 #include "util/logging.h"
 
@@ -11,19 +14,49 @@ namespace crpm::snapshot {
 
 namespace {
 
+RestoreStepHook g_step_hook;
+
+void step(const char* name) {
+  if (g_step_hook) g_step_hook(name);
+}
+
+uint32_t clamped_workers(const CrpmOptions& opt) {
+  return opt.restore_workers > kMaxRestoreWorkers ? kMaxRestoreWorkers
+                                                  : opt.restore_workers;
+}
+
+// fsync `path` (and optionally its byte contents via the fd) so a rename
+// that follows is durable in the right order.
+bool fsync_path(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+std::string dirname_of(const std::string& path) {
+  auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
 // Cold-tier fallback: serve `epoch` (or the newest cold base when asked
 // for kLatestEpoch) from `<archive>.cold/`. Each cold file is a standalone
 // one-frame archive, so the regular reader handles it; only exact fold
 // epochs are servable (a cold base carries no deltas to replay forward).
 bool read_cold_state(const std::string& archive_path, uint64_t epoch,
                      uint64_t* chosen, std::vector<uint8_t>* image,
-                     std::array<uint64_t, kNumRoots>* roots) {
+                     std::array<uint64_t, kNumRoots>* roots,
+                     uint32_t workers, RestorePerf* perf) {
   auto entries = tier::ColdTier::list_for_archive(archive_path);
   for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
     if (epoch != Container::kLatestEpoch && it->epoch != epoch) continue;
     ArchiveReader cr(it->path);
     std::string cerr;
-    if (cr.ok() && cr.state_at(it->epoch, image, roots, &cerr)) {
+    if (cr.ok() && cr.state_at(it->epoch, image, roots, &cerr, workers,
+                               perf)) {
       *chosen = it->epoch;
       return true;
     }
@@ -41,6 +74,7 @@ RestoreResult restore_impl(const std::string& archive_path, uint64_t epoch,
   uint64_t target = epoch;
   bool loaded = false;
   std::string hot_error;
+  const uint32_t workers = clamped_workers(opt);
   {
     ArchiveReader reader(archive_path);
     r.warnings = reader.scan().warnings;
@@ -64,8 +98,8 @@ RestoreResult restore_impl(const std::string& archive_path, uint64_t epoch,
           hot_error = "archive holds no restorable epoch";
         }
       }
-      if (have_target &&
-          reader.state_at(target, &image, &roots, &hot_error)) {
+      if (have_target && reader.state_at(target, &image, &roots, &hot_error,
+                                         workers, &r.perf)) {
         loaded = true;
       }
     }
@@ -73,7 +107,8 @@ RestoreResult restore_impl(const std::string& archive_path, uint64_t epoch,
   if (!loaded) {
     // The hot archive cannot serve this epoch (compaction folded it away,
     // a corrupt chain, or the file is gone) — try the cold tier.
-    if (read_cold_state(archive_path, epoch, &target, &image, &roots)) {
+    if (read_cold_state(archive_path, epoch, &target, &image, &roots,
+                        workers, &r.perf)) {
       loaded = true;
       r.warnings.push_back("epoch " + std::to_string(target) +
                            " served from the cold tier");
@@ -83,6 +118,7 @@ RestoreResult restore_impl(const std::string& archive_path, uint64_t epoch,
     r.error = hot_error;
     return r;
   }
+  step("restore.image");
 
   CrpmOptions ropt = opt;
   ropt.thread_count = 1;       // restore is single-threaded
@@ -109,6 +145,7 @@ RestoreResult restore_impl(const std::string& archive_path, uint64_t epoch,
   std::memcpy(c->data(), image.data(), image.size());
   for (uint32_t s = 0; s < kNumRoots; ++s) c->set_root(s, roots[s]);
   c->checkpoint();
+  step("restore.container");
 
   r.container = std::move(c);
   r.epoch = target;
@@ -116,6 +153,71 @@ RestoreResult restore_impl(const std::string& archive_path, uint64_t epoch,
 }
 
 }  // namespace
+
+void set_restore_step_hook(RestoreStepHook hook) {
+  g_step_hook = std::move(hook);
+}
+
+namespace detail {
+void restore_step(const char* name) { step(name); }
+}  // namespace detail
+
+RestoreResult build_container_file(
+    const uint8_t* image, uint64_t size,
+    const std::array<uint64_t, kNumRoots>& roots, uint64_t epoch,
+    const std::string& container_path, const CrpmOptions& opt) {
+  RestoreResult r;
+  r.epoch = epoch;
+  CrpmOptions ropt = opt;
+  ropt.thread_count = 1;
+  ropt.archive_path.clear();
+  if (Geometry(ropt).main_region_size() != size) {
+    r.error = "container options describe a " +
+              std::to_string(Geometry(ropt).main_region_size()) +
+              "-byte main region but the restored image holds " +
+              std::to_string(size) + " bytes";
+    return r;
+  }
+  const std::string tmp = container_path + ".restoring";
+  std::remove(tmp.c_str());
+  {
+    auto c = Container::open(
+        std::make_unique<FileNvmDevice>(tmp,
+                                        Container::required_device_size(ropt)),
+        ropt);
+    if (!c->was_fresh()) {
+      r.error = "restore target device is not pristine";
+      std::remove(tmp.c_str());
+      return r;
+    }
+    c->annotate(c->data(), size);
+    std::memcpy(c->data(), image, size);
+    for (uint32_t s = 0; s < kNumRoots; ++s) c->set_root(s, roots[s]);
+    c->checkpoint();
+  }
+  step("restore.tmp");
+  if (!fsync_path(tmp)) {
+    r.error = "fsync of restored container failed: " +
+              std::string(std::strerror(errno));
+    std::remove(tmp.c_str());
+    return r;
+  }
+  step("restore.synced");
+  if (std::rename(tmp.c_str(), container_path.c_str()) != 0) {
+    r.error = "rename of restored container failed: " +
+              std::string(std::strerror(errno));
+    std::remove(tmp.c_str());
+    return r;
+  }
+  fsync_path(dirname_of(container_path));
+  step("restore.renamed");
+  r.container = Container::open_file(container_path, ropt);
+  if (r.container->was_fresh()) {
+    r.container.reset();
+    r.error = "restored container failed to reattach after rename";
+  }
+  return r;
+}
 
 RestoreResult restore(const std::string& archive_path, uint64_t epoch,
                       NvmDevice* dev, const CrpmOptions& opt) {
@@ -131,15 +233,57 @@ RestoreResult restore(const std::string& archive_path, uint64_t epoch,
 RestoreResult restore_file(const std::string& archive_path, uint64_t epoch,
                            const std::string& container_path,
                            const CrpmOptions& opt) {
-  std::remove(container_path.c_str());
+  // Materialize into a side file first: a crash anywhere before the final
+  // rename leaves `container_path` untouched (old bytes or absent), so a
+  // reattach never trusts a half-formatted restore target.
+  const std::string tmp = container_path + ".restoring";
+  std::remove(tmp.c_str());
   auto dev = std::make_unique<FileNvmDevice>(
-      container_path, Container::required_device_size(opt));
-  return restore(archive_path, epoch, std::move(dev), opt);
+      tmp, Container::required_device_size(opt));
+  RestoreResult r = restore(archive_path, epoch, std::move(dev), opt);
+  if (r.container == nullptr) {
+    std::remove(tmp.c_str());
+    return r;
+  }
+  step("restore.tmp");
+  // Close the container so its mapping is flushed, then make the side
+  // file durable before renaming it into place (cold-tier discipline:
+  // fsync file, rename, fsync directory).
+  r.container.reset();
+  if (!fsync_path(tmp)) {
+    r.error = "fsync of restored container failed: " +
+              std::string(std::strerror(errno));
+    std::remove(tmp.c_str());
+    return r;
+  }
+  step("restore.synced");
+  if (std::rename(tmp.c_str(), container_path.c_str()) != 0) {
+    r.error = "rename of restored container failed: " +
+              std::string(std::strerror(errno));
+    std::remove(tmp.c_str());
+    return r;
+  }
+  fsync_path(dirname_of(container_path));
+  step("restore.renamed");
+
+  // Reopen at the final path with the same reduced options restore used,
+  // so callers still receive a live container.
+  CrpmOptions ropt = opt;
+  ropt.thread_count = 1;
+  ropt.archive_path.clear();
+  r.container = Container::open_file(container_path, ropt);
+  if (r.container->was_fresh()) {
+    r.container.reset();
+    r.error = "restored container failed to reattach after rename";
+  }
+  return r;
 }
 
 bool read_state(const std::string& archive_path, uint64_t epoch,
                 std::vector<uint8_t>* image,
-                std::array<uint64_t, kNumRoots>* roots, std::string* err) {
+                std::array<uint64_t, kNumRoots>* roots, std::string* err,
+                uint32_t workers, RestorePerf* perf) {
+  if (workers > kMaxRestoreWorkers) workers = kMaxRestoreWorkers;
   std::string hot_error;
   {
     ArchiveReader reader(archive_path);
@@ -150,15 +294,17 @@ bool read_state(const std::string& archive_path, uint64_t epoch,
       if (target == Container::kLatestEpoch &&
           !reader.latest_restorable(&target)) {
         hot_error = "archive holds no restorable epoch";
-      } else if (reader.state_at(target, image, roots, &hot_error)) {
+      } else if (reader.state_at(target, image, roots, &hot_error, workers,
+                                 perf)) {
         return true;
       }
     }
   }
   std::array<uint64_t, kNumRoots> cold_roots{};
   uint64_t chosen = 0;
-  if (read_cold_state(archive_path, epoch, &chosen,
-                      image, roots != nullptr ? roots : &cold_roots)) {
+  if (read_cold_state(archive_path, epoch, &chosen, image,
+                      roots != nullptr ? roots : &cold_roots, workers,
+                      perf)) {
     return true;
   }
   if (err) *err = hot_error;

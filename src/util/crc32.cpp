@@ -1,18 +1,30 @@
 #include "util/crc32.h"
 
+#include <cstring>
+
 namespace crpm {
 
 namespace {
 
+// Slice-by-8: eight derived tables let the hot loop fold 8 input bytes
+// per iteration instead of one. Table 0 is the classic bytewise table
+// (also used for the sub-8-byte head/tail), table s maps a byte that is
+// s positions deeper in the window. Same polynomial, same results as the
+// bytewise loop — only the traversal order changes.
 struct Crc32Table {
-  uint32_t t[256];
+  uint32_t t[8][256];
   Crc32Table() {
     for (uint32_t i = 0; i < 256; ++i) {
       uint32_t c = i;
       for (int k = 0; k < 8; ++k) {
         c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
       }
-      t[i] = c;
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (int s = 1; s < 8; ++s) {
+        t[s][i] = (t[s - 1][i] >> 8) ^ t[0][t[s - 1][i] & 0xFF];
+      }
     }
   }
 };
@@ -28,8 +40,23 @@ uint32_t crc32(const void* data, size_t len, uint32_t seed) {
   const auto& t = table().t;
   uint32_t c = seed ^ 0xFFFFFFFFu;
   const auto* p = static_cast<const uint8_t*>(data);
+  // The 8-byte fold loads two little-endian words; a big-endian target
+  // would need byte swaps here.
+  static_assert(__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__,
+                "slice-by-8 fold assumes little-endian loads");
+  while (len >= 8) {
+    uint32_t lo, hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^ t[5][(lo >> 16) & 0xFF] ^
+        t[4][lo >> 24] ^ t[3][hi & 0xFF] ^ t[2][(hi >> 8) & 0xFF] ^
+        t[1][(hi >> 16) & 0xFF] ^ t[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
   for (size_t i = 0; i < len; ++i) {
-    c = t[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+    c = t[0][(c ^ p[i]) & 0xFF] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }

@@ -226,5 +226,117 @@ TEST(KvdCrash, ArchiveRecoversAfterContainerLoss) {
   fs::remove(log);
 }
 
+// The lazy-restore recovery level: SIGKILL the server under durable load,
+// prove a plain restart loses nothing, then lose the container file and
+// recover with --lazy-restore. GETs issued while the restore is still
+// materializing in the background (a per-chunk throttle holds it open)
+// must already return every acked write.
+TEST(KvdCrash, LazyRestoreServesCorrectGetsBeforeRestoreCompletes) {
+  fs::path dir = fs::temp_directory_path() / "crpm_kvd_crash_lazy";
+  fs::path port_file = dir.string() + ".port";
+  fs::path log = dir.string() + ".log";
+  fs::remove_all(dir);
+  fs::remove(log);
+  fs::create_directories(dir);
+  const std::vector<std::string> base_args = {"--capacity-mb", "32",
+                                              "--archive"};
+
+  AckedMap acked;
+  std::mutex mu;
+  // Round 1: SIGKILL under durable load.
+  {
+    auto args = base_args;
+    args.insert(args.end(), {"--interval-ms", "2"});
+    pid_t pid = spawn_server(args, dir, port_file, log);
+    ASSERT_GT(pid, 0);
+    uint16_t port = wait_port(port_file);
+    ASSERT_NE(port, 0) << "server never came up (see " << log << ")";
+    std::thread killer([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+      ::kill(pid, SIGKILL);
+    });
+    durable_load(port, /*threads=*/2, /*seconds=*/5.0,
+                 /*stamp_base=*/uint64_t{1} << 32, &acked, &mu);
+    killer.join();
+    reap(pid);
+    ASSERT_FALSE(acked.empty());
+  }
+
+  // Round 2: plain restart proves nothing acked was lost, then a second
+  // load round and a graceful stop drain every committed epoch into the
+  // archive — the state the lazy restore must reproduce.
+  {
+    auto args = base_args;
+    args.insert(args.end(), {"--interval-ms", "4"});
+    pid_t pid = spawn_server(args, dir, port_file, log);
+    ASSERT_GT(pid, 0);
+    uint16_t port = wait_port(port_file);
+    ASSERT_NE(port, 0);
+    verify_acked(port, acked);
+    durable_load(port, /*threads=*/2, /*seconds=*/0.5,
+                 /*stamp_base=*/uint64_t{2} << 32, &acked, &mu);
+    ::kill(pid, SIGTERM);
+    reap(pid);
+  }
+
+  // Only the archive remains.
+  ASSERT_TRUE(fs::remove(dir / "crpm-rank0.ctr"));
+
+  // Round 3: lazy recovery. The throttle stretches the background
+  // materialization so the verification GETs demonstrably race it.
+  ::setenv("CRPM_LAZY_THROTTLE_US", "100000", 1);
+  auto args = base_args;
+  args.insert(args.end(), {"--interval-ms", "8", "--lazy-restore"});
+  pid_t pid = spawn_server(args, dir, port_file, log);
+  ::unsetenv("CRPM_LAZY_THROTTLE_US");
+  ASSERT_GT(pid, 0);
+  uint16_t port = wait_port(port_file);
+  ASSERT_NE(port, 0) << "server never came up (see " << log << ")";
+
+  Client cl;
+  ASSERT_TRUE(cl.connect("127.0.0.1", port));
+  std::string text;
+  uint64_t committed = 0, keys = 0;
+  ASSERT_TRUE(cl.stats(&text, &committed, &keys));
+  EXPECT_NE(text.find("restoring"), std::string::npos)
+      << "restore finished before the first query despite the throttle: "
+      << text;
+  EXPECT_GT(committed, 0u) << "lazy recovery must report the archived epoch";
+
+  // Reads against the still-materializing image: zero acked-write loss.
+  EXPECT_EQ(read_marker(dir), "archive");
+  verify_acked(port, acked);
+
+  // The background restore finishes and the service keeps its answers.
+  Stopwatch sw;
+  bool settled = false;
+  while (sw.elapsed_sec() < 60.0) {
+    ASSERT_TRUE(cl.stats(&text, &committed, &keys));
+    if (text.find("restoring") == std::string::npos) {
+      settled = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  EXPECT_TRUE(settled) << "restore never completed: " << text;
+  verify_acked(port, acked);
+
+  // The daemon printed the time-to-first-query line in lazy mode.
+  {
+    std::ifstream in(log);
+    std::string all((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_NE(all.find("time_to_first_query_ms="), std::string::npos);
+    EXPECT_NE(all.find("restore continuing in background"),
+              std::string::npos)
+        << all;
+  }
+  ::kill(pid, SIGKILL);
+  reap(pid);
+  fs::remove_all(dir);
+  fs::remove(port_file);
+  fs::remove(log);
+}
+
 }  // namespace
 }  // namespace crpm::net

@@ -1,0 +1,328 @@
+// Scrubber and lazy-restore tests: an online scrub pass must be read-only
+// on healthy data, flag (and quarantine) a flipped payload byte, treat a
+// torn append-in-flight tail as normal, and publish its counters through
+// CrpmStats; the lazy restorer must serve correct bytes through the
+// SIGSEGV materialization path before the full apply has run, and its
+// finished container must equal the eager restore's.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/container.h"
+#include "core/crpm_stats.h"
+#include "nvm/device.h"
+#include "scrub/scrubber.h"
+#include "snapshot/archive.h"
+#include "snapshot/lazy_restore.h"
+#include "snapshot/restore.h"
+#include "snapshot/writer.h"
+#include "util/rng.h"
+
+namespace crpm {
+namespace {
+
+namespace fs = std::filesystem;
+
+CrpmOptions small_opts() {
+  CrpmOptions o;
+  o.segment_size = 4096;
+  o.block_size = 256;
+  o.main_region_size = 64 * 1024;
+  return o;
+}
+
+fs::path temp_dir(const std::string& tag) {
+  fs::path d = fs::temp_directory_path() / ("crpm_scrub_test_" + tag);
+  fs::remove_all(d);
+  fs::create_directories(d);
+  return d;
+}
+
+struct EpochRecord {
+  std::vector<uint8_t> image;
+  std::array<uint64_t, kNumRoots> roots{};
+};
+
+// Archives `epochs` epochs of a seeded workload into `snap` and, when
+// `ctr` is non-empty, leaves a matching committed container file there.
+std::vector<EpochRecord> build_archive(const std::string& snap,
+                                       const std::string& ctr,
+                                       uint64_t epochs, uint64_t seed) {
+  const CrpmOptions opt = small_opts();
+  std::unique_ptr<Container> c;
+  if (!ctr.empty()) {
+    c = Container::open_file(ctr, opt);
+  } else {
+    c = Container::open(
+        std::make_unique<HeapNvmDevice>(Container::required_device_size(opt)),
+        opt);
+  }
+  snapshot::ArchiveWriter w(snap);
+  w.attach(*c);
+  Xoshiro256 rng(seed);
+  std::vector<EpochRecord> recs;
+  const uint64_t region = opt.main_region_size;
+  for (uint64_t e = 1; e <= epochs; ++e) {
+    for (int r = 0; r < 5; ++r) {
+      uint64_t len = 64 + rng.next_below(3000);
+      uint64_t off = rng.next_below(region - len);
+      c->annotate(c->data() + off, len);
+      for (uint64_t i = 0; i < len; ++i) {
+        c->data()[off + i] = static_cast<uint8_t>(rng.next());
+      }
+    }
+    c->set_root(0, e * 100);
+    c->checkpoint();
+    EpochRecord rec;
+    rec.image.assign(c->data(), c->data() + region);
+    for (uint32_t s = 0; s < kNumRoots; ++s) rec.roots[s] = c->get_root(s);
+    recs.push_back(std::move(rec));
+  }
+  w.drain();
+  c->set_epoch_sink(nullptr);
+  return recs;
+}
+
+void flip_byte(const std::string& path, std::streamoff off) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekg(off);
+  char b = 0;
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0x5a);
+  f.seekp(off);
+  f.write(&b, 1);
+}
+
+// --- scrubber --------------------------------------------------------------
+
+TEST(Scrub, CleanPassIsReadOnlyAndPublishesCounters) {
+  fs::path dir = temp_dir("clean");
+  const std::string snap = (dir / "a.snap").string();
+  const std::string ctr = (dir / "a.ctr").string();
+  build_archive(snap, ctr, 4, /*seed=*/11);
+
+  std::ifstream in(snap, std::ios::binary);
+  const std::vector<uint8_t> before((std::istreambuf_iterator<char>(in)),
+                                    std::istreambuf_iterator<char>());
+
+  CrpmStats stats;
+  scrub::ScrubOptions so;
+  so.archive_path = snap;
+  so.container_path = ctr;
+  so.stats = &stats;
+  scrub::Scrubber sc(so);
+  scrub::ScrubReport rep = sc.run_pass();
+  EXPECT_FALSE(rep.damaged())
+      << rep.findings.front().object << ": " << rep.findings.front().detail;
+  EXPECT_GT(rep.frames_checked, 0u);
+  EXPECT_GT(rep.bytes_checked, 0u);
+
+  CrpmStatsSnapshot s = stats.snapshot();
+  EXPECT_EQ(s.scrub_passes, 1u);
+  EXPECT_EQ(s.scrub_frames_checked, rep.frames_checked);
+  EXPECT_EQ(s.scrub_bytes_checked, rep.bytes_checked);
+  EXPECT_EQ(s.scrub_errors, 0u);
+
+  // Read-only on healthy data: no quarantine markers, no mutation.
+  EXPECT_FALSE(fs::exists(snap + ".quarantine"));
+  EXPECT_FALSE(fs::exists(ctr + ".quarantine"));
+  std::ifstream in2(snap, std::ios::binary);
+  const std::vector<uint8_t> after((std::istreambuf_iterator<char>(in2)),
+                                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(before, after);
+  fs::remove_all(dir);
+}
+
+TEST(Scrub, TornTailIsAppendInFlightNotDamage) {
+  fs::path dir = temp_dir("torn");
+  const std::string snap = (dir / "a.snap").string();
+  build_archive(snap, "", 3, /*seed=*/12);
+  {
+    // Half a frame header of garbage: the shape a crash mid-append leaves.
+    std::ofstream f(snap, std::ios::binary | std::ios::app);
+    for (int i = 0; i < 9; ++i) f.put(static_cast<char>(0xEE));
+  }
+  scrub::ScrubOptions so;
+  so.archive_path = snap;
+  scrub::Scrubber sc(so);
+  scrub::ScrubReport rep = sc.run_pass();
+  EXPECT_FALSE(rep.damaged())
+      << rep.findings.front().object << ": " << rep.findings.front().detail;
+  EXPECT_FALSE(fs::exists(snap + ".quarantine"));
+  fs::remove_all(dir);
+}
+
+TEST(Scrub, FlippedPayloadByteIsFoundAndQuarantined) {
+  fs::path dir = temp_dir("damage");
+  const std::string snap = (dir / "a.snap").string();
+  build_archive(snap, "", 3, /*seed=*/13);
+  flip_byte(snap, std::streamoff(sizeof(snapshot::ArchiveHeader) +
+                                 sizeof(snapshot::FrameHeader) + 16));
+
+  CrpmStats stats;
+  scrub::ScrubOptions so;
+  so.archive_path = snap;
+  so.stats = &stats;
+  scrub::Scrubber sc(so);
+  scrub::ScrubReport rep = sc.run_pass();
+  ASSERT_TRUE(rep.damaged());
+  EXPECT_EQ(rep.findings.front().object, snap);
+  EXPECT_GT(stats.snapshot().scrub_errors, 0u);
+
+  // Damage is pinned on disk for operators (and crpm_inspect scrub).
+  ASSERT_TRUE(fs::exists(snap + ".quarantine"));
+  std::ifstream in(snap + ".quarantine");
+  std::string marker((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  EXPECT_FALSE(marker.empty());
+
+  // quarantine=false audits without leaving markers.
+  fs::remove(snap + ".quarantine");
+  so.quarantine = false;
+  scrub::Scrubber sc2(so);
+  EXPECT_TRUE(sc2.run_pass().damaged());
+  EXPECT_FALSE(fs::exists(snap + ".quarantine"));
+  fs::remove_all(dir);
+}
+
+TEST(Scrub, BackgroundThreadRunsRepeatedPasses) {
+  fs::path dir = temp_dir("bg");
+  const std::string snap = (dir / "a.snap").string();
+  build_archive(snap, "", 2, /*seed=*/14);
+
+  CrpmStats stats;
+  scrub::ScrubOptions so;
+  so.archive_path = snap;
+  so.stats = &stats;
+  so.interval_ms = 5;
+  scrub::Scrubber sc(so);
+  sc.start();
+  for (int i = 0; i < 1000 && sc.passes() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  sc.stop();
+  EXPECT_GE(sc.passes(), 2u);
+  EXPECT_GE(stats.snapshot().scrub_passes, 2u);
+  fs::remove_all(dir);
+}
+
+TEST(Scrub, DirectorySweepSurfacesPreexistingMarkers) {
+  fs::path dir = temp_dir("sweep");
+  const std::string snap = (dir / "a.snap").string();
+  const std::string ctr = (dir / "a.ctr").string();
+  build_archive(snap, ctr, 3, /*seed=*/15);
+
+  EXPECT_FALSE(scrub::scrub_directory(dir.string(), true).damaged());
+
+  flip_byte(snap, std::streamoff(sizeof(snapshot::ArchiveHeader) +
+                                 sizeof(snapshot::FrameHeader) + 16));
+  scrub::ScrubReport rep = scrub::scrub_directory(dir.string(), true);
+  ASSERT_TRUE(rep.damaged());
+  ASSERT_TRUE(fs::exists(snap + ".quarantine"));
+
+  // The marker keeps the damage visible on the next sweep too.
+  scrub::ScrubReport again = scrub::scrub_directory(dir.string(), true);
+  EXPECT_TRUE(again.damaged());
+  EXPECT_GE(again.findings.size(), rep.findings.size());
+  fs::remove_all(dir);
+}
+
+// --- lazy restore ----------------------------------------------------------
+
+TEST(LazyRestore, FaultPathServesGoldenBytesBeforeApplyCompletes) {
+  fs::path dir = temp_dir("lazy");
+  const std::string snap = (dir / "a.snap").string();
+  const auto recs = build_archive(snap, "", 4, /*seed=*/21);
+  const EpochRecord& want = recs.back();
+
+  const CrpmOptions opt = small_opts();
+  auto lz = snapshot::restore_lazy(snap, Container::kLatestEpoch, opt);
+  ASSERT_TRUE(lz->ok()) << lz->error();
+  EXPECT_EQ(lz->epoch(), 4u);
+  EXPECT_EQ(lz->size(), opt.main_region_size);
+  EXPECT_EQ(lz->roots(), want.roots);
+  ASSERT_GT(lz->chunks_total(), 4u) << "region too small to observe "
+                                       "partial materialization";
+  EXPECT_EQ(lz->chunks_ready(), 0u);
+
+  // A single faulting read materializes only its own chunk.
+  const uint8_t* view = lz->data();
+  EXPECT_EQ(view[0], want.image[0]);
+  EXPECT_GE(lz->chunks_ready(), 1u);
+  EXPECT_LT(lz->chunks_ready(), lz->chunks_total());
+
+  // Reading the whole view through the fault path yields the full image.
+  EXPECT_EQ(std::memcmp(view, want.image.data(), want.image.size()), 0);
+  EXPECT_TRUE(lz->done());
+  fs::remove_all(dir);
+}
+
+TEST(LazyRestore, EnsureRangeAndWorkerSweepFinishTheImage) {
+  fs::path dir = temp_dir("lazy_sweep");
+  const std::string snap = (dir / "a.snap").string();
+  const auto recs = build_archive(snap, "", 3, /*seed=*/22);
+  const EpochRecord& want = recs.back();
+
+  const CrpmOptions opt = small_opts();
+  auto lz = snapshot::restore_lazy(snap, Container::kLatestEpoch, opt);
+  ASSERT_TRUE(lz->ok()) << lz->error();
+  lz->ensure_range(0, 1);
+  EXPECT_GE(lz->chunks_ready(), 1u);
+  EXPECT_FALSE(lz->done());
+  lz->materialize_all(3);
+  EXPECT_TRUE(lz->done());
+  EXPECT_EQ(std::memcmp(lz->data(), want.image.data(), want.image.size()),
+            0);
+
+  // finish_file builds the same container an eager restore_file would.
+  const std::string ctr = (dir / "restored.ctr").string();
+  auto rr = lz->finish_file(ctr, opt);
+  ASSERT_NE(rr.container, nullptr) << rr.error;
+  EXPECT_EQ(rr.epoch, 3u);
+  EXPECT_EQ(std::memcmp(rr.container->data(), want.image.data(),
+                        want.image.size()),
+            0);
+  for (uint32_t s = 0; s < kNumRoots; ++s) {
+    EXPECT_EQ(rr.container->get_root(s), want.roots[s]) << "slot " << s;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(LazyRestore, LatestFallsBackPastCorruptTailWithWarning) {
+  fs::path dir = temp_dir("lazy_corrupt");
+  const std::string snap = (dir / "a.snap").string();
+  const auto recs = build_archive(snap, "", 5, /*seed=*/23);
+
+  uint64_t off = 0, bytes = 0;
+  {
+    snapshot::ArchiveReader reader(snap);
+    ASSERT_TRUE(reader.ok());
+    const auto& tail = reader.scan().epochs.back();
+    off = tail.file_offset;
+    bytes = tail.frame_bytes;
+  }
+  flip_byte(snap, static_cast<std::streamoff>(off + bytes / 2));
+
+  auto lz =
+      snapshot::restore_lazy(snap, Container::kLatestEpoch, small_opts());
+  ASSERT_TRUE(lz->ok()) << lz->error();
+  EXPECT_LT(lz->epoch(), 5u);
+  EXPECT_FALSE(lz->warnings().empty());
+  const EpochRecord& want = recs[lz->epoch() - 1];
+  EXPECT_EQ(std::memcmp(lz->data(), want.image.data(), want.image.size()),
+            0);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace crpm

@@ -281,6 +281,46 @@ TEST(InspectTool, ArchiveVerifyFlagsColdTierDamage) {
   std::filesystem::remove_all(dir);
 }
 
+// --- scrub subcommand ------------------------------------------------------
+
+TEST(InspectTool, ScrubSweepExitCodesTrackDamage) {
+  auto dir = std::filesystem::temp_directory_path() / "crpm_tool_scrub";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string snap = (dir / "a.snap").string();
+  build_archive((dir / "a.ctr").string(), snap);
+
+  // Healthy directory: exit 0, no findings, no quarantine markers.
+  int rc = -1;
+  std::string out = run_tool("scrub " + dir.string(), &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("0 findings"), std::string::npos) << out;
+  EXPECT_FALSE(std::filesystem::exists(snap + ".quarantine"));
+
+  // One flipped payload byte: exit 2, damage named, marker written.
+  flip_byte(snap, std::streamoff(sizeof(snapshot::ArchiveHeader) +
+                                 sizeof(snapshot::FrameHeader) + 16));
+  out = run_tool("scrub " + dir.string(), &rc);
+  EXPECT_EQ(rc, 2) << out;
+  EXPECT_NE(out.find("DAMAGE"), std::string::npos) << out;
+  EXPECT_TRUE(std::filesystem::exists(snap + ".quarantine"));
+
+  // The marker keeps the verdict at exit 2 on re-runs.
+  out = run_tool("scrub " + dir.string(), &rc);
+  EXPECT_EQ(rc, 2) << out;
+
+  // --no-quarantine still reports damage but leaves no new marker.
+  std::filesystem::remove(snap + ".quarantine");
+  out = run_tool("scrub " + dir.string() + " --no-quarantine", &rc);
+  EXPECT_EQ(rc, 2) << out;
+  EXPECT_FALSE(std::filesystem::exists(snap + ".quarantine"));
+
+  // Not a directory: usage-shaped failure, exit 1.
+  out = run_tool("scrub " + (dir / "missing").string(), &rc);
+  EXPECT_EQ(rc, 1) << out;
+  std::filesystem::remove_all(dir);
+}
+
 // --- kvd subcommand --------------------------------------------------------
 
 // Builds a kvd-shaped data directory the way the daemon does: a KvService

@@ -23,7 +23,7 @@ void usage(FILE* out) {
   std::fprintf(out,
                "usage: crpm_crashmatrix [options]\n"
                "  --scenario NAME   core | core-buffered | core-async | "
-               "core-multiwindow | archive | archive-tier | repl "
+               "core-multiwindow | archive | archive-tier | repl | recovery "
                "(default core)\n"
                "  --list            list scenarios and exit\n"
                "  --seed S          workload seed (default 1)\n"

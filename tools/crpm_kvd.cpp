@@ -4,7 +4,8 @@
 //                   [--interval-ms 8] [--async-workers 1]
 //                   [--max-inflight 1] [--commit-shards 1]
 //                   [--capacity-mb 256] [--buckets 65536] [--archive]
-//                   [--archive-tier] [--preload <n>]
+//                   [--archive-tier] [--preload <n>] [--lazy-restore]
+//                   [--restore-workers 0] [--scrub-interval-ms 0]
 //   crpm_kvd load   --port <p> [--host 127.0.0.1] [--threads 4]
 //                   [--seconds 5] [--ops <n>] [--keys 100000]
 //                   [--durable-every 16] [--get-ratio 0.5]
@@ -30,6 +31,10 @@
 // verify replays a state file against a (recovered) server: every acked
 // key must be present, decode cleanly (torn-value check), and carry a
 // stamp >= the acked one. Exit 1 on any violation.
+//
+// --lazy-restore serves GETs from the archived image while the restore
+// materializes in the background (mutations wait); serve prints
+// time_to_first_query_ms either way, so the lazy win is measurable.
 #include <signal.h>
 
 #include <atomic>
@@ -92,7 +97,8 @@ int usage(const char* argv0) {
       "                 [--workers 4] [--interval-ms 8] [--async-workers 1]\n"
       "                 [--max-inflight 1] [--commit-shards 1]\n"
       "                 [--capacity-mb 256] [--buckets 65536] [--archive]\n"
-      "                 [--archive-tier] [--preload <n>]\n"
+      "                 [--archive-tier] [--preload <n>] [--lazy-restore]\n"
+      "                 [--restore-workers 0] [--scrub-interval-ms 0]\n"
       "       %s load   --port <p> [--host <h>] [--threads 4] [--seconds 5]\n"
       "                 [--ops <n>] [--keys 100000] [--durable-every 16]\n"
       "                 [--get-ratio 0.5] [--state-file <f>]\n"
@@ -122,7 +128,15 @@ int cmd_serve(int argc, char** argv) {
       static_cast<uint32_t>(flag_u64(argc, argv, "--commit-shards", 1));
   sc.archive_tier = flag_present(argc, argv, "--archive-tier");
   sc.archive = flag_present(argc, argv, "--archive") || sc.archive_tier;
+  sc.lazy_restore = flag_present(argc, argv, "--lazy-restore");
+  sc.restore_workers =
+      static_cast<uint32_t>(flag_u64(argc, argv, "--restore-workers", 0));
+  sc.scrub_interval_ms =
+      static_cast<uint32_t>(flag_u64(argc, argv, "--scrub-interval-ms", 0));
   KvService svc(sc);
+  std::printf("crpm_kvd: time_to_first_query_ms=%.3f%s\n", svc.ttfq_ms(),
+              svc.restore_pending() ? " (restore continuing in background)"
+                                    : "");
 
   uint64_t preload = flag_u64(argc, argv, "--preload", 0);
   if (preload != 0 && !svc.recovered()) {
