@@ -43,16 +43,32 @@ std::string StateStore::archive_path(const std::string& dir, int rank) {
   return dir + "/crpm-rank" + std::to_string(rank) + ".snap";
 }
 
-bool StateStore::container_file_usable(const std::string& path) {
+StateStore::ContainerTriage StateStore::triage_container_file(
+    const std::string& path) {
   std::error_code ec;
+  const bool exists = std::filesystem::exists(path, ec);
+  if (ec) return ContainerTriage::kUnreadable;
+  if (!exists) return ContainerTriage::kMissing;
   auto size = std::filesystem::file_size(path, ec);
-  if (ec || size < sizeof(MetaHeader)) return false;
+  if (ec) return ContainerTriage::kUnreadable;
+  // A container file is never smaller than its header: too-small is a
+  // definitive verdict, not a read failure.
+  if (size < sizeof(MetaHeader)) return ContainerTriage::kInvalid;
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return false;
+  if (f == nullptr) return ContainerTriage::kUnreadable;
   MetaHeader h{};
   size_t got = std::fread(&h, 1, sizeof(h), f);
   std::fclose(f);
-  return got == sizeof(h) && h.magic == kMetaMagic && h.initialized != 0;
+  // The size check above said these bytes exist; a short read is an I/O
+  // error, not evidence about the contents.
+  if (got != sizeof(h)) return ContainerTriage::kUnreadable;
+  return (h.magic == kMetaMagic && h.initialized != 0)
+             ? ContainerTriage::kUsable
+             : ContainerTriage::kInvalid;
+}
+
+bool StateStore::container_file_usable(const std::string& path) {
+  return triage_container_file(path) == ContainerTriage::kUsable;
 }
 
 StateStore::StateStore(const Config& cfg) : cfg_(cfg) {
@@ -111,7 +127,15 @@ StateStore::StateStore(const Config& cfg) : cfg_(cfg) {
           }
         }
       }
-      recovery_source_ = container_file_usable(path)
+      const ContainerTriage triage = triage_container_file(path);
+      // An unreadable file is NOT a triage verdict: the bytes may well be
+      // a healthy container we just failed to read (fd exhaustion,
+      // EACCES). Abort loudly rather than risk destroying it below.
+      CRPM_CHECK(triage != ContainerTriage::kUnreadable,
+                 "container file %s exists but could not be read; "
+                 "refusing to triage it as damaged",
+                 path.c_str());
+      recovery_source_ = triage == ContainerTriage::kUsable
                              ? RecoverySource::kLocal
                              : RecoverySource::kFresh;
       // Second recovery level: a missing or invalid container file is
@@ -126,13 +150,21 @@ StateStore::StateStore(const Config& cfg) : cfg_(cfg) {
             recovery_source_ = RecoverySource::kArchive;
           }
         }
-        // The crash-atomic restore leaves an unusable container file
-        // untouched on failure; remove it (and any orphaned side file)
-        // so the open below formats fresh instead of aborting on the
-        // damaged bytes.
-        if (recovery_source_ != RecoverySource::kArchive) {
+        // No archive could rebuild it. A definitively-invalid file (the
+        // header was read and carries wrong magic / torn format) is set
+        // aside as <path>.damaged — never deleted — so the open below
+        // formats fresh while the operator keeps the bytes for salvage.
+        if (recovery_source_ != RecoverySource::kArchive &&
+            triage == ContainerTriage::kInvalid) {
+          const std::string damaged = path + ".damaged";
           std::error_code ec;
-          std::filesystem::remove(path, ec);
+          std::filesystem::rename(path, damaged, ec);
+          CRPM_CHECK(!ec, "could not set aside damaged container %s: %s",
+                     path.c_str(), ec.message().c_str());
+          CRPM_LOG_WARN(
+              "container %s is not a valid container and no archive could "
+              "rebuild it; preserved as %s, formatting fresh",
+              path.c_str(), damaged.c_str());
         }
         std::error_code ec;
         std::filesystem::remove(path + ".restoring", ec);

@@ -90,6 +90,21 @@ class StateStore {
   static std::string container_path(const std::string& dir, int rank);
   static std::string archive_path(const std::string& dir, int rank);
 
+  // Recovery triage over the container file at `path`. The distinction
+  // between kInvalid and kUnreadable is load-bearing: only a header that
+  // was actually READ and is definitively not a container (wrong magic,
+  // torn format, too small to ever have been one) may be set aside and
+  // reformatted; a transient read failure (fd exhaustion, EACCES) says
+  // nothing about the bytes, and treating it as damage would destroy a
+  // healthy container.
+  enum class ContainerTriage {
+    kMissing,     // no file: fresh start (or archive restore)
+    kUsable,      // header read, magic + initialized check out
+    kInvalid,     // header read, definitively not a valid container
+    kUnreadable,  // the file exists but could not be read — not evidence
+  };
+  static ContainerTriage triage_container_file(const std::string& path);
+
   // True if `path` plausibly holds an openable container: the file
   // exists, covers at least a MetaHeader, and the header carries the
   // right magic and the initialized flag. Container::open() aborts on

@@ -36,6 +36,15 @@ uint64_t thread_cpu_ns() {
 
 void step(const char* name) { crpm::snapshot::detail::restore_step(name); }
 
+// The container scrub reads metadata a live writer may be updating
+// concurrently through its own mapping of the same file. Plain loads of
+// that memory are a formal data race; route every word through a relaxed
+// atomic load so the audit reads each word atomically (and TSAN-clean).
+template <typename T>
+T ld(const T& word) {
+  return __atomic_load_n(&word, __ATOMIC_RELAXED);
+}
+
 }  // namespace
 
 Scrubber::Scrubber(ScrubOptions opt) : opt_(std::move(opt)) {}
@@ -92,21 +101,33 @@ void Scrubber::scrub_container(ScrubReport* report) {
     report->findings.push_back({path, detail});
     structural_ok = false;
   };
-  if (h->magic != kMetaMagic) fail("bad magic: not a crpm container");
-  if (structural_ok && h->version != kMetaVersion) {
-    fail("unsupported metadata version " + std::to_string(h->version));
+  // Geometry words are write-once at format time, but a live writer shares
+  // this mapping, so even these go through ld().
+  const uint64_t magic = ld(h->magic);
+  const uint32_t version = ld(h->version);
+  const uint8_t initialized = ld(h->initialized);
+  const uint32_t meta_replicas = ld(h->meta_replicas);
+  const uint64_t segment_size = ld(h->segment_size);
+  const uint64_t nr_main_segs = ld(h->nr_main_segs);
+  const uint64_t nr_backup_segs = ld(h->nr_backup_segs);
+  const uint64_t backup_region_offset = ld(h->backup_region_offset);
+  const uint64_t seg_state_offset = ld(h->seg_state_offset);
+  const uint64_t backup_to_main_offset = ld(h->backup_to_main_offset);
+  const uint64_t roots_offset = ld(h->roots_offset);
+  if (magic != kMetaMagic) fail("bad magic: not a crpm container");
+  if (structural_ok && version != kMetaVersion) {
+    fail("unsupported metadata version " + std::to_string(version));
   }
-  if (structural_ok && h->initialized == 0) {
+  if (structural_ok && initialized == 0) {
     fail("container is not initialized (torn format)");
   }
   if (structural_ok &&
-      (h->meta_replicas == 0 ||
-       h->meta_replicas > kMaxInflightEpochs + 1)) {
-    fail("implausible meta_replicas " + std::to_string(h->meta_replicas));
+      (meta_replicas == 0 || meta_replicas > kMaxInflightEpochs + 1)) {
+    fail("implausible meta_replicas " + std::to_string(meta_replicas));
   }
   if (structural_ok) {
     const uint64_t need =
-        h->backup_region_offset + h->nr_backup_segs * h->segment_size;
+        backup_region_offset + nr_backup_segs * segment_size;
     if (size < need) {
       fail("file truncated: geometry needs " + std::to_string(need) +
            " bytes");
@@ -117,36 +138,31 @@ void Scrubber::scrub_container(ScrubReport* report) {
     return;
   }
 
-  // The live epoch can move between reads; audit the active metadata
-  // replica and keep the findings only if the epoch held still.
-  const volatile uint64_t* epoch_word = &h->committed_epoch;
-  bool stable = false;
-  for (int attempt = 0; attempt < 3 && !stable; ++attempt) {
-    const uint64_t e0 = *epoch_word;
-    const uint64_t active = e0 % h->meta_replicas;
+  // One audit of the active metadata replica for epoch e0.
+  auto audit = [&](uint64_t e0) {
+    const uint64_t active = e0 % meta_replicas;
     std::vector<ScrubFinding> pending;
 
-    const uint8_t* states =
-        base + h->seg_state_offset + active * h->nr_main_segs;
+    const uint8_t* states = base + seg_state_offset + active * nr_main_segs;
     const auto* b2m =
-        reinterpret_cast<const uint32_t*>(base + h->backup_to_main_offset);
+        reinterpret_cast<const uint32_t*>(base + backup_to_main_offset);
     const auto* roots =
-        reinterpret_cast<const uint64_t*>(base + h->roots_offset) +
+        reinterpret_cast<const uint64_t*>(base + roots_offset) +
         active * kNumRoots;
 
-    for (uint64_t s = 0; s < h->nr_main_segs; ++s) {
-      if (states[s] > kSegBackup) {
+    for (uint64_t s = 0; s < nr_main_segs; ++s) {
+      const uint8_t st = ld(states[s]);
+      if (st > kSegBackup) {
         pending.push_back({path, "seg_state[" + std::to_string(active) +
                                      "][" + std::to_string(s) + "] = " +
-                                     std::to_string(states[s]) +
-                                     " (invalid)"});
+                                     std::to_string(st) + " (invalid)"});
       }
     }
-    std::vector<uint32_t> pair_of_main(h->nr_main_segs, kNoPair);
-    for (uint64_t b = 0; b < h->nr_backup_segs; ++b) {
-      const uint32_t m = b2m[b];
+    std::vector<uint32_t> pair_of_main(nr_main_segs, kNoPair);
+    for (uint64_t b = 0; b < nr_backup_segs; ++b) {
+      const uint32_t m = ld(b2m[b]);
       if (m == kNoPair) continue;
-      if (m >= h->nr_main_segs) {
+      if (m >= nr_main_segs) {
         pending.push_back({path, "backup " + std::to_string(b) +
                                      " paired to out-of-range main " +
                                      std::to_string(m)});
@@ -158,25 +174,49 @@ void Scrubber::scrub_container(ScrubReport* report) {
       }
       pair_of_main[m] = static_cast<uint32_t>(b);
     }
-    for (uint64_t s = 0; s < h->nr_main_segs; ++s) {
-      if (states[s] == kSegBackup && pair_of_main[s] == kNoPair) {
+    for (uint64_t s = 0; s < nr_main_segs; ++s) {
+      if (ld(states[s]) == kSegBackup && pair_of_main[s] == kNoPair) {
         pending.push_back({path, "segment " + std::to_string(s) +
                                      " is SS_Backup but has no pairing"});
       }
     }
-    const uint64_t region = h->nr_main_segs * h->segment_size;
+    const uint64_t region = nr_main_segs * segment_size;
     for (uint32_t r = 0; r < kNumRoots; ++r) {
-      if (roots[r] != 0 && roots[r] >= region) {
+      const uint64_t root = ld(roots[r]);
+      if (root != 0 && root >= region) {
         pending.push_back({path, "root[" + std::to_string(r) +
                                      "] offset out of range"});
       }
     }
-    if (*epoch_word == e0) {
-      stable = true;
-      for (auto& f : pending) report->findings.push_back(std::move(f));
-      report->bytes_checked += h->nr_main_segs + h->nr_backup_segs * 4 +
-                               kNumRoots * 8 + sizeof(MetaHeader);
+    return pending;
+  };
+  auto same = [](const std::vector<ScrubFinding>& a,
+                 const std::vector<ScrubFinding>& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].detail != b[i].detail) return false;
     }
+    return true;
+  };
+
+  // The live epoch can move between reads, and even a still epoch does not
+  // mean the words behind it held still (a commit may be mid-flight inside
+  // the same epoch). Quarantining a healthy live container is the one
+  // mistake the scrubber must not make, so a finding is kept only when TWO
+  // consecutive audits under an unmoved epoch agree exactly; anything less
+  // is counted as skipped and retried next pass.
+  bool stable = false;
+  for (int attempt = 0; attempt < 3 && !stable; ++attempt) {
+    const uint64_t e0 = ld(h->committed_epoch);
+    std::vector<ScrubFinding> first = audit(e0);
+    if (ld(h->committed_epoch) != e0) continue;
+    std::vector<ScrubFinding> second = audit(e0);
+    if (ld(h->committed_epoch) != e0) continue;
+    if (!same(first, second)) continue;
+    stable = true;
+    for (auto& f : first) report->findings.push_back(std::move(f));
+    report->bytes_checked += nr_main_segs + nr_backup_segs * 4 +
+                             kNumRoots * 8 + sizeof(MetaHeader);
   }
   if (!stable) ++report->skipped;
   ::munmap(mem, size);

@@ -270,13 +270,16 @@ bool ArchiveReader::apply_records_parallel(
   // Partition records by owning segment, segments round-robin over the
   // workers — the commit_shards layout applied to the read path. Block
   // indices are unique within a frame, so shard applies never alias.
-  std::vector<std::vector<uint32_t>> shards(workers);
+  // Record indices stay 64-bit end to end: a frame can legitimately carry
+  // >= 2^32 records, and truncated indices would restore silently wrong
+  // bytes instead of failing.
+  std::vector<std::vector<uint64_t>> shards(workers);
   for (uint64_t i = 0; i < block_count; ++i) {
     uint64_t idx = 0;
     std::memcpy(&idx, recs + i * rec, 8);
-    shards[(idx * bs / seg) % workers].push_back(static_cast<uint32_t>(i));
+    shards[(idx * bs / seg) % workers].push_back(i);
   }
-  std::vector<std::atomic<uint32_t>> cursors(workers);
+  std::vector<std::atomic<uint64_t>> cursors(workers);
   for (auto& c : cursors) c.store(0, std::memory_order_relaxed);
   std::atomic<int> bad_shard{-1};
   // Apply CPU is accounted per SHARD, not per thread: stealing means one
@@ -290,22 +293,21 @@ bool ArchiveReader::apply_records_parallel(
   // time turns the shared cursors into an atomic-RMW hot spot; claiming
   // batches keeps the contention negligible while stealing still balances
   // at batch granularity.
-  constexpr uint32_t kClaimBatch = 128;
+  constexpr uint64_t kClaimBatch = 128;
   auto sweep = [&](uint32_t self) {
     // Own shard first, then steal from lagging shards.
     for (uint32_t pass = 0; pass < workers; ++pass) {
       const uint32_t s = (self + pass) % workers;
-      const uint32_t shard_size = static_cast<uint32_t>(shards[s].size());
+      const uint64_t shard_size = shards[s].size();
       for (;;) {
         if (bad_shard.load(std::memory_order_relaxed) >= 0) break;
-        const uint32_t at =
+        const uint64_t at =
             cursors[s].fetch_add(kClaimBatch, std::memory_order_relaxed);
         if (at >= shard_size) break;
-        const uint32_t end = std::min(at + kClaimBatch, shard_size);
+        const uint64_t end = std::min(at + kClaimBatch, shard_size);
         const uint64_t t0 = thread_cpu_ns();
-        for (uint32_t j = at; j < end; ++j) {
-          const uint8_t* p =
-              recs + static_cast<uint64_t>(shards[s][j]) * rec;
+        for (uint64_t j = at; j < end; ++j) {
+          const uint8_t* p = recs + shards[s][j] * rec;
           uint64_t idx = 0;
           std::memcpy(&idx, p, 8);
           uint32_t stored = 0;

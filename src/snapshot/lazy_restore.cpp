@@ -39,11 +39,14 @@ struct LazyRestorer::Plan {
 
 // Routes SIGSEGV on a restorer's read view to that restorer's chunk apply.
 // Everything on this path is async-signal-safe: atomics, memcpy into the
-// write view, and the mprotect syscall. Foreign faults unhook back to the
-// previous disposition and return, so the re-executed faulting instruction
-// takes the old path (usually the default core dump).
+// write view, and the mprotect syscall. A foreign fault chain-calls the
+// saved previous handler directly — the router stays installed, because a
+// later legitimate fault on a still-active read view must still reach
+// materialize; only when the previous disposition is SIG_DFL does the
+// router unhook (the re-executed faulting instruction then takes the
+// default action and the process dies anyway).
 struct LazyFaultRouter {
-  static void on_fault(int sig, siginfo_t* si, void*) {
+  static void on_fault(int sig, siginfo_t* si, void* uc) {
     void* addr = si != nullptr ? si->si_addr : nullptr;
     for (auto& slot : g_faults.slots) {
       LazyRestorer* r = slot.load(std::memory_order_acquire);
@@ -51,6 +54,18 @@ struct LazyFaultRouter {
         r->materialize_addr(addr);
         return;
       }
+    }
+    const struct sigaction& prev = g_faults.old_segv;
+    if ((prev.sa_flags & SA_SIGINFO) != 0) {
+      if (prev.sa_sigaction != nullptr) {
+        prev.sa_sigaction(sig, si, uc);
+        return;
+      }
+    } else if (prev.sa_handler == SIG_IGN) {
+      return;
+    } else if (prev.sa_handler != SIG_DFL && prev.sa_handler != nullptr) {
+      prev.sa_handler(sig);
+      return;
     }
     ::sigaction(sig, &g_faults.old_segv, nullptr);
   }

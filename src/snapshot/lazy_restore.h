@@ -21,6 +21,13 @@
 // apply. materialize_all() drives the remaining chunks from a worker pool;
 // finish_file() then builds a crash-atomic container file from the
 // completed image (same side-file + rename discipline as restore_file).
+//
+// Lifetime: a LazyRestorer MUST outlive every thread that may still touch
+// data(). Destruction unregisters the fault-router slot and unmaps the
+// views, but a thread faulting into the view concurrently with the
+// destructor races the handler's slot load (use-after-free) — quiesce all
+// readers first. KvService satisfies this by keeping the restorer alive
+// for the service's lifetime.
 #pragma once
 
 #include <array>

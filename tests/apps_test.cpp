@@ -5,9 +5,11 @@
 
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 #include <vector>
 
 #include "apps/miniapp.h"
+#include "apps/state_store.h"
 
 namespace crpm {
 namespace {
@@ -191,6 +193,70 @@ TEST(AppsMultiRank, LuleshCoordinatedTimestepAgrees) {
     EXPECT_TRUE(std::isfinite(res[size_t(r)].checksum));
   }
   std::filesystem::remove_all(dir);
+}
+
+// Recovery triage verdicts: only a header that was READ and is
+// definitively wrong may be treated as damage.
+TEST(StateStoreTriage, VerdictsPerFileShape) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "crpm_triage_verdicts";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string ctr = StateStore::container_path(dir.string(), 0);
+
+  EXPECT_EQ(StateStore::triage_container_file(ctr),
+            StateStore::ContainerTriage::kMissing);
+
+  {  // smaller than any container header: definitively invalid
+    std::ofstream(ctr, std::ios::binary) << "tiny";
+  }
+  EXPECT_EQ(StateStore::triage_container_file(ctr),
+            StateStore::ContainerTriage::kInvalid);
+
+  {  // header-sized garbage with the wrong magic: definitively invalid
+    std::ofstream f(ctr, std::ios::binary);
+    std::vector<char> garbage(8192, '\xab');
+    f.write(garbage.data(), static_cast<std::streamsize>(garbage.size()));
+  }
+  EXPECT_EQ(StateStore::triage_container_file(ctr),
+            StateStore::ContainerTriage::kInvalid);
+  EXPECT_FALSE(StateStore::container_file_usable(ctr));
+  fs::remove_all(dir);
+}
+
+// A definitively-invalid container file with no archive to rebuild from is
+// set aside as <path>.damaged — bytes preserved for salvage — and the
+// store formats fresh; it must never be silently deleted.
+TEST(StateStoreTriage, InvalidContainerPreservedAsDamaged) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "crpm_triage_damaged";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string ctr = StateStore::container_path(dir.string(), 0);
+  const std::vector<char> garbage(8192, '\xab');
+  {
+    std::ofstream f(ctr, std::ios::binary);
+    f.write(garbage.data(), static_cast<std::streamsize>(garbage.size()));
+  }
+
+  StateStore::Config cfg;
+  cfg.backend = CkptBackend::kCrpmDefault;
+  cfg.dir = dir.string();
+  cfg.capacity_bytes = 1 << 20;
+  {
+    StateStore store(cfg);
+    EXPECT_EQ(store.last_recovery(), RecoverySource::kFresh);
+    EXPECT_FALSE(store.recovered());
+  }
+
+  std::ifstream in(ctr + ".damaged", std::ios::binary);
+  ASSERT_TRUE(in.good()) << "damaged container bytes were not preserved";
+  std::vector<char> kept((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_EQ(kept, garbage);
+  // The fresh format produced a real container in the original slot.
+  EXPECT_TRUE(StateStore::container_file_usable(ctr));
+  fs::remove_all(dir);
 }
 
 }  // namespace
