@@ -7,14 +7,154 @@
 //   * libcrpm ~7x over mprotect / soft-dirty
 //   * libcrpm ~1.4x over undo-log / LMC
 //   * libcrpm 1.8-2.7x over Dali (unordered_map)
+#include <chrono>
+#include <cstring>
+#include <map>
+
 #include "bench_common.h"
+#include "engines/engine.h"
+#include "nvm/device.h"
+#include "util/rng.h"
 
 using namespace crpm;
 using namespace crpm::bench;
 
+namespace {
+
+// --- engine matrix --------------------------------------------------------
+//
+// Apples-to-apples throughput of the pluggable checkpoint engines
+// (src/engines) on two synthetic raw-region workloads chosen to have a
+// clear best fixed strategy each:
+//
+//   dense:  every block of a fixed 4-segment window dirtied each epoch —
+//           full-segment protection (foca / the adaptive engine's COW
+//           mode) should win, per-block undo logging pays an entry+fence
+//           per block.
+//   sparse: ~12% of the region's blocks dirtied uniformly each epoch —
+//           per-block logging should win, segment-granularity engines
+//           re-copy every touched segment.
+//
+// The gate row holds the adaptive engine to >= 0.95x the best FIXED
+// engine on BOTH workloads: the whole point of per-segment hybrid
+// selection is to never be meaningfully worse than the best
+// single-strategy engine, whichever that is. Warmup epochs let the
+// adaptive engine's density EWMA converge before the timer starts.
+
+constexpr uint64_t kEmRegion = 4ull << 20;
+constexpr uint64_t kEmSegment = 64ull << 10;
+constexpr uint64_t kEmBlock = 256;
+constexpr uint64_t kEmWarmup = 3;
+
+double run_engine_workload(const std::string& engine, bool dense,
+                           const BenchScale& scale) {
+  CrpmOptions opt;
+  opt.engine = engine;
+  opt.main_region_size = kEmRegion;
+  opt.segment_size = kEmSegment;
+  opt.block_size = kEmBlock;
+  HeapNvmDevice dev(engines::engine_device_size(opt));
+  dev.set_cost_model(scale.cost ? CostModel::realistic()
+                                : CostModel::disabled());
+  auto e = engines::open_engine(&dev, opt);
+  uint8_t* w = e->data();
+  const uint64_t nblocks = kEmRegion / kEmBlock;
+  const uint64_t window_blocks = 4 * kEmSegment / kEmBlock;
+  const uint64_t sparse_writes = nblocks * 12 / 100;
+  Xoshiro256 rng(42);
+  uint64_t ops = 0;
+  double secs = 0.0;
+  for (uint64_t ep = 1; ep <= kEmWarmup + scale.epochs; ++ep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    uint64_t writes = 0;
+    if (dense) {
+      for (uint64_t b = 0; b < window_blocks; ++b) {
+        uint64_t off = b * kEmBlock;
+        uint64_t v = rng.next() | 1;
+        e->annotate(w + off, 8);
+        std::memcpy(w + off, &v, 8);
+        ++writes;
+      }
+    } else {
+      for (uint64_t i = 0; i < sparse_writes; ++i) {
+        uint64_t off = rng.next_below(nblocks) * kEmBlock +
+                       rng.next_below(kEmBlock / 8) * 8;
+        uint64_t v = rng.next() | 1;
+        e->annotate(w + off, 8);
+        std::memcpy(w + off, &v, 8);
+        ++writes;
+      }
+    }
+    e->checkpoint();
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    if (ep > kEmWarmup) {
+      secs += dt.count();
+      ops += writes;
+    }
+  }
+  return secs > 0 ? ops / 1e6 / secs : 0.0;
+}
+
+std::string engine_arg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--engine") return argv[i + 1];
+  }
+  return std::string();
+}
+
+void run_engine_matrix(JsonReport& json, const BenchScale& scale,
+                       const std::string& only) {
+  std::printf("--- engine matrix (raw region, %llu KiB, seg %llu KiB) ---\n",
+              (unsigned long long)(kEmRegion >> 10),
+              (unsigned long long)(kEmSegment >> 10));
+  TablePrinter t({"engine", "dense (Mops)", "sparse (Mops)"});
+  std::map<std::string, std::pair<double, double>> scores;
+  for (const std::string& name : engines::engine_names()) {
+    if (!only.empty() && name != only) continue;
+    double dense = run_engine_workload(name, /*dense=*/true, scale);
+    double sparse = run_engine_workload(name, /*dense=*/false, scale);
+    scores[name] = {dense, sparse};
+    char d[32], s[32];
+    std::snprintf(d, sizeof(d), "%.3f", dense);
+    std::snprintf(s, sizeof(s), "%.3f", sparse);
+    t.row().cell(name).cell(d).cell(s);
+    json.row()
+        .col("section", "engine_matrix")
+        .col("engine", name)
+        .col("dense_mops", dense)
+        .col("sparse_mops", sparse);
+  }
+  t.print();
+  if (only.empty() && scores.count("adaptive") != 0) {
+    double best_dense = 0.0;
+    double best_sparse = 0.0;
+    for (const auto& [name, sc] : scores) {
+      if (name == "adaptive") continue;
+      best_dense = std::max(best_dense, sc.first);
+      best_sparse = std::max(best_sparse, sc.second);
+    }
+    const auto& ad = scores["adaptive"];
+    double vs_dense = best_dense > 0 ? ad.first / best_dense : 0.0;
+    double vs_sparse = best_sparse > 0 ? ad.second / best_sparse : 0.0;
+    std::printf("adaptive vs best fixed: dense %.2fx, sparse %.2fx\n",
+                vs_dense, vs_sparse);
+    json.row()
+        .col("section", "engine_matrix")
+        .col("engine", "adaptive")
+        .col("op", "gate")
+        .col("dense_vs_best_fixed", vs_dense)
+        .col("sparse_vs_best_fixed", vs_sparse);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   BenchScale scale;
   scale.print("Figure 7: KV throughput (Mops/s; relative to NVM-NP)");
+  const std::string only_engine = engine_arg(argc, argv);
 
   JsonReport json(json_out_path(argc, argv), "bench_fig7_throughput");
   json.meta("keys", scale.keys)
@@ -69,5 +209,7 @@ int main(int argc, char** argv) {
     t.print();
     std::printf("\n");
   }
+
+  run_engine_matrix(json, scale, only_engine);
   return json.write() ? 0 : 1;
 }

@@ -160,6 +160,10 @@ void PageCkptPolicy::checkpoint() {
   stats_.trace_ns += arm_sw.elapsed_ns() + tracer_->fault_ns_and_reset();
 }
 
+uint64_t PageCkptPolicy::committed_epoch() const {
+  return header()->committed_epoch;
+}
+
 void PageCkptPolicy::set_root(uint32_t slot, uint64_t off) {
   PageHeader* h = header();
   h->roots[slot] = off;

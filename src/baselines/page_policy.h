@@ -47,6 +47,11 @@ class PageCkptPolicy {
   void* from_offset(uint64_t off) { return data_ + off; }
   bool fresh() const { return fresh_; }
 
+  // Epochs committed since format (the journal commit counter's sibling;
+  // bumped at every checkpoint). Lets the engine layer compare recovery
+  // points across protocols.
+  uint64_t committed_epoch() const;
+
   NvmDevice* device() { return dev_; }
   const BaselineStats& bstats() const { return stats_; }
   PageTracer* tracer() { return tracer_.get(); }

@@ -153,6 +153,10 @@ void UndoLogPolicy::checkpoint() {
   ++stats_.epochs;
 }
 
+uint64_t UndoLogPolicy::committed_epoch() const {
+  return header()->committed_epoch;
+}
+
 void UndoLogPolicy::set_root(uint32_t slot, uint64_t off) {
   UndoHeader* h = header();
   h->roots[slot] = off;

@@ -49,6 +49,11 @@ class UndoLogPolicy {
   void* from_offset(uint64_t off) { return data_ + off; }
   bool fresh() const { return fresh_; }
 
+  // Epochs committed since format (persistent counter, bumped at every
+  // checkpoint). Lets the engine layer compare recovery points across
+  // protocols.
+  uint64_t committed_epoch() const;
+
   NvmDevice* device() { return dev_; }
   const BaselineStats& bstats() const { return stats_; }
 

@@ -58,6 +58,11 @@ struct MatrixConfig {
   // planted bug (the write-hook steal skips its flush + image snapshot);
   // only the core-async scenario exercises it.
   bool fault_skip_steal_copy = false;
+  // Enables CrpmOptions::test_fault_adaptive_skip_transition_flush — the
+  // adaptive engine's planted bug (a mid-epoch LOG->COW promotion skips
+  // flushing the segment pre-image payload); only the core-adaptive
+  // scenario exercises it.
+  bool fault_adaptive_skip_transition_flush = false;
   // core-multiwindow geometry: in-flight capture windows and commit-shard
   // epoch domains (CrpmOptions::max_inflight_epochs / commit_shards).
   // Ignored by every other scenario.

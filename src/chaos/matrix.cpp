@@ -181,6 +181,9 @@ std::string reproducer_command(const MatrixConfig& cfg, uint64_t event) {
                     policy_name(cfg.policy);
   if (cfg.fault_flip_before_copy) cmd += " --fault flip-before-copy";
   if (cfg.fault_skip_steal_copy) cmd += " --fault skip-steal-copy";
+  if (cfg.fault_adaptive_skip_transition_flush) {
+    cmd += " --fault adaptive-skip-transition-flush";
+  }
   if (cfg.scenario == "core-multiwindow") {
     cmd += " --mw-windows " + std::to_string(cfg.mw_windows) +
            " --mw-shards " + std::to_string(cfg.mw_shards);
@@ -248,6 +251,8 @@ bool write_json_report(const std::string& path, const MatrixConfig& cfg,
      uint64_t(cfg.fault_flip_before_copy ? 1 : 0));
   kv(&j, "fault_skip_steal_copy",
      uint64_t(cfg.fault_skip_steal_copy ? 1 : 0));
+  kv(&j, "fault_adaptive_skip_transition_flush",
+     uint64_t(cfg.fault_adaptive_skip_transition_flush ? 1 : 0));
   kv(&j, "mw_windows", cfg.mw_windows);
   kv(&j, "mw_shards", cfg.mw_shards);
   kv(&j, "shard_index", cfg.shard_index);

@@ -24,6 +24,7 @@
 #include "chaos/chaos.h"
 #include "comm/channel.h"
 #include "core/container.h"
+#include "engines/engine.h"
 #include "repl/replica_store.h"
 #include "repl/replicator.h"
 #include "scrub/scrubber.h"
@@ -310,6 +311,200 @@ class CoreScenario final : public Scenario {
 
  private:
   bool buffered_;
+};
+
+// ---------------------------------------------------------------------------
+// core-adaptive: the per-segment hybrid engine (src/engines/adaptive).
+// The workload keeps a genuinely mixed strategy population alive — a
+// rotating hot segment takes 7 of every 8 writes (fresh in LOG mode each
+// epoch, it crosses the dense threshold mid-epoch and promotes: the
+// "adaptive.promote" transition runs every epoch, including the partial
+// one a crash lands in), while a light uniform scatter keeps the rest of
+// the window sparse so per-block undo entries, boundary promotions and
+// hysteresis demotions all stay in play. Crash points cover every
+// protocol site: log/cow pre-image appends, the promote transition, the
+// checkpoint flush phase, the commit bump and the log truncate.
+// ---------------------------------------------------------------------------
+
+class CoreAdaptiveScenario final : public Scenario {
+ public:
+  EventCensus enumerate(const MatrixConfig& cfg) override {
+    const CrpmOptions opt = adaptive_opts(cfg);
+    CrashSimDevice dev(engines::engine_device_size(opt));
+    EventCensus census;
+    dev.set_event_recorder(&census.tags);
+    auto e = engines::open_engine(&dev, opt);
+    for (uint64_t ep = 1; ep <= cfg.epochs; ++ep) {
+      apply_epoch_to_engine(cfg, opt, *e, ep);
+      e->checkpoint();
+    }
+    e.reset();
+    dev.set_event_recorder(nullptr);
+    return census;
+  }
+
+  RunOutcome run_crash_at(const MatrixConfig& cfg, uint64_t event) override {
+    const CrpmOptions opt = adaptive_opts(cfg);
+    const Golden g = adaptive_golden(cfg, opt, cfg.epochs);
+    CrashSimDevice dev(engines::engine_device_size(opt));
+    dev.arm_crash_at_event(event);
+
+    RunOutcome out;
+    uint64_t last_committed = 0;
+    std::unique_ptr<engines::Engine> e;
+    try {
+      e = engines::open_engine(&dev, opt);
+      for (uint64_t ep = 1; ep <= cfg.epochs; ++ep) {
+        apply_epoch_to_engine(cfg, opt, *e, ep);
+        e->checkpoint();
+        last_committed = ep;
+      }
+    } catch (const SimulatedCrash&) {
+      out.crash_fired = true;
+    }
+    std::string why;
+    if (!out.crash_fired) {
+      dev.disarm();
+      // Even with the planted fault armed, a crash-free run is clean: the
+      // torn pre-image only matters when recovery replays it.
+      if (!image_matches(e->data(), g.at[cfg.epochs], "main region",
+                         cfg.epochs, &why)) {
+        out.violation = true;
+        out.detail = "clean run: " + why;
+      }
+      return out;
+    }
+
+    e.reset();
+    Xoshiro256 rng = crash_rng(cfg, event);
+    dev.crash_and_restart(cfg.policy, rng);
+    e = engines::open_engine(&dev, opt);
+    if (!check_recovered_engine(*e, g, last_committed, &why)) {
+      out.violation = true;
+      out.detail = why;
+      return out;
+    }
+
+    // Recovery must compose with forward progress: the engine rebuilds
+    // its per-segment strategy state from scratch (all LOG), re-walks the
+    // promote/demote transitions, and must still land bit-identically on
+    // the final golden image.
+    for (uint64_t ep = e->committed_epoch() + 1; ep <= cfg.epochs; ++ep) {
+      apply_epoch_to_engine(cfg, opt, *e, ep);
+      e->checkpoint();
+    }
+    if (e->committed_epoch() != cfg.epochs) {
+      out.violation = true;
+      out.detail = "post-recovery run ended at epoch " +
+                   std::to_string(e->committed_epoch());
+    } else if (!image_matches(e->data(), g.at[cfg.epochs],
+                              "post-recovery main region", cfg.epochs,
+                              &why)) {
+      out.violation = true;
+      out.detail = why;
+    }
+    return out;
+  }
+
+ private:
+  static CrpmOptions adaptive_opts(const MatrixConfig& cfg) {
+    CrpmOptions o = scenario_opts(cfg, false);
+    o.engine = "adaptive";
+    // 8 tracked blocks per segment (promote threshold 4): wide enough for
+    // the seed writes below to stay under the mid-epoch promote trigger.
+    o.segment_size = 2048;
+    o.test_fault_adaptive_skip_transition_flush =
+        cfg.fault_adaptive_skip_transition_flush;
+    return o;
+  }
+
+  // Epoch ep's writes, replayable against any target. 7 of 8 ops land in
+  // the rotating hot segment; the rest scatter uniformly (a heavier
+  // scatter on this 16 KB window would drive EVERY segment dense and
+  // leave no LOG-mode population for the matrix to crash). Each epoch
+  // also seeds 3 distinct blocks of the NEXT epoch's hot segment — few
+  // enough to keep it in LOG mode, but enough that the committed image a
+  // crash recovers to has content there: the mid-epoch promotion's
+  // segment pre-image must faithfully restore those seeds, so an
+  // ordering bug in the transition (the planted
+  // adaptive-skip-transition-flush fault) shows up as a golden divergence
+  // instead of tearing an all-zero segment into all zeros.
+  template <typename W>
+  static void apply_adaptive_epoch(const MatrixConfig& cfg,
+                                   const CrpmOptions& opt, uint64_t ep,
+                                   W&& write) {
+    Xoshiro256 rng(cfg.seed * 0x9e3779b97f4a7c15ULL + ep);
+    const uint64_t region = opt.main_region_size;
+    const uint64_t seg = opt.segment_size;
+    const uint64_t nseg = region / seg;
+    const uint64_t hot = (ep % nseg) * seg;
+    for (uint64_t op = 0; op < cfg.ops_per_epoch; ++op) {
+      uint64_t off = (op % 8 != 7) ? hot + rng.next_below(seg / 8) * 8
+                                   : rng.next_below(region / 8) * 8;
+      uint64_t v = rng.next() | 1;
+      write(off, v);
+    }
+    const uint64_t next_hot = ((ep + 1) % nseg) * seg;
+    const uint64_t blocks = seg / 256;  // the engine's tracking granule
+    for (uint64_t i = 0; i < 3; ++i) {
+      uint64_t block = (ep + 3 * i) % blocks;
+      uint64_t off = next_hot + block * 256 + rng.next_below(256 / 8) * 8;
+      write(off, rng.next() | 1);
+    }
+  }
+
+  static Golden adaptive_golden(const MatrixConfig& cfg,
+                                const CrpmOptions& opt, uint64_t max_epoch) {
+    Golden g;
+    g.at.resize(max_epoch + 1);
+    g.at[0].assign(opt.main_region_size, 0);
+    for (uint64_t ep = 1; ep <= max_epoch; ++ep) {
+      g.at[ep] = g.at[ep - 1];
+      apply_adaptive_epoch(cfg, opt, ep, [&](uint64_t off, uint64_t v) {
+        std::memcpy(g.at[ep].data() + off, &v, 8);
+      });
+    }
+    return g;
+  }
+
+  static void apply_epoch_to_engine(const MatrixConfig& cfg,
+                                    const CrpmOptions& opt,
+                                    engines::Engine& e, uint64_t ep) {
+    apply_adaptive_epoch(cfg, opt, ep, [&](uint64_t off, uint64_t v) {
+      e.annotate(e.data() + off, 8);
+      std::memcpy(e.data() + off, &v, 8);
+    });
+    e.set_root(0, ep);
+  }
+
+  // Epoch + image + root oracle after a reopen; adaptive roots live in the
+  // protected reserve area, so the recovered root must match the recovered
+  // epoch exactly (epoch-consistent, like the container's).
+  static bool check_recovered_engine(engines::Engine& e, const Golden& g,
+                                     uint64_t last_committed,
+                                     std::string* why) {
+    uint64_t ep = e.committed_epoch();
+    if (ep < last_committed || ep > last_committed + 1) {
+      *why = "recovered epoch " + std::to_string(ep) +
+             " but last observed commit was " +
+             std::to_string(last_committed);
+      return false;
+    }
+    if (ep >= g.at.size()) {
+      *why = "recovered epoch " + std::to_string(ep) + " beyond the run's " +
+             std::to_string(g.at.size() - 1) + " epochs";
+      return false;
+    }
+    if (!image_matches(e.data(), g.at[ep], "main region", ep, why)) {
+      return false;
+    }
+    if (e.get_root(0) != ep) {
+      *why = "root slot 0 is " + std::to_string(e.get_root(0)) +
+             " after recovering epoch " + std::to_string(ep);
+      return false;
+    }
+    return true;
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -1381,6 +1576,9 @@ class RecoveryScenario final : public Scenario {
 std::unique_ptr<Scenario> make_scenario(const std::string& name) {
   if (name == "core") return std::make_unique<CoreScenario>(false);
   if (name == "core-buffered") return std::make_unique<CoreScenario>(true);
+  if (name == "core-adaptive") {
+    return std::make_unique<CoreAdaptiveScenario>();
+  }
   if (name == "core-async") return std::make_unique<CoreAsyncScenario>();
   if (name == "core-multiwindow") {
     return std::make_unique<CoreMultiWindowScenario>();
@@ -1395,8 +1593,10 @@ std::unique_ptr<Scenario> make_scenario(const std::string& name) {
 }
 
 std::vector<std::string> scenario_names() {
-  return {"core",    "core-buffered", "core-async", "core-multiwindow",
-          "archive", "archive-tier",  "repl",       "recovery"};
+  return {"core",         "core-buffered", "core-adaptive",
+          "core-async",   "core-multiwindow",
+          "archive",      "archive-tier",  "repl",
+          "recovery"};
 }
 
 CrpmOptions scenario_options(const MatrixConfig& cfg, bool buffered) {

@@ -32,6 +32,20 @@ CrpmOptions CrpmOptions::validated() const {
   CRPM_CHECK(o.backup_ratio > 0.0 && o.backup_ratio <= 1.0,
              "backup_ratio must be in (0, 1], got %f", o.backup_ratio);
   CRPM_CHECK(o.thread_count >= 1, "thread_count must be >= 1");
+  CRPM_CHECK(o.engine == "foca" || o.engine == "undolog" ||
+                 o.engine == "pagecow" || o.engine == "adaptive",
+             "unknown engine '%s' (foca|undolog|pagecow|adaptive)",
+             o.engine.c_str());
+  CRPM_CHECK(o.adaptive_dense_threshold > 0.0 &&
+                 o.adaptive_dense_threshold <= 1.0,
+             "adaptive_dense_threshold must be in (0, 1], got %f",
+             o.adaptive_dense_threshold);
+  CRPM_CHECK(o.adaptive_sparse_threshold >= 0.0 &&
+                 o.adaptive_sparse_threshold < o.adaptive_dense_threshold,
+             "adaptive_sparse_threshold must be in [0, dense), got %f",
+             o.adaptive_sparse_threshold);
+  CRPM_CHECK(o.adaptive_hysteresis_epochs >= 1,
+             "adaptive_hysteresis_epochs must be >= 1");
   CRPM_CHECK(!(o.buffered && o.async_checkpoint),
              "async_checkpoint requires default mode: buffered containers "
              "already keep the working state off-NVM");

@@ -157,6 +157,30 @@ struct CrpmOptions {
   // the device persistence-event stream stays deterministic regardless.
   uint32_t restore_workers = 0;
 
+  // --- checkpoint engine selection (src/engines) -----------------------
+  // Which checkpoint protocol backs the region. The core library ignores
+  // this field (Container implements "foca"); engines::open_engine()
+  // dispatches on it:
+  //   "foca"     dual-replica segment CoW (Container; the paper's design)
+  //   "undolog"  per-block undo logging (src/baselines, 2 fences/entry)
+  //   "pagecow"  page-granularity journal + shadow (src/baselines)
+  //   "adaptive" per-segment hybrid: dense segments checkpoint FOCA-style
+  //              (one pre-image, then free writes), sparse segments log
+  //              per block; strategy chosen from observed write density
+  //              with hysteresis (src/engines/adaptive.h)
+  std::string engine = "foca";
+
+  // Adaptive engine tuning. A segment is *dense* when the fraction of its
+  // blocks dirtied in an epoch reaches adaptive_dense_threshold — the
+  // engine then switches it to COW mode, mid-epoch if the threshold is
+  // crossed while the epoch is still open. It demotes a COW segment back
+  // to LOG mode only after its density EWMA has stayed at or below
+  // adaptive_sparse_threshold for adaptive_hysteresis_epochs consecutive
+  // epochs, so alternating workloads don't thrash the strategy.
+  double adaptive_dense_threshold = 0.5;
+  double adaptive_sparse_threshold = 0.2;
+  uint32_t adaptive_hysteresis_epochs = 2;
+
   // --- test-only fault injection ---------------------------------------
 
   // Deliberately persists the seg_state flip BEFORE the copy-on-write data
@@ -173,6 +197,14 @@ struct CrpmOptions {
   // stores. Exists solely so the core-async crash-matrix scenario can
   // prove it detects async ordering bugs; never enable outside tests.
   bool test_fault_skip_steal_copy = false;
+
+  // Adaptive-engine ordering bug: a mid-epoch LOG->COW strategy switch
+  // appends the segment pre-image but skips flushing its payload before
+  // un-logged writes to the segment proceed. A crash then recovers from a
+  // torn pre-image and rolls the segment back to garbage. Exists solely so
+  // the core-adaptive crash-matrix scenario can prove it detects
+  // strategy-transition ordering bugs; never enable outside tests.
+  bool test_fault_adaptive_skip_transition_flush = false;
 
   // Returns a copy with sizes validated and rounded; aborts on nonsensical
   // combinations (block > segment, non-power-of-two sizes, ...).

@@ -1,0 +1,227 @@
+#include "engines/engine.h"
+
+#include <cstdio>
+#include <mutex>
+
+#include "baselines/page_policy.h"
+#include "baselines/undolog.h"
+#include "core/container.h"
+#include "core/layout.h"
+#include "engines/adaptive.h"
+#include "util/logging.h"
+#include "util/sync.h"
+
+namespace crpm::engines {
+
+namespace {
+
+// Data-area prefix reserved in front of the wrapped baselines' working
+// window. Their RegionAllocator formats a persistent heap header at data
+// offset 0; raw-offset engine workloads must not clobber it, so the
+// engine window starts one page in.
+constexpr uint64_t kBaselineDataReserve = 4096;
+
+uint64_t segments_of(const CrpmOptions& opt) {
+  return (opt.main_region_size + opt.segment_size - 1) / opt.segment_size;
+}
+
+// FOCA dual-replica protocol (the paper's design), adapted from Container.
+// Every segment is protected the same way — one backup copy per epoch —
+// so the counters report all segments under the COW strategy; the copy
+// traffic itself is accounted in checkpoint_bytes (Container charges CoW
+// copies there, not to a separate trace stream).
+class FocaEngine final : public Engine {
+ public:
+  FocaEngine(NvmDevice* dev, const CrpmOptions& opt)
+      : opt_(opt), c_(Container::open(dev, opt)) {}
+
+  const char* name() const override { return "foca"; }
+  uint8_t* data() override { return c_->data(); }
+  uint64_t capacity() const override { return c_->capacity(); }
+  void annotate(const void* addr, size_t len) override {
+    c_->annotate(addr, len);
+  }
+  void checkpoint() override {
+    c_->checkpoint();
+    c_->wait_committed();
+  }
+  void set_root(uint32_t slot, uint64_t off) override {
+    c_->set_root(slot, off);
+  }
+  uint64_t get_root(uint32_t slot) override { return c_->get_root(slot); }
+  uint64_t committed_epoch() const override { return c_->committed_epoch(); }
+  bool fresh() const override { return c_->was_fresh(); }
+  bool epoch_consistent_roots() const override { return true; }
+  Container* container() override { return c_.get(); }
+
+  EngineCounters counters() const override {
+    const CrpmStatsSnapshot s = c_->stats().snapshot();
+    EngineCounters c;
+    c.epochs = s.epochs;
+    c.segments_cow = segments_of(opt_);
+    c.segment_preimages = s.cow_count;
+    c.checkpoint_bytes = s.checkpoint_bytes;
+    return c;
+  }
+
+ private:
+  CrpmOptions opt_;
+  std::unique_ptr<Container> c_;
+};
+
+// Per-block undo logging (src/baselines). Roots persist immediately, so
+// epoch_consistent_roots() stays false. The policy's write hook is
+// single-threaded by design; the adapter serializes annotate() so the
+// differential harness can drive it from concurrent writers.
+class UndoLogEngine final : public Engine {
+ public:
+  UndoLogEngine(NvmDevice* dev, const CrpmOptions& opt)
+      : opt_(opt), p_(dev, opt.main_region_size + kBaselineDataReserve) {}
+
+  const char* name() const override { return "undolog"; }
+  uint8_t* data() override {
+    return static_cast<uint8_t*>(p_.from_offset(kBaselineDataReserve));
+  }
+  uint64_t capacity() const override { return opt_.main_region_size; }
+  void annotate(const void* addr, size_t len) override {
+    std::lock_guard<SpinLock> lock(mu_);
+    p_.on_write(addr, len);
+  }
+  void checkpoint() override {
+    std::lock_guard<SpinLock> lock(mu_);
+    p_.checkpoint();
+  }
+  void set_root(uint32_t slot, uint64_t off) override {
+    p_.set_root(slot, off);
+  }
+  uint64_t get_root(uint32_t slot) override { return p_.get_root(slot); }
+  uint64_t committed_epoch() const override { return p_.committed_epoch(); }
+  bool fresh() const override { return p_.fresh(); }
+
+  EngineCounters counters() const override {
+    const BaselineStats& b = p_.bstats();
+    EngineCounters c;
+    c.epochs = b.epochs;
+    c.segments_log = segments_of(opt_);
+    c.log_entries = b.entries;
+    c.trace_bytes = b.trace_bytes;
+    c.checkpoint_bytes = b.checkpoint_bytes;
+    return c;
+  }
+
+ private:
+  CrpmOptions opt_;
+  SpinLock mu_;
+  UndoLogPolicy p_;
+};
+
+// Page-granularity journal + shadow (src/baselines). Tracing is OS-driven
+// (mprotect), so annotate() is a no-op; the engine reports its full-page
+// journal appends as log entries.
+class PageCowEngine final : public Engine {
+ public:
+  PageCowEngine(NvmDevice* dev, const CrpmOptions& opt)
+      : opt_(opt), p_(dev, opt.main_region_size + kBaselineDataReserve,
+                      PageTracerKind::kMprotect) {}
+
+  const char* name() const override { return "pagecow"; }
+  uint8_t* data() override {
+    return static_cast<uint8_t*>(p_.from_offset(kBaselineDataReserve));
+  }
+  uint64_t capacity() const override { return opt_.main_region_size; }
+  void annotate(const void* addr, size_t len) override {
+    p_.on_write(addr, len);
+  }
+  void checkpoint() override {
+    // Keep the reserved heap-header page present in the shadow image. The
+    // adapter never allocates, so nothing else dirties that page after
+    // format — and pagecow recovery restores the WHOLE data area from the
+    // shadow, which would wipe the live header with zeros on the first
+    // crash-reopen. The identity write faults the page dirty through the
+    // tracer, so every checkpoint re-shadows it.
+    volatile uint8_t* touch = static_cast<uint8_t*>(p_.from_offset(0));
+    *touch = *touch;
+    p_.checkpoint();
+  }
+  void set_root(uint32_t slot, uint64_t off) override {
+    p_.set_root(slot, off);
+  }
+  uint64_t get_root(uint32_t slot) override { return p_.get_root(slot); }
+  uint64_t committed_epoch() const override { return p_.committed_epoch(); }
+  bool fresh() const override { return p_.fresh(); }
+
+  EngineCounters counters() const override {
+    const BaselineStats& b = p_.bstats();
+    EngineCounters c;
+    c.epochs = b.epochs;
+    c.segments_cow = segments_of(opt_);
+    c.log_entries = b.entries;
+    c.trace_bytes = b.trace_bytes;
+    c.checkpoint_bytes = b.checkpoint_bytes;
+    return c;
+  }
+
+ private:
+  CrpmOptions opt_;
+  PageCkptPolicy p_;
+};
+
+}  // namespace
+
+std::string EngineCounters::to_string() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "epochs=%llu segments_log=%llu segments_cow=%llu "
+      "transitions_to_cow=%llu transitions_to_log=%llu "
+      "midepoch_promotions=%llu decisions=%llu log_entries=%llu "
+      "segment_preimages=%llu trace_bytes=%llu checkpoint_bytes=%llu",
+      (unsigned long long)epochs, (unsigned long long)segments_log,
+      (unsigned long long)segments_cow, (unsigned long long)transitions_to_cow,
+      (unsigned long long)transitions_to_log,
+      (unsigned long long)midepoch_promotions, (unsigned long long)decisions,
+      (unsigned long long)log_entries, (unsigned long long)segment_preimages,
+      (unsigned long long)trace_bytes, (unsigned long long)checkpoint_bytes);
+  return buf;
+}
+
+std::vector<std::string> engine_names() {
+  return {"foca", "undolog", "pagecow", "adaptive"};
+}
+
+uint64_t engine_device_size(const CrpmOptions& opt_in) {
+  const CrpmOptions opt = opt_in.validated();
+  if (opt.engine == "foca") {
+    return Container::required_device_size(opt);
+  }
+  if (opt.engine == "undolog") {
+    return UndoLogPolicy::required_device_size(opt.main_region_size +
+                                               kBaselineDataReserve);
+  }
+  if (opt.engine == "pagecow") {
+    return PageCkptPolicy::required_device_size(opt.main_region_size +
+                                                kBaselineDataReserve);
+  }
+  CRPM_CHECK(opt.engine == "adaptive", "unknown engine \"%s\"",
+             opt.engine.c_str());
+  return AdaptiveEngine::required_device_size(opt);
+}
+
+std::unique_ptr<Engine> open_engine(NvmDevice* dev,
+                                    const CrpmOptions& opt_in) {
+  const CrpmOptions opt = opt_in.validated();
+  if (opt.engine == "foca") {
+    return std::make_unique<FocaEngine>(dev, opt);
+  }
+  if (opt.engine == "undolog") {
+    return std::make_unique<UndoLogEngine>(dev, opt);
+  }
+  if (opt.engine == "pagecow") {
+    return std::make_unique<PageCowEngine>(dev, opt);
+  }
+  CRPM_CHECK(opt.engine == "adaptive", "unknown engine \"%s\"",
+             opt.engine.c_str());
+  return std::make_unique<AdaptiveEngine>(dev, opt);
+}
+
+}  // namespace crpm::engines

@@ -420,5 +420,49 @@ TEST(InspectTool, StatsSyncModeHidesAsyncCounters) {
   EXPECT_EQ(rc, 64) << out;
 }
 
+TEST(InspectTool, StatsAdaptiveEngineShowsStrategyCounters) {
+  int rc = -1;
+  std::string out = run_tool("stats adaptive", &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("engine:            adaptive"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("committed epoch:   6"), std::string::npos) << out;
+  // The fixed hot+scatter workload must leave both strategy populations
+  // live and exercise every adaptive counter.
+  EXPECT_NE(out.find("epochs=6"), std::string::npos) << out;
+  EXPECT_NE(out.find("segments_log="), std::string::npos) << out;
+  EXPECT_EQ(out.find("segments_log=0 "), std::string::npos) << out;
+  EXPECT_NE(out.find("segments_cow="), std::string::npos) << out;
+  EXPECT_EQ(out.find("segments_cow=0 "), std::string::npos) << out;
+  EXPECT_NE(out.find("transitions_to_cow="), std::string::npos) << out;
+  EXPECT_EQ(out.find("transitions_to_cow=0 "), std::string::npos) << out;
+  EXPECT_NE(out.find("midepoch_promotions="), std::string::npos) << out;
+  EXPECT_EQ(out.find("midepoch_promotions=0 "), std::string::npos) << out;
+  EXPECT_NE(out.find("decisions="), std::string::npos) << out;
+  EXPECT_NE(out.find("log_entries="), std::string::npos) << out;
+  EXPECT_NE(out.find("segment_preimages="), std::string::npos) << out;
+  EXPECT_NE(out.find("checkpoint_bytes="), std::string::npos) << out;
+}
+
+TEST(InspectTool, StatsFixedEnginesReportSingleStrategy) {
+  int rc = -1;
+  std::string out = run_tool("stats foca", &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("engine:            foca"), std::string::npos) << out;
+  EXPECT_NE(out.find("segments_log=0 "), std::string::npos) << out;
+  EXPECT_EQ(out.find("segments_cow=0 "), std::string::npos) << out;
+
+  out = run_tool("stats undolog", &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("engine:            undolog"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("segments_cow=0 "), std::string::npos) << out;
+  EXPECT_EQ(out.find("log_entries=0 "), std::string::npos) << out;
+
+  // Extra operands fall through to usage, same as an unknown mode.
+  run_tool("stats adaptive extra", &rc);
+  EXPECT_EQ(rc, 64);
+}
+
 }  // namespace
 }  // namespace crpm

@@ -22,9 +22,9 @@ using crpm::chaos::MatrixConfig;
 void usage(FILE* out) {
   std::fprintf(out,
                "usage: crpm_crashmatrix [options]\n"
-               "  --scenario NAME   core | core-buffered | core-async | "
-               "core-multiwindow | archive | archive-tier | repl | recovery "
-               "(default core)\n"
+               "  --scenario NAME   core | core-buffered | core-adaptive | "
+               "core-async | core-multiwindow | archive | archive-tier | "
+               "repl | recovery (default core)\n"
                "  --list            list scenarios and exit\n"
                "  --seed S          workload seed (default 1)\n"
                "  --epochs E        checkpoint epochs (default 3)\n"
@@ -32,7 +32,7 @@ void usage(FILE* out) {
                "  --policy P        pending-line policy at the crash: drop |"
                " commit | random\n"
                "  --fault F         enable a planted bug: flip-before-copy |"
-               " skip-steal-copy\n"
+               " skip-steal-copy | adaptive-skip-transition-flush\n"
                "  --mw-windows K    core-multiwindow: in-flight capture "
                "windows (default 3)\n"
                "  --mw-shards S     core-multiwindow: commit-shard epoch "
@@ -99,6 +99,8 @@ int main(int argc, char** argv) {
         cfg.fault_flip_before_copy = true;
       } else if (f == "skip-steal-copy") {
         cfg.fault_skip_steal_copy = true;
+      } else if (f == "adaptive-skip-transition-flush") {
+        cfg.fault_adaptive_skip_transition_flush = true;
       } else {
         std::fprintf(stderr, "unknown fault '%s'\n", f.c_str());
         return 64;
